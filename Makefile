@@ -1,0 +1,36 @@
+# Convenience targets for the vapro reproduction.
+
+GO ?= go
+
+.PHONY: all build test vet race cover bench experiments full clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/mpi ./internal/collector ./internal/core ./internal/interpose
+
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/... .
+	$(GO) tool cover -func=cover.out | tail -1
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+experiments:
+	$(GO) run ./cmd/vaproexp all
+
+# The paper-scale (2048-rank) validation: minutes and gigabytes.
+full:
+	VAPRO_FULL=1 $(GO) test ./internal/exp -run TestFullScale -v -timeout 30m
+
+clean:
+	rm -f cover.out

@@ -1,0 +1,345 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one per artifact), plus ablation benches for the design
+// choices DESIGN.md calls out and micro-benches for the analysis
+// algorithms. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-artifact benches execute the corresponding experiment at
+// Small scale and report the key reproduced metric through b.ReportMetric
+// so the shape survives in benchmark logs.
+package vapro_test
+
+import (
+	"io"
+	"testing"
+
+	"vapro"
+	"vapro/internal/apps"
+	"vapro/internal/cluster"
+	"vapro/internal/collector"
+	"vapro/internal/core"
+	"vapro/internal/detect"
+	"vapro/internal/diagnose"
+	"vapro/internal/exp"
+	"vapro/internal/interpose"
+	"vapro/internal/noise"
+	"vapro/internal/sim"
+	"vapro/internal/stats"
+	"vapro/internal/trace"
+)
+
+// --- one bench per table and figure ---
+
+func BenchmarkFig01RepeatedCG(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig01(io.Discard, exp.Small)
+		b.ReportMetric(r.Spread, "spread_x")
+	}
+}
+
+func BenchmarkFig05CounterStability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig05(io.Discard, exp.Small)
+		b.ReportMetric(r.ComputeNoiseTscCV/r.ComputeNoiseInsCV, "tsc_over_ins_cv")
+	}
+}
+
+func BenchmarkTable1OverheadCoverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.Table1(io.Discard, exp.Small)
+		b.ReportMetric(100*r.MeanCFCoverage, "cf_coverage_pct")
+		b.ReportMetric(100*r.MeanVSCoverage, "vsensor_coverage_pct")
+		b.ReportMetric(100*r.MeanCFOverhead, "cf_overhead_pct")
+		b.ReportMetric(100*r.MeanCAOverhead, "ca_overhead_pct")
+	}
+}
+
+func BenchmarkTable2VMeasure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.Table2(io.Discard, exp.Small)
+		var v float64
+		for _, row := range r.Rows {
+			v += row.VMeasure
+		}
+		b.ReportMetric(v/float64(len(r.Rows)), "mean_vmeasure")
+	}
+}
+
+func BenchmarkFig09PageRank(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig09(io.Discard, exp.Small)
+		b.ReportMetric(r.MeanPerfInWindow, "noise_window_perf")
+	}
+}
+
+func BenchmarkFig11Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig11(io.Discard, exp.Small)
+		b.ReportMetric(100*r.FormulaBackendFrac, "backend_impact_pct")
+		b.ReportMetric(100*r.OLSBackendFrac, "ols_backend_impact_pct")
+	}
+}
+
+func BenchmarkFig12SPNoise(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig12(io.Discard, exp.Small)
+		b.ReportMetric(100*(1-r.VaproPerf), "vapro_loss_pct")
+		b.ReportMetric(100*(1-r.VSensorPerf), "vsensor_loss_pct")
+	}
+}
+
+func BenchmarkFig13LargeCG(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig13(io.Discard, exp.Small)
+		b.ReportMetric(100*r.CompLossFrac, "comp_loss_pct")
+	}
+}
+
+func BenchmarkFig14MpiP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig13(io.Discard, exp.Small) // fig14 shares the fig13 runs
+		b.ReportMetric(100*(r.MpiPNoisyComm/r.MpiPQuietComm-1), "mpip_comm_up_pct")
+	}
+}
+
+func BenchmarkFig15HPLBug(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig15(io.Discard, exp.Small)
+		b.ReportMetric(100*r.BackendFrac, "backend_impact_pct")
+		b.ReportMetric(100*r.L2Frac, "l2_impact_pct")
+	}
+}
+
+func BenchmarkFig16HugePages(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig15(io.Discard, exp.Small) // fig16 shares the fig15 runs
+		b.ReportMetric(100*r.StdevReduction, "stdev_reduction_pct")
+	}
+}
+
+func BenchmarkFig17Nekbone(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig17(io.Discard, exp.Small)
+		b.ReportMetric(100*r.MemoryFrac, "memory_impact_pct")
+		b.ReportMetric(r.ReplaceSpeedup, "replace_speedup_x")
+	}
+}
+
+func BenchmarkFig18RAxMLIO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig18(io.Discard, exp.Small)
+		b.ReportMetric(r.Rank0IOPerf, "rank0_io_perf")
+	}
+}
+
+func BenchmarkFig19IOBuffer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig18(io.Discard, exp.Small) // fig19 shares the fig18 runs
+		b.ReportMetric(100*r.Speedup, "buffer_speedup_pct")
+		b.ReportMetric(100*r.StdevReduction, "stdev_reduction_pct")
+	}
+}
+
+// --- ablation benches (design choices from DESIGN.md §5) ---
+
+// Context-free vs context-aware STG: overhead and coverage trade-off.
+func BenchmarkAblationSTGMode(b *testing.B) {
+	for _, mode := range []interpose.Mode{interpose.ContextFree, interpose.ContextAware} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := core.DefaultOptions()
+				opt.Ranks = 16
+				opt.Interpose.Mode = mode
+				res := core.RunTraced(apps.NewMG(8), opt)
+				b.ReportMetric(100*res.Detection.OverallCoverage, "coverage_pct")
+			}
+		})
+	}
+}
+
+// Clustering threshold sweep (paper default 5%).
+func BenchmarkAblationClusterThreshold(b *testing.B) {
+	res := core.RunTraced(apps.NewCG(10), func() core.Options {
+		o := core.DefaultOptions()
+		o.Ranks = 16
+		return o
+	}())
+	for _, th := range []float64{0.01, 0.05, 0.10, 0.20} {
+		b.Run(thName(th), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := detect.DefaultOptions()
+				opt.Cluster.Threshold = th
+				d := detect.Run(res.Graph, res.Ranks, opt)
+				b.ReportMetric(100*d.OverallCoverage, "coverage_pct")
+				b.ReportMetric(float64(d.FixedClusters), "fixed_clusters")
+			}
+		})
+	}
+}
+
+func thName(th float64) string {
+	switch th {
+	case 0.01:
+		return "1pct"
+	case 0.05:
+		return "5pct"
+	case 0.10:
+		return "10pct"
+	default:
+		return "20pct"
+	}
+}
+
+// Sampling backoff: overhead vs recorded-fragment trade-off.
+func BenchmarkAblationSampling(b *testing.B) {
+	for _, name := range []string{"off", "on"} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := core.DefaultOptions()
+				opt.Ranks = 16
+				if name == "on" {
+					opt.Interpose.SampleShortOps = 200 * sim.Microsecond
+				}
+				plain := core.RunPlain(apps.NewLU(8), opt)
+				res := core.RunTraced(apps.NewLU(8), opt)
+				b.ReportMetric(100*res.Overhead(plain), "overhead_pct")
+				b.ReportMetric(float64(res.Graph.NumFragments()), "fragments")
+			}
+		})
+	}
+}
+
+// Multi-server sharding throughput.
+func BenchmarkAblationServers(b *testing.B) {
+	for _, servers := range []int{1, 4} {
+		b.Run(map[int]string{1: "1server", 4: "4servers"}[servers], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := core.DefaultOptions()
+				opt.Ranks = 32
+				opt.Collector.Servers = servers
+				res := core.RunTraced(apps.NewCG(5), opt)
+				b.ReportMetric(float64(res.Pool.Servers()), "servers")
+			}
+		})
+	}
+}
+
+// --- algorithm micro-benches ---
+
+func synthFrags(n int) []trace.Fragment {
+	rng := sim.NewRNG(1)
+	frags := make([]trace.Fragment, n)
+	for i := range frags {
+		class := uint64(1+rng.Intn(7)) * 1_000_000
+		frags[i] = trace.Fragment{
+			Kind: trace.Comp, Elapsed: 1000 + int64(rng.Intn(100)),
+			Counters: trace.CountersView{TotIns: class + uint64(rng.Intn(1000)), Cycles: class / 2},
+		}
+	}
+	return frags
+}
+
+// Algorithm 1 must stay (near-)linear: this bench documents its
+// throughput on a million fragments.
+func BenchmarkClusterMillionFragments(b *testing.B) {
+	frags := synthFrags(1_000_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster.Run(frags, cluster.DefaultOptions())
+	}
+	b.ReportMetric(float64(len(frags)), "fragments")
+}
+
+func BenchmarkOLSQuantify(b *testing.B) {
+	frags := synthFrags(2000)
+	for i := range frags {
+		frags[i].Counters.InvolCS = uint64(i % 7)
+		frags[i].Elapsed += int64(frags[i].Counters.InvolCS) * 50
+	}
+	clusters := [][]trace.Fragment{frags}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		diagnose.QuantifyOLS(clusters, []diagnose.Factor{diagnose.InvoluntaryCS, diagnose.VoluntaryCS, diagnose.SoftPageFault})
+	}
+}
+
+func BenchmarkVMeasure(b *testing.B) {
+	rng := sim.NewRNG(2)
+	n := 100_000
+	classes := make([]int, n)
+	clusters := make([]int, n)
+	for i := range classes {
+		classes[i] = rng.Intn(20)
+		clusters[i] = classes[i]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.VMeasure(classes, clusters)
+	}
+}
+
+// MRNet-style tree aggregation (§5): per-node merge work stays bounded
+// by the fan-out; this bench documents reduce cost at 256 clients.
+func BenchmarkTreeAggregation(b *testing.B) {
+	batches := make([][]trace.Fragment, 256)
+	for rank := range batches {
+		batches[rank] = synthFrags(50)
+		for i := range batches[rank] {
+			batches[rank][i].Rank = rank
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree := collector.NewTree(256, 8)
+		for rank, frags := range batches {
+			tree.Consume(rank, frags)
+		}
+		g := tree.Reduce()
+		b.ReportMetric(float64(g.NumFragments()), "fragments")
+		b.ReportMetric(float64(tree.Levels()), "levels")
+	}
+}
+
+// Wire transport cost: gob-encoding fragment batches (the client->server
+// hop of Figure 8).
+func BenchmarkWireEncode(b *testing.B) {
+	frags := synthFrags(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := collector.NewWireClient(nopCloser{io.Discard})
+		c.Consume(0, frags)
+		b.SetBytes(c.BytesOut())
+	}
+}
+
+type nopCloser struct{ io.Writer }
+
+func (nopCloser) Close() error { return nil }
+
+// Online monitoring loop end to end (deployment mode), with a noise
+// burst so the progressive arming path is exercised.
+func BenchmarkOnlineMonitor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := core.DefaultOptions()
+		opt.Ranks = 16
+		opt.Collector.Period = 200 * sim.Millisecond
+		opt.Collector.Overlap = 100 * sim.Millisecond
+		sch := noise.NewSchedule()
+		sch.Add(noise.NodeCPUContention(0, sim.Time(800*sim.Millisecond), sim.Time(1400*sim.Millisecond), 0.5))
+		opt.Noise = sch
+		res := core.RunOnline(apps.NewCG(20), opt)
+		b.ReportMetric(float64(len(res.Events)), "events")
+	}
+}
+
+func BenchmarkTracedRunCG16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := vapro.DefaultOptions()
+		opt.Ranks = 16
+		app, _ := vapro.App("CG")
+		app.(*apps.CG).Outer = 5
+		res := vapro.Run(app, opt)
+		b.ReportMetric(float64(res.Graph.NumFragments()), "fragments")
+	}
+}

@@ -1,0 +1,214 @@
+// Command vapro runs one of the bundled application skeletons with the
+// Vapro detector attached, optionally injecting noise, and prints the
+// detection report, heat maps, and progressive diagnosis.
+//
+// Usage:
+//
+//	vapro -app CG -ranks 64
+//	vapro -app CG -ranks 64 -cpu-noise node=0,start=0.5,end=1.5,share=0.5 -diagnose
+//	vapro -app PageRank -mem-noise node=0,start=0.05,end=0.12,slow=3 -diagnose
+//	vapro -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"vapro"
+)
+
+func parseKVs(spec string) map[string]float64 {
+	out := map[string]float64{}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vapro: bad value in %q\n", part)
+			os.Exit(2)
+		}
+		out[strings.TrimSpace(kv[0])] = v
+	}
+	return out
+}
+
+func main() {
+	appName := flag.String("app", "CG", "application skeleton to run (see -list)")
+	ranks := flag.Int("ranks", 0, "process/thread count (0 = app default)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	size := flag.Float64("size", 1, "problem-size multiplier (scales iteration counts)")
+	cpuNoise := flag.String("cpu-noise", "", "inject CPU contention: node=N,start=S,end=E,share=F[,core=C]")
+	memNoise := flag.String("mem-noise", "", "inject memory contention: node=N,start=S,end=E,slow=F")
+	ioNoise := flag.String("io-noise", "", "inject IO interference: start=S,end=E,slow=F")
+	degraded := flag.Int("degraded-node", -1, "node with degraded memory bandwidth (84.5%)")
+	diagnoseFlag := flag.Bool("diagnose", false, "run progressive diagnosis on detected variance")
+	record := flag.String("record", "", "persist the raw fragment stream to this file (analyze later with vaproanalyze)")
+	htmlOut := flag.String("html", "", "write a full HTML report to this file")
+	jsonOut := flag.String("json", "", "write a machine-readable JSON summary to this file")
+	pngOut := flag.String("png", "", "write the computation heat map as PNG to this file")
+	svgOut := flag.String("svg", "", "write the computation heat map as SVG to this file")
+	dotOut := flag.String("dot", "", "write the State Transition Graph as Graphviz dot to this file")
+	online := flag.Bool("online", false, "run in deployment mode: report variance events live (Figure 8)")
+	overhead := flag.Bool("overhead", false, "also run untraced baseline and report tool overhead")
+	list := flag.Bool("list", false, "list bundled applications and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range vapro.Apps() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	app, err := vapro.App(*appName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vapro:", err)
+		os.Exit(2)
+	}
+
+	if *size != 1 {
+		app.(vapro.SizeScaler).ScaleSize(*size)
+	}
+
+	opt := vapro.DefaultOptions()
+	opt.Ranks = *ranks
+	opt.Seed = *seed
+
+	sch := vapro.NewNoise()
+	addedNoise := false
+	if *cpuNoise != "" {
+		kv := parseKVs(*cpuNoise)
+		core := -1
+		if c, ok := kv["core"]; ok {
+			core = int(c)
+		}
+		ev := vapro.CPUContention(int(kv["node"]), core, vapro.Seconds(kv["start"]), vapro.Seconds(kv["end"]), kv["share"])
+		if core < 0 {
+			ev.AllCores = true
+		}
+		sch.Add(ev)
+		addedNoise = true
+	}
+	if *memNoise != "" {
+		kv := parseKVs(*memNoise)
+		sch.Add(vapro.MemContention(int(kv["node"]), vapro.Seconds(kv["start"]), vapro.Seconds(kv["end"]), kv["slow"]))
+		addedNoise = true
+	}
+	if *ioNoise != "" {
+		kv := parseKVs(*ioNoise)
+		sch.Add(vapro.IOInterference(vapro.Seconds(kv["start"]), vapro.Seconds(kv["end"]), kv["slow"]))
+		addedNoise = true
+	}
+	if *degraded >= 0 {
+		sch.Add(vapro.DegradedMemoryNode(*degraded, 0.845))
+		addedNoise = true
+	}
+	if addedNoise {
+		opt.Noise = sch
+	}
+
+	var plain *vapro.PlainResult
+	if *overhead {
+		base, _ := vapro.App(*appName)
+		plain = vapro.RunPlain(base, opt)
+	}
+
+	opt.Record = *record != ""
+	var res *vapro.Result
+	if *online {
+		on := vapro.RunOnline(app, opt)
+		res = on.Result
+		fmt.Printf("online events: %d (final stage %d)\n", len(on.Events), on.Monitor.Stage())
+		for i, ev := range on.Events {
+			fmt.Printf("  event %d: window %.2fs-%.2fs, %d region(s)\n",
+				i+1, ev.WindowStart.Seconds(), ev.WindowEnd.Seconds(), len(ev.Regions))
+		}
+	} else {
+		res = vapro.Run(app, opt)
+	}
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err == nil {
+			err = res.SaveRecording(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vapro:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded fragment stream to %s\n", *record)
+	}
+	fmt.Println(res.Summary())
+	if plain != nil {
+		fmt.Printf("overhead vs untraced baseline: %.2f%%\n", 100*res.Overhead(plain))
+	}
+	for _, class := range []vapro.Class{vapro.Computation, vapro.Communication, vapro.IO} {
+		if res.Detection.Maps[class] == nil {
+			continue
+		}
+		fmt.Println()
+		fmt.Print(vapro.RenderHeatMap(res, class))
+	}
+	if *jsonOut != "" {
+		data, err := vapro.ReportJSON(res, true)
+		if err == nil {
+			err = os.WriteFile(*jsonOut, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vapro:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	if *pngOut != "" {
+		f, err := os.Create(*pngOut)
+		if err == nil {
+			err = vapro.WriteHeatMapPNG(f, res, vapro.Computation)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vapro:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *pngOut)
+	}
+	if *htmlOut != "" {
+		if err := os.WriteFile(*htmlOut, []byte(vapro.ReportHTML(res)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "vapro:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *htmlOut)
+	}
+	if *svgOut != "" {
+		if err := os.WriteFile(*svgOut, []byte(vapro.RenderHeatMapSVG(res, vapro.Computation)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "vapro:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *svgOut)
+	}
+	if *dotOut != "" {
+		if err := os.WriteFile(*dotOut, []byte(vapro.RenderSTG(res)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "vapro:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *dotOut)
+	}
+	if *diagnoseFlag {
+		for _, class := range []vapro.Class{vapro.Computation, vapro.Communication, vapro.IO} {
+			rep := res.DiagnoseTop(class, vapro.DefaultDiagnoseOptions())
+			if rep == nil || rep.AbnormalFrags == 0 {
+				continue
+			}
+			fmt.Printf("\nprogressive diagnosis (%s):\n%s", class, rep.String())
+		}
+	}
+}

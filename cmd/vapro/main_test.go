@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestParseKVs(t *testing.T) {
+	kv := parseKVs("node=2,start=0.5,end=1.25,share=0.5")
+	want := map[string]float64{"node": 2, "start": 0.5, "end": 1.25, "share": 0.5}
+	for k, v := range want {
+		if kv[k] != v {
+			t.Fatalf("%s = %v, want %v", k, kv[k], v)
+		}
+	}
+	// Whitespace around keys is tolerated; malformed pairs are skipped.
+	kv = parseKVs(" slow =3,,junk")
+	if kv["slow"] != 3 {
+		t.Fatalf("trimmed key: %v", kv)
+	}
+	if len(kv) != 1 {
+		t.Fatalf("junk accepted: %v", kv)
+	}
+}

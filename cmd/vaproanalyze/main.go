@@ -1,0 +1,105 @@
+// Command vaproanalyze re-analyzes a persisted fragment recording: the
+// offline half of the record/analyze workflow. Record a run with
+// `vapro -record run.vrec ...`, then inspect it later (or elsewhere):
+//
+//	vaproanalyze run.vrec
+//	vaproanalyze -diagnose -svg heat.svg run.vrec
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vapro"
+)
+
+func main() {
+	diagnoseFlag := flag.Bool("diagnose", false, "run progressive diagnosis on detected variance")
+	htmlOut := flag.String("html", "", "write a full HTML report to this file")
+	jsonOut := flag.String("json", "", "write a machine-readable JSON summary to this file")
+	pngOut := flag.String("png", "", "write the computation heat map as PNG to this file")
+	svgOut := flag.String("svg", "", "write the computation heat map as SVG to this file")
+	dotOut := flag.String("dot", "", "write the State Transition Graph as Graphviz dot to this file")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vaproanalyze [-diagnose] [-svg out.svg] [-dot out.dot] run.vrec")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vaproanalyze:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	res, err := vapro.AnalyzeRecording(f, vapro.DefaultOptions().Collector.Detect)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vaproanalyze:", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Summary())
+	for _, class := range []vapro.Class{vapro.Computation, vapro.Communication, vapro.IO} {
+		if res.Detection.Maps[class] == nil {
+			continue
+		}
+		fmt.Println()
+		fmt.Print(vapro.RenderHeatMap(res, class))
+	}
+	if *jsonOut != "" {
+		data, err := vapro.ReportJSON(res, true)
+		if err == nil {
+			err = os.WriteFile(*jsonOut, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vapro:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	if *pngOut != "" {
+		f, err := os.Create(*pngOut)
+		if err == nil {
+			err = vapro.WriteHeatMapPNG(f, res, vapro.Computation)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vapro:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *pngOut)
+	}
+	if *htmlOut != "" {
+		if err := os.WriteFile(*htmlOut, []byte(vapro.ReportHTML(res)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "vapro:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *htmlOut)
+	}
+	if *svgOut != "" {
+		if err := os.WriteFile(*svgOut, []byte(vapro.RenderHeatMapSVG(res, vapro.Computation)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "vaproanalyze:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *svgOut)
+	}
+	if *dotOut != "" {
+		if err := os.WriteFile(*dotOut, []byte(vapro.RenderSTG(res)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "vaproanalyze:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *dotOut)
+	}
+	if *diagnoseFlag {
+		for _, class := range []vapro.Class{vapro.Computation, vapro.Communication, vapro.IO} {
+			rep := res.DiagnoseTop(class, vapro.DefaultDiagnoseOptions())
+			if rep == nil || rep.AbnormalFrags == 0 {
+				continue
+			}
+			fmt.Printf("\nprogressive diagnosis (%s):\n%s", class, rep.String())
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Command vaproexp regenerates the paper's tables and figures on the
+// simulated substrates. Run it with one or more experiment ids (fig1,
+// fig5, fig9, fig11, fig12, fig13, fig15, fig17, fig18, table1, table2)
+// or "all".
+//
+// Usage:
+//
+//	vaproexp [-scale small|full] all
+//	vaproexp table1 fig12
+//	vaproexp -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vapro/internal/exp"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "small", "experiment scale: small (laptop seconds) or full (paper-adjacent process counts)")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	scale := exp.Small
+	switch *scaleFlag {
+	case "small":
+	case "full":
+		scale = exp.Full
+	default:
+		fmt.Fprintf(os.Stderr, "vaproexp: unknown scale %q (want small or full)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "vaproexp: no experiments given; try `vaproexp -list` or `vaproexp all`")
+		os.Exit(2)
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = exp.IDs()
+	}
+
+	failed := false
+	for _, id := range ids {
+		e, ok := exp.Get(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "vaproexp: unknown experiment %q\n", id)
+			failed = true
+			continue
+		}
+		start := time.Now()
+		if _, err := e.Run(os.Stdout, scale); err != nil {
+			fmt.Fprintf(os.Stderr, "vaproexp: %s failed: %v\n", id, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("[%s completed in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,26 @@
+// Hardwarebug reproduces the paper's §6.5.1 case study end to end: HPL
+// on a dual-socket node whose second socket suffers the Intel
+// L2-eviction erratum. Vapro's inter-process comparison of the
+// fixed-workload DGEMM fragments exposes the slow socket, and the
+// progressive diagnosis walks the breakdown model down to the L2- and
+// DRAM-bound factors — something per-process profilers cannot do,
+// because without the fixed-workload presupposition the processes are
+// not comparable.
+//
+//	go run ./examples/hardwarebug
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"vapro/internal/exp"
+)
+
+func main() {
+	var w io.Writer = os.Stdout
+	r := exp.Fig15(w, exp.Small)
+	fmt.Printf("\nsummary: socket2/socket1 performance ratio %.2f; huge pages cut the stdev by %.0f%%\n",
+		r.Socket2Perf/r.Socket1Perf, 100*r.StdevReduction)
+}

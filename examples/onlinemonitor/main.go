@@ -1,0 +1,55 @@
+// Onlinemonitor demonstrates Vapro's deployment mode (Figure 8): the
+// server pool analyzes overlapped sliding windows *while the application
+// runs*, raises events the moment a window shows variance, and
+// progressively widens the armed counter groups so the next windows
+// carry the data the finer diagnosis stages need (§4.3) — without ever
+// restarting the application.
+//
+//	go run ./examples/onlinemonitor
+package main
+
+import (
+	"fmt"
+
+	"vapro"
+)
+
+func main() {
+	probe, _ := vapro.App("CG")
+	opt := vapro.DefaultOptions()
+	opt.Ranks = 32
+	// Short analysis periods to match the compressed time axis.
+	opt.Collector.Period = vapro.Duration(200 * 1e6)  // 200ms
+	opt.Collector.Overlap = vapro.Duration(100 * 1e6) // 100ms
+	opt.Collector.Detect.Window = vapro.Duration(50 * 1e6)
+
+	plain := vapro.RunPlain(probe, opt)
+	mid := plain.Makespan.Seconds()
+
+	// A memory hog appears on node 0 partway through.
+	sch := vapro.NewNoise()
+	sch.Add(vapro.MemContention(0, vapro.Seconds(0.55*mid), vapro.Seconds(0.85*mid), 3.0))
+	opt.Noise = sch
+
+	app, _ := vapro.App("CG")
+	res := vapro.RunOnline(app, opt)
+
+	fmt.Println(res.Summary())
+	fmt.Printf("online events: %d (monitor ended at stage %d)\n\n", len(res.Events), res.Monitor.Stage())
+	for i, ev := range res.Events {
+		fmt.Printf("event %d: window %.2fs-%.2fs, %d region(s), armed groups now %d\n",
+			i+1, ev.WindowStart.Seconds(), ev.WindowEnd.Seconds(), len(ev.Regions), ev.ArmedAfter.Count())
+		for _, reg := range ev.Regions {
+			fmt.Printf("  %s ranks %d-%d, mean perf %.2f, loss %.3fs\n",
+				reg.Class, reg.RankMin, reg.RankMax, reg.MeanPerf, float64(reg.LossNS)/1e9)
+		}
+		if i == 0 {
+			if rep := res.Monitor.DiagnoseEvent(&ev, vapro.DefaultDiagnoseOptions()); rep != nil {
+				fmt.Printf("  live diagnosis:\n%s", rep.String())
+			}
+		}
+	}
+	if len(res.Events) == 0 {
+		fmt.Println("no variance detected online")
+	}
+}

@@ -1,0 +1,3 @@
+module vapro
+
+go 1.22

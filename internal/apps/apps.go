@@ -1,0 +1,146 @@
+// Package apps contains the workload skeletons of every application the
+// paper evaluates (§6.1): seven NPB kernels, AMG, CESM, HPL, Nekbone,
+// RAxML, and the multi-threaded set (BERT, PageRank, WordCount, six
+// PARSEC programs). A skeleton reproduces the application's observable
+// structure — the iteration pattern, communication/IO call-sites,
+// computation workload classes, and whether those classes are fixed at
+// compile time or only at runtime — because that structure is all Vapro
+// (and the vSensor baseline) ever sees. See DESIGN.md for the
+// substitution rationale.
+package apps
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"vapro/internal/rt"
+	"vapro/internal/sim"
+	"vapro/internal/vfs"
+)
+
+// Info describes an application for experiments and baselines.
+type Info struct {
+	Name string
+	// Suite groups the app in reports (NPB, PARSEC, ...).
+	Suite string
+	// Threaded apps run all ranks on one node (shared memory).
+	Threaded bool
+	// SourceAvailable is false for closed-source programs (HPL),
+	// blocking source-analysis tools.
+	SourceAvailable bool
+	// HugeCodebase marks programs whose codebase defeats source
+	// analysis in practice (CESM's 500k+ lines).
+	HugeCodebase bool
+	// UsesIO marks apps that need a file system prepared.
+	UsesIO bool
+	// DefaultRanks is the paper's evaluation scale.
+	DefaultRanks int
+}
+
+// App is one runnable workload skeleton. Run is called once per rank,
+// concurrently; implementations must only touch per-rank state or use
+// the runtime's communication primitives.
+type App interface {
+	Info() Info
+	// Prepare creates input files and other shared fixtures. Called
+	// once before the ranks start; fs may be nil for non-IO apps.
+	Prepare(fs *vfs.FS, ranks int)
+	// Run executes the skeleton for one rank.
+	Run(r rt.Runtime)
+}
+
+// Scaler is implemented by every bundled app: ScaleSize multiplies the
+// problem's iteration count by f (clamped to at least one iteration),
+// the rough analogue of choosing an NPB problem class.
+type Scaler interface {
+	ScaleSize(f float64)
+}
+
+// scaleInt applies a scale factor to an iteration count.
+func scaleInt(n *int, f float64) {
+	v := int(float64(*n) * f)
+	if v < 1 {
+		v = 1
+	}
+	*n = v
+}
+
+var registry = struct {
+	sync.Mutex
+	m map[string]func() App
+}{m: make(map[string]func() App)}
+
+// Register adds a constructor under the app's canonical name. Called
+// from init functions of the app files.
+func Register(name string, f func() App) {
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[name]; dup {
+		panic("apps: duplicate registration of " + name)
+	}
+	registry.m[name] = f
+}
+
+// New constructs a registered app by name.
+func New(name string) (App, error) {
+	registry.Lock()
+	f := registry.m[name]
+	registry.Unlock()
+	if f == nil {
+		return nil, fmt.Errorf("apps: unknown application %q", name)
+	}
+	return f(), nil
+}
+
+// Names lists the registered apps, sorted.
+func Names() []string {
+	registry.Lock()
+	defer registry.Unlock()
+	out := make([]string, 0, len(registry.m))
+	for n := range registry.m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- shared workload helpers ---
+
+// kiloIns scales instruction counts so a unit-1 workload runs roughly
+// one microsecond on the default 2.2 GHz machine.
+const kiloIns = 6000
+
+// compute is a convenience builder for a workload of roughly `usec`
+// microseconds of computation with the given memory character.
+func compute(usec float64, memRatio float64, workingSet uint64) sim.Workload {
+	return sim.Workload{
+		Instructions: uint64(usec * kiloIns),
+		MemRatio:     memRatio,
+		WorkingSet:   workingSet,
+	}
+}
+
+// static marks a workload compile-time fixed.
+func static(w sim.Workload) sim.Workload {
+	w.StaticFixed = true
+	return w
+}
+
+// onceWork returns a rank-unique workload for initialization phases:
+// data-dependent setup whose cost differs mildly per rank
+// (decomposition remainders, input partitioning). Executed once per
+// rank, it can never satisfy the per-process repetition requirement, so
+// its time counts against detection coverage — the same effect real
+// initialization has. The spread stays within ±15% so barrier skew
+// after initialization stays realistic.
+func onceWork(r rt.Runtime, usec float64, memRatio float64, ws uint64) sim.Workload {
+	f := math.Exp((r.Rand().Float64()*2 - 1) * 0.15)
+	return compute(usec*f, memRatio, ws)
+}
+
+// ring returns the neighbor ranks of r in a 1-D ring.
+func ring(rank, size int) (left, right int) {
+	return (rank - 1 + size) % size, (rank + 1) % size
+}

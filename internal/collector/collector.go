@@ -1,0 +1,249 @@
+// Package collector implements Vapro's online client/server analysis
+// plane (§3.5, §5): application ranks ship fragment batches to dedicated
+// server processes; each server periodically analyzes the last time
+// window, with windows overlapped so consecutive results concatenate;
+// multiple servers shard clients for scale (one server per 256 clients
+// in the paper's configuration). During progressive diagnosis the
+// server instructs its clients to switch counter groups.
+package collector
+
+import (
+	"sync"
+
+	"vapro/internal/detect"
+	"vapro/internal/interpose"
+	"vapro/internal/sim"
+	"vapro/internal/stg"
+	"vapro/internal/trace"
+)
+
+// Options configures the collection plane.
+type Options struct {
+	// Servers is the number of server processes; clients are sharded
+	// rank-modulo-servers for load balance.
+	Servers int
+	// ClientsPerServer, when > 0, derives Servers from the rank count
+	// (the paper's 1:256 provisioning).
+	ClientsPerServer int
+	// Period is the reporting/analysis period (paper: 15 s of
+	// execution time).
+	Period sim.Duration
+	// Overlap is how much consecutive analysis windows overlap so the
+	// per-period results concatenate seamlessly (paper: overlapped
+	// sliding windows; we default to half a period).
+	Overlap sim.Duration
+	// Detect configures the per-window analysis.
+	Detect detect.Options
+}
+
+// DefaultOptions returns the paper's configuration.
+func DefaultOptions() Options {
+	return Options{
+		ClientsPerServer: 256,
+		Period:           15 * sim.Second,
+		Overlap:          7500 * sim.Millisecond,
+		Detect:           detect.DefaultOptions(),
+	}
+}
+
+// Pool is a set of server processes plus the shared counter-arming
+// handle. It implements interpose.Sink; traced ranks push straight into
+// their shard.
+type Pool struct {
+	opt     Options
+	ranks   int
+	servers []*Server
+	Armed   *interpose.Armed
+}
+
+// NewPool builds the server pool for the given number of client ranks.
+func NewPool(ranks int, opt Options) *Pool {
+	if opt.Period <= 0 {
+		opt.Period = 15 * sim.Second
+	}
+	if opt.Overlap <= 0 || opt.Overlap >= opt.Period {
+		opt.Overlap = opt.Period / 2
+	}
+	n := opt.Servers
+	if n <= 0 {
+		per := opt.ClientsPerServer
+		if per <= 0 {
+			per = 256
+		}
+		n = (ranks + per - 1) / per
+		if n < 1 {
+			n = 1
+		}
+	}
+	p := &Pool{
+		opt:   opt,
+		ranks: ranks,
+		Armed: interpose.NewArmed(sim.GroupBase | sim.GroupTopdownL1 | sim.GroupOS),
+	}
+	for i := 0; i < n; i++ {
+		p.servers = append(p.servers, newServer(i, opt))
+	}
+	return p
+}
+
+// Servers returns the number of server processes.
+func (p *Pool) Servers() int { return len(p.servers) }
+
+// Consume implements interpose.Sink: route the batch to the client's
+// shard.
+func (p *Pool) Consume(rank int, frags []trace.Fragment) {
+	s := p.servers[rank%len(p.servers)]
+	s.consume(frags)
+}
+
+// Graph merges every server's STG into one global graph (used for the
+// final whole-run analysis and reports).
+func (p *Pool) Graph() *stg.Graph {
+	g := stg.New()
+	for _, s := range p.servers {
+		s.mu.Lock()
+		g.Merge(s.graph)
+		s.mu.Unlock()
+	}
+	return g
+}
+
+// FragmentCount returns the total fragments received by all servers.
+func (p *Pool) FragmentCount() int {
+	n := 0
+	for _, s := range p.servers {
+		s.mu.Lock()
+		n += s.graph.NumFragments()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// WindowResults runs the periodic per-window analysis on every server
+// and concatenates the results in time order: the online view of the
+// run. Each window [k·(period−overlap), k·(period−overlap)+period) is
+// analyzed independently, exactly like a server waking up each period.
+func (p *Pool) WindowResults() []*WindowResult {
+	// Merge first: the per-window analysis must see all ranks of a
+	// window even when they are sharded across servers. Each server
+	// analyzes only its own clients in the real deployment; merging
+	// here models the concatenation step of Figure 8.
+	g := p.Graph()
+	var maxEnd int64
+	collect := func(frags []trace.Fragment) {
+		for i := range frags {
+			if e := frags[i].Start + frags[i].Elapsed; e > maxEnd {
+				maxEnd = e
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		collect(e.Fragments)
+	}
+	for _, v := range g.Vertices() {
+		collect(v.Fragments)
+	}
+	if maxEnd == 0 {
+		return nil
+	}
+	stride := int64(p.opt.Period - p.opt.Overlap)
+	if stride <= 0 {
+		stride = int64(p.opt.Period)
+	}
+	var out []*WindowResult
+	for start := int64(0); start < maxEnd; start += stride {
+		end := start + int64(p.opt.Period)
+		sub := subGraph(g, start, end)
+		if sub.NumFragments() == 0 {
+			continue
+		}
+		res := detect.Run(sub, p.ranks, p.opt.Detect)
+		out = append(out, &WindowResult{
+			Start:  sim.Time(start),
+			End:    sim.Time(end),
+			Result: res,
+		})
+	}
+	return out
+}
+
+// WindowResult is one analysis period's outcome.
+type WindowResult struct {
+	Start, End sim.Time
+	Result     *detect.Result
+}
+
+// subGraph extracts the fragments overlapping [start, end).
+func subGraph(g *stg.Graph, start, end int64) *stg.Graph {
+	sub := stg.New()
+	keep := func(f *trace.Fragment) bool {
+		return f.Start < end && f.Start+f.Elapsed > start
+	}
+	for _, e := range g.Edges() {
+		for i := range e.Fragments {
+			if keep(&e.Fragments[i]) {
+				sub.Add(e.Fragments[i])
+			}
+		}
+	}
+	for _, v := range g.Vertices() {
+		for i := range v.Fragments {
+			if keep(&v.Fragments[i]) {
+				sub.Add(v.Fragments[i])
+			}
+		}
+	}
+	return sub
+}
+
+// Server is one analysis server process.
+type Server struct {
+	id  int
+	opt Options
+
+	mu    sync.Mutex
+	graph *stg.Graph
+	// bytesIn tracks the transport volume for the storage-overhead
+	// accounting of §6.2.
+	bytesIn int64
+	batches int
+}
+
+func newServer(id int, opt Options) *Server {
+	return &Server{id: id, opt: opt, graph: stg.New()}
+}
+
+func (s *Server) consume(frags []trace.Fragment) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.graph.AddBatch(frags)
+	s.bytesIn += int64(len(frags)) * 96
+	s.batches++
+}
+
+// Stats summarizes a pool's transport volume.
+type Stats struct {
+	Servers   int
+	Fragments int
+	BytesIn   int64
+	Batches   int
+	// BytesPerRankSecond is the storage rate per client (§6.2 reports
+	// 12.8-47.4 KB/s).
+	BytesPerRankSecond float64
+}
+
+// Stats returns transport statistics given the run's virtual makespan.
+func (p *Pool) Stats(makespan sim.Duration) Stats {
+	st := Stats{Servers: len(p.servers)}
+	for _, s := range p.servers {
+		s.mu.Lock()
+		st.Fragments += s.graph.NumFragments()
+		st.BytesIn += s.bytesIn
+		st.Batches += s.batches
+		s.mu.Unlock()
+	}
+	if sec := makespan.Seconds(); sec > 0 && p.ranks > 0 {
+		st.BytesPerRankSecond = float64(st.BytesIn) / sec / float64(p.ranks)
+	}
+	return st
+}

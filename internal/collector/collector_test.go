@@ -1,0 +1,142 @@
+package collector
+
+import (
+	"testing"
+
+	"vapro/internal/detect"
+	"vapro/internal/sim"
+	"vapro/internal/trace"
+)
+
+func frag(rank int, start, elapsed int64) trace.Fragment {
+	return trace.Fragment{
+		Rank: rank, Kind: trace.Comp, From: 1, State: 2,
+		Start: start, Elapsed: elapsed,
+		Counters: trace.CountersView{TotIns: 1000, Cycles: 500},
+	}
+}
+
+func TestPoolSizing(t *testing.T) {
+	cases := []struct{ ranks, servers int }{
+		{1, 1}, {256, 1}, {257, 2}, {1024, 4}, {2048, 8},
+	}
+	for _, c := range cases {
+		p := NewPool(c.ranks, DefaultOptions())
+		if p.Servers() != c.servers {
+			t.Fatalf("%d ranks → %d servers, want %d (1:256)", c.ranks, p.Servers(), c.servers)
+		}
+	}
+	// Explicit server count wins.
+	opt := DefaultOptions()
+	opt.Servers = 3
+	if p := NewPool(1000, opt); p.Servers() != 3 {
+		t.Fatal("explicit server count ignored")
+	}
+}
+
+func TestSharding(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Servers = 4
+	p := NewPool(16, opt)
+	for rank := 0; rank < 16; rank++ {
+		p.Consume(rank, []trace.Fragment{frag(rank, 0, 100)})
+	}
+	if p.FragmentCount() != 16 {
+		t.Fatalf("fragments: %d", p.FragmentCount())
+	}
+	// Each server holds exactly its shard (16/4).
+	for i, s := range p.servers {
+		s.mu.Lock()
+		n := s.graph.NumFragments()
+		s.mu.Unlock()
+		if n != 4 {
+			t.Fatalf("server %d holds %d fragments, want 4", i, n)
+		}
+	}
+}
+
+func TestGraphMerge(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Servers = 2
+	p := NewPool(4, opt)
+	for rank := 0; rank < 4; rank++ {
+		for i := 0; i < 6; i++ {
+			p.Consume(rank, []trace.Fragment{frag(rank, int64(i)*1000, 500)})
+		}
+	}
+	g := p.Graph()
+	if g.NumFragments() != 24 {
+		t.Fatalf("merged fragments: %d", g.NumFragments())
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("merged edges: %d", g.NumEdges())
+	}
+}
+
+func TestWindowResultsOverlap(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Period = 10 * sim.Millisecond
+	opt.Overlap = 5 * sim.Millisecond
+	opt.Detect.Window = sim.Millisecond
+	p := NewPool(2, opt)
+	// 30ms of fragments per rank.
+	for rank := 0; rank < 2; rank++ {
+		for i := 0; i < 30; i++ {
+			p.Consume(rank, []trace.Fragment{frag(rank, int64(i)*1_000_000, 900_000)})
+		}
+	}
+	wins := p.WindowResults()
+	if len(wins) < 5 {
+		t.Fatalf("expected ≥5 overlapped windows over 30ms, got %d", len(wins))
+	}
+	// Consecutive windows overlap by half a period.
+	for i := 1; i < len(wins); i++ {
+		if wins[i].Start-wins[i-1].Start != sim.Time(opt.Period-opt.Overlap) {
+			t.Fatalf("window stride wrong: %v → %v", wins[i-1].Start, wins[i].Start)
+		}
+		if wins[i].Start >= wins[i-1].End {
+			t.Fatal("windows do not overlap")
+		}
+	}
+	for _, w := range wins {
+		if w.Result == nil || len(w.Result.Samples[detect.Computation]) == 0 {
+			t.Fatal("window analysis empty")
+		}
+	}
+}
+
+func TestWindowResultsEmpty(t *testing.T) {
+	p := NewPool(2, DefaultOptions())
+	if wins := p.WindowResults(); wins != nil {
+		t.Fatalf("empty pool produced windows: %d", len(wins))
+	}
+}
+
+func TestStats(t *testing.T) {
+	p := NewPool(4, DefaultOptions())
+	for rank := 0; rank < 4; rank++ {
+		p.Consume(rank, []trace.Fragment{frag(rank, 0, 100), frag(rank, 100, 100)})
+	}
+	st := p.Stats(2 * sim.Second)
+	if st.Fragments != 8 || st.Batches != 4 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.BytesIn != 8*96 {
+		t.Fatalf("bytes: %d", st.BytesIn)
+	}
+	// 8×96 bytes / 2s / 4 ranks = 96 B/s/rank.
+	if st.BytesPerRankSecond != 96 {
+		t.Fatalf("rate: %v", st.BytesPerRankSecond)
+	}
+}
+
+func TestArmedHandleShared(t *testing.T) {
+	p := NewPool(4, DefaultOptions())
+	if p.Armed == nil {
+		t.Fatal("pool must expose the armed-groups handle")
+	}
+	p.Armed.Set(sim.GroupAll)
+	if p.Armed.Get() != sim.GroupAll {
+		t.Fatal("armed handle not settable")
+	}
+}

@@ -1,0 +1,272 @@
+package collector
+
+import (
+	"sync"
+
+	"vapro/internal/cluster"
+	"vapro/internal/detect"
+	"vapro/internal/diagnose"
+	"vapro/internal/sim"
+	"vapro/internal/trace"
+)
+
+// Monitor is the online analysis loop of Figure 8: as fragment batches
+// stream in, it watches the virtual-time watermark, analyzes each
+// completed (overlapped) window, reports detected variance immediately,
+// and — when a window shows variance — progressively widens the armed
+// counter groups so subsequent windows carry the counters the next
+// diagnosis stage needs. This is the deployment mode of the real tool;
+// the whole-run analysis in core.RunTraced is the offline equivalent.
+//
+// Wrap it around a Pool as the interpose.Sink:
+//
+//	pool := collector.NewPool(ranks, copt)
+//	mon := collector.NewMonitor(pool, mopt)
+//	... use mon as the sink for traced ranks ...
+//	events := mon.Drain()
+type Monitor struct {
+	pool *Pool
+	opt  MonitorOptions
+
+	mu sync.Mutex
+	// watermark is the minimum completed virtual time across ranks —
+	// a window is analyzable once every rank has advanced past its
+	// end.
+	rankHigh  map[int]sim.Time
+	nextStart sim.Time
+	events    []Event
+	stage     int
+}
+
+// MonitorOptions configures the online loop.
+type MonitorOptions struct {
+	// Ranks the monitor waits for before closing a window.
+	Ranks int
+	// Period and Overlap mirror the pool's analysis windows.
+	Period, Overlap sim.Duration
+	// Detect configures the per-window analysis.
+	Detect detect.Options
+	// MinRegionLoss filters reported regions: a region must have lost
+	// at least this much time to trigger an event.
+	MinRegionLoss sim.Duration
+	// Classes selects which fragment classes may trigger events.
+	// Defaults to computation and IO: communication "performance" is
+	// elapsed-based and therefore wait-dominated (§3.3), which makes
+	// it too jittery for unattended alerting; opt in explicitly when
+	// network variance is the target.
+	Classes []detect.Class
+	// MaxStage caps how far the progressive arming may descend.
+	MaxStage int
+}
+
+// DefaultMonitorOptions mirrors the offline defaults.
+func DefaultMonitorOptions(ranks int) MonitorOptions {
+	o := DefaultOptions()
+	return MonitorOptions{
+		Ranks:         ranks,
+		Period:        o.Period,
+		Overlap:       o.Overlap,
+		Detect:        o.Detect,
+		MinRegionLoss: 10 * sim.Millisecond,
+		MaxStage:      3,
+		Classes:       []detect.Class{detect.Computation, detect.IOClass},
+	}
+}
+
+// Event is one online finding: a window analysis that detected variance,
+// plus the counter-group action the monitor took in response.
+type Event struct {
+	WindowStart, WindowEnd sim.Time
+	Regions                []detect.Region
+	// ArmedAfter is the counter-group set active after this event
+	// (widened when the monitor escalated a diagnosis stage).
+	ArmedAfter sim.Group
+	// Stage is the progressive stage the monitor is at after the event.
+	Stage int
+}
+
+// NewMonitor wraps pool with an online analysis loop.
+func NewMonitor(pool *Pool, opt MonitorOptions) *Monitor {
+	if opt.Ranks <= 0 {
+		opt.Ranks = pool.ranks
+	}
+	if opt.Period <= 0 {
+		opt.Period = 15 * sim.Second
+	}
+	if opt.Overlap <= 0 || opt.Overlap >= opt.Period {
+		opt.Overlap = opt.Period / 2
+	}
+	if opt.MaxStage <= 0 {
+		opt.MaxStage = 3
+	}
+	return &Monitor{
+		pool:     pool,
+		opt:      opt,
+		rankHigh: make(map[int]sim.Time),
+		stage:    1,
+	}
+}
+
+// Consume implements interpose.Sink: forward to the pool, advance the
+// rank watermark, and analyze any window every rank has passed.
+func (m *Monitor) Consume(rank int, frags []trace.Fragment) {
+	m.pool.Consume(rank, frags)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	high := m.rankHigh[rank]
+	for i := range frags {
+		if e := sim.Time(frags[i].Start + frags[i].Elapsed); e > high {
+			high = e
+		}
+	}
+	m.rankHigh[rank] = high
+	m.analyzeReady()
+}
+
+// watermarkLocked returns the minimum high-water mark across all ranks
+// seen so far (0 until every rank has reported at least once).
+func (m *Monitor) watermarkLocked() sim.Time {
+	if len(m.rankHigh) < m.opt.Ranks {
+		return 0
+	}
+	var min sim.Time = 1 << 62
+	for _, t := range m.rankHigh {
+		if t < min {
+			min = t
+		}
+	}
+	return min
+}
+
+// analyzeReady runs the analysis for every window whose end the
+// watermark has passed. Caller holds m.mu.
+func (m *Monitor) analyzeReady() {
+	stride := m.opt.Period - m.opt.Overlap
+	for {
+		end := m.nextStart.Add(m.opt.Period)
+		if m.watermarkLocked() < end {
+			return
+		}
+		m.analyzeWindowLocked(m.nextStart, end)
+		m.nextStart = m.nextStart.Add(stride)
+	}
+}
+
+func (m *Monitor) analyzeWindowLocked(start, end sim.Time) {
+	g := subGraph(m.pool.Graph(), int64(start), int64(end))
+	if g.NumFragments() == 0 {
+		return
+	}
+	res := detect.Run(g, m.opt.Ranks, m.opt.Detect)
+	classOK := func(c detect.Class) bool {
+		if len(m.opt.Classes) == 0 {
+			return true
+		}
+		for _, want := range m.opt.Classes {
+			if c == want {
+				return true
+			}
+		}
+		return false
+	}
+	var regions []detect.Region
+	for _, reg := range res.Regions {
+		if classOK(reg.Class) && sim.Duration(reg.LossNS) >= m.opt.MinRegionLoss {
+			regions = append(regions, reg)
+		}
+	}
+	if len(regions) == 0 {
+		return
+	}
+	// Variance in this window: escalate one diagnosis stage by arming
+	// the next counter groups, so the following windows carry the data
+	// the finer factors need (§4.3's one-period-per-stage trade-off).
+	if m.stage < m.opt.MaxStage {
+		m.stage++
+		armed := m.pool.Armed.Get()
+		switch m.stage {
+		case 2:
+			armed |= sim.GroupBackend
+		default:
+			armed |= sim.GroupMemory | sim.GroupExtra
+		}
+		m.pool.Armed.Set(armed)
+	}
+	m.events = append(m.events, Event{
+		WindowStart: start,
+		WindowEnd:   end,
+		Regions:     regions,
+		ArmedAfter:  m.pool.Armed.Get(),
+		Stage:       m.stage,
+	})
+}
+
+// Flush analyzes any remaining partial window at the end of the run.
+func (m *Monitor) Flush() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var max sim.Time
+	for _, t := range m.rankHigh {
+		if t > max {
+			max = t
+		}
+	}
+	for m.nextStart < max {
+		m.analyzeWindowLocked(m.nextStart, m.nextStart.Add(m.opt.Period))
+		m.nextStart = m.nextStart.Add(m.opt.Period - m.opt.Overlap)
+	}
+}
+
+// Drain returns the events recorded so far and clears the queue.
+func (m *Monitor) Drain() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := m.events
+	m.events = nil
+	return out
+}
+
+// Stage returns the current progressive stage (1 until variance is
+// first detected).
+func (m *Monitor) Stage() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stage
+}
+
+// DiagnoseEvent runs the progressive diagnosis for an online event's
+// top region against the pool's accumulated data. Fragments are
+// re-clustered per edge so only comparable fixed-workload populations
+// are differenced — mixing workload classes would misattribute their
+// intrinsic differences as variance.
+func (m *Monitor) DiagnoseEvent(ev *Event, opt diagnose.Options) *diagnose.Report {
+	if len(ev.Regions) == 0 {
+		return nil
+	}
+	g := m.pool.Graph()
+	var clusters [][]trace.Fragment
+	seen := map[trace.EdgeKey]bool{}
+	for _, s := range ev.Regions[0].Samples {
+		if !s.ClusterRef.IsEdge || seen[s.ClusterRef.Edge] {
+			continue
+		}
+		seen[s.ClusterRef.Edge] = true
+		e := g.Edge(s.ClusterRef.Edge)
+		if e == nil {
+			continue
+		}
+		cl := cluster.Run(e.Fragments, m.opt.Detect.Cluster)
+		for ci := range cl.Clusters {
+			if !cl.Clusters[ci].Fixed {
+				continue
+			}
+			sub := make([]trace.Fragment, 0, len(cl.Clusters[ci].Members))
+			for _, idx := range cl.Clusters[ci].Members {
+				sub = append(sub, e.Fragments[idx])
+			}
+			clusters = append(clusters, sub)
+		}
+	}
+	return diagnose.New(opt).Run(diagnose.SliceSource(clusters))
+}

@@ -1,0 +1,123 @@
+package collector
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+
+	"vapro/internal/stg"
+	"vapro/internal/trace"
+)
+
+// Recording is a persisted fragment stream: everything the analysis
+// side needs to re-run detection and diagnosis later, offline. The
+// production workflow this enables — record cheaply during the run,
+// analyze after the fact or on another machine — is how the paper's
+// tool is used when no server capacity is spared at run time.
+type Recording struct {
+	// Version guards the wire format.
+	Version int
+	// Ranks is the client count the stream came from.
+	Ranks int
+	// MakespanNS is the run's virtual duration.
+	MakespanNS int64
+	// SiteNames maps state keys to human-readable call-sites.
+	SiteNames map[uint64]string
+	// Batches is the raw fragment stream.
+	Batches []Batch
+}
+
+// recordingVersion is bumped on incompatible format changes.
+const recordingVersion = 1
+
+// WriteRecording serializes rec with gob.
+func WriteRecording(w io.Writer, rec *Recording) error {
+	cp := *rec
+	cp.Version = recordingVersion
+	return gob.NewEncoder(w).Encode(&cp)
+}
+
+// ReadRecording deserializes a recording and validates its version.
+func ReadRecording(r io.Reader) (*Recording, error) {
+	var rec Recording
+	if err := gob.NewDecoder(r).Decode(&rec); err != nil {
+		return nil, fmt.Errorf("collector: corrupt recording: %w", err)
+	}
+	if rec.Version != recordingVersion {
+		return nil, fmt.Errorf("collector: recording version %d, want %d", rec.Version, recordingVersion)
+	}
+	if rec.Ranks <= 0 {
+		return nil, fmt.Errorf("collector: recording without ranks")
+	}
+	return &rec, nil
+}
+
+// Graph rebuilds the STG from the recorded stream.
+func (rec *Recording) Graph() *stg.Graph {
+	g := stg.New()
+	for _, b := range rec.Batches {
+		g.AddBatch(b.Fragments)
+	}
+	for k, n := range rec.SiteNames {
+		g.SetName(k, n)
+	}
+	return g
+}
+
+// FragmentCount returns the total recorded fragments.
+func (rec *Recording) FragmentCount() int {
+	n := 0
+	for _, b := range rec.Batches {
+		n += len(b.Fragments)
+	}
+	return n
+}
+
+// RecordingSink accumulates batches for later persistence. The zero
+// value is ready to use. It implements interpose.Sink and can wrap
+// another sink (e.g. a Pool) so recording and live analysis can run
+// together.
+type RecordingSink struct {
+	mu   sync.Mutex
+	next interface {
+		Consume(rank int, frags []trace.Fragment)
+	}
+	batches []Batch
+}
+
+// NewRecordingSink creates a sink; next may be nil (record only).
+func NewRecordingSink(next interface {
+	Consume(rank int, frags []trace.Fragment)
+}) *RecordingSink {
+	return &RecordingSink{next: next}
+}
+
+// Consume implements interpose.Sink.
+func (s *RecordingSink) Consume(rank int, frags []trace.Fragment) {
+	cp := make([]trace.Fragment, len(frags))
+	copy(cp, frags)
+	s.mu.Lock()
+	s.batches = append(s.batches, Batch{Rank: rank, Fragments: cp})
+	s.mu.Unlock()
+	if s.next != nil {
+		s.next.Consume(rank, frags)
+	}
+}
+
+// Recording assembles the persisted form.
+func (s *RecordingSink) Recording(ranks int, makespanNS int64, siteNames map[uint64]string) *Recording {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &Recording{
+		Ranks:      ranks,
+		MakespanNS: makespanNS,
+		SiteNames:  siteNames,
+		Batches:    s.batches,
+	}
+}
+
+// encodeRaw writes a recording without version stamping (tests only).
+func encodeRaw(w io.Writer, rec *Recording) error {
+	return gob.NewEncoder(w).Encode(rec)
+}

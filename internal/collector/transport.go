@@ -1,0 +1,172 @@
+package collector
+
+import (
+	"encoding/gob"
+	"io"
+	"net"
+	"sync"
+
+	"vapro/internal/trace"
+)
+
+// Wire transport: in the real deployment the client library ships
+// fragment batches to the server processes over the management network.
+// This file implements that path with gob over net.Conn so the
+// client/server split can run across real processes; the in-process Pool
+// remains the default because the simulation runs everything in one
+// address space.
+
+// Batch is the wire unit: one client's buffered fragments.
+type Batch struct {
+	Rank      int
+	Fragments []trace.Fragment
+}
+
+// WireClient ships fragment batches over a connection. It implements
+// interpose.Sink, so a traced rank can write straight to a remote
+// server. Safe for use by one rank; open one client per rank (as the
+// real library does) or guard externally.
+type WireClient struct {
+	mu   sync.Mutex
+	conn io.WriteCloser
+	enc  *gob.Encoder
+	err  error
+	// n counts encoded payload bytes (via a counting writer).
+	n countingWriter
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// NewWireClient wraps conn.
+func NewWireClient(conn io.WriteCloser) *WireClient {
+	c := &WireClient{conn: conn}
+	c.n.w = conn
+	c.enc = gob.NewEncoder(&c.n)
+	return c
+}
+
+// Consume implements interpose.Sink by encoding the batch onto the wire.
+// Transport errors are deliberately swallowed after the first (the
+// client library must never take the application down); Err reports the
+// sticky error.
+func (c *WireClient) Consume(rank int, frags []trace.Fragment) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return
+	}
+	c.err = c.enc.Encode(Batch{Rank: rank, Fragments: frags})
+}
+
+// Err returns the first transport error, if any.
+func (c *WireClient) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// BytesOut returns the total encoded bytes written.
+func (c *WireClient) BytesOut() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n.n
+}
+
+// Close flushes and closes the connection.
+func (c *WireClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// WireServer accepts connections and feeds decoded batches into a sink
+// (normally a Pool or Monitor).
+type WireServer struct {
+	ln   net.Listener
+	sink interface {
+		Consume(rank int, frags []trace.Fragment)
+	}
+	wg sync.WaitGroup
+
+	mu      sync.Mutex
+	batches int
+	err     error
+}
+
+// ServeWire starts accepting on ln and decoding into sink until ln is
+// closed. Call Wait to block until every connection drains.
+func ServeWire(ln net.Listener, sink interface {
+	Consume(rank int, frags []trace.Fragment)
+}) *WireServer {
+	s := &WireServer{ln: ln, sink: sink}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+func (s *WireServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *WireServer) serveConn(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	for {
+		var b Batch
+		if err := dec.Decode(&b); err != nil {
+			if err != io.EOF {
+				s.mu.Lock()
+				if s.err == nil {
+					s.err = err
+				}
+				s.mu.Unlock()
+			}
+			return
+		}
+		s.sink.Consume(b.Rank, b.Fragments)
+		s.mu.Lock()
+		s.batches++
+		s.mu.Unlock()
+	}
+}
+
+// Close stops accepting and waits for in-flight connections.
+func (s *WireServer) Close() error {
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Batches returns how many batches were decoded.
+func (s *WireServer) Batches() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.batches
+}
+
+// Err returns the first decode error (io.EOF excluded).
+func (s *WireServer) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}

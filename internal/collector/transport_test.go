@@ -1,0 +1,103 @@
+package collector
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"vapro/internal/trace"
+)
+
+func TestWireTransportRoundTrip(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(4, DefaultOptions())
+	srv := ServeWire(ln, pool)
+
+	// Four clients, one per rank, like the real library.
+	for rank := 0; rank < 4; rank++ {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := NewWireClient(conn)
+		for i := 0; i < 5; i++ {
+			c.Consume(rank, []trace.Fragment{frag(rank, int64(i)*1000, 500)})
+		}
+		if c.Err() != nil {
+			t.Fatal(c.Err())
+		}
+		if c.BytesOut() == 0 {
+			t.Fatal("nothing written")
+		}
+		c.Close()
+	}
+
+	// Wait for the server to drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for pool.FragmentCount() < 20 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	srv.Close()
+
+	if got := pool.FragmentCount(); got != 20 {
+		t.Fatalf("server received %d fragments, want 20", got)
+	}
+	if srv.Batches() != 20 {
+		t.Fatalf("batches: %d", srv.Batches())
+	}
+	if srv.Err() != nil {
+		t.Fatalf("server error: %v", srv.Err())
+	}
+}
+
+func TestWireClientStickyError(t *testing.T) {
+	conn, _ := net.Pipe()
+	conn.Close()
+	c := NewWireClient(conn)
+	c.Consume(0, []trace.Fragment{frag(0, 0, 1)})
+	if c.Err() == nil {
+		t.Fatal("write to closed pipe must error")
+	}
+	// Further writes are swallowed, not panics.
+	c.Consume(0, []trace.Fragment{frag(0, 0, 1)})
+}
+
+func TestWireFragmentFidelity(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(1, DefaultOptions())
+	srv := ServeWire(ln, pool)
+
+	want := trace.Fragment{
+		Rank: 0, Kind: trace.Comm, From: 7, State: 9,
+		Start: 123, Elapsed: 456,
+		Counters: trace.CountersView{TotIns: 11, Cycles: 22, SlotsDRAM: 33, InvolCS: 44},
+		Args:     trace.Args{Op: "Send", Bytes: 1024, Peer: 3, Tag: 5},
+		Static:   true, Truth: 99,
+	}
+	conn, _ := net.Dial("tcp", ln.Addr().String())
+	c := NewWireClient(conn)
+	c.Consume(0, []trace.Fragment{want})
+	c.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for pool.FragmentCount() < 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	srv.Close()
+
+	g := pool.Graph()
+	v := g.Vertex(9)
+	if v == nil || len(v.Fragments) != 1 {
+		t.Fatal("fragment not delivered")
+	}
+	got := v.Fragments[0]
+	if got != want {
+		t.Fatalf("fragment mutated in transit:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -1,0 +1,109 @@
+package collector
+
+import (
+	"sync"
+
+	"vapro/internal/stg"
+	"vapro/internal/trace"
+)
+
+// Tree is an MRNet-style aggregation network (§5: "Further optimizations
+// are feasible with data collection frameworks such as MRNet, which
+// organizes servers into a tree-like structure"): clients feed leaf
+// aggregators, each internal level merges its children's STGs, and the
+// root holds the global graph. Aggregation work per node stays bounded
+// by the fan-out instead of the total client count.
+type Tree struct {
+	fanout int
+	leaves []*treeNode
+	root   *treeNode
+	levels int
+}
+
+type treeNode struct {
+	mu       sync.Mutex
+	graph    *stg.Graph
+	children []*treeNode
+	batches  int
+}
+
+// NewTree builds an aggregation tree for `ranks` clients with the given
+// fan-out (children per internal node). Leaf count is ceil(ranks/fanout).
+func NewTree(ranks, fanout int) *Tree {
+	if fanout < 2 {
+		fanout = 2
+	}
+	if ranks < 1 {
+		ranks = 1
+	}
+	nLeaves := (ranks + fanout - 1) / fanout
+	if nLeaves < 1 {
+		nLeaves = 1
+	}
+	t := &Tree{fanout: fanout}
+	level := make([]*treeNode, nLeaves)
+	for i := range level {
+		level[i] = &treeNode{graph: stg.New()}
+	}
+	t.leaves = level
+	t.levels = 1
+	for len(level) > 1 {
+		var next []*treeNode
+		for i := 0; i < len(level); i += fanout {
+			end := i + fanout
+			if end > len(level) {
+				end = len(level)
+			}
+			parent := &treeNode{graph: stg.New(), children: level[i:end]}
+			next = append(next, parent)
+		}
+		level = next
+		t.levels++
+	}
+	t.root = level[0]
+	return t
+}
+
+// Levels returns the tree depth (1 = a single node).
+func (t *Tree) Levels() int { return t.levels }
+
+// Leaves returns the number of leaf aggregators.
+func (t *Tree) Leaves() int { return len(t.leaves) }
+
+// Consume implements interpose.Sink: route the batch to the client's
+// leaf aggregator.
+func (t *Tree) Consume(rank int, frags []trace.Fragment) {
+	leaf := t.leaves[(rank/t.fanout)%len(t.leaves)]
+	leaf.mu.Lock()
+	leaf.graph.AddBatch(frags)
+	leaf.batches++
+	leaf.mu.Unlock()
+}
+
+// Reduce propagates every leaf's data up the tree, level by level, and
+// returns the root's merged STG. Each internal node merges only its own
+// children (the bounded-work property); the per-node merge sizes are
+// returned for instrumentation.
+func (t *Tree) Reduce() *stg.Graph {
+	var up func(n *treeNode) *stg.Graph
+	up = func(n *treeNode) *stg.Graph {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		for _, c := range n.children {
+			n.graph.Merge(up(c))
+		}
+		return n.graph
+	}
+	return up(t.root)
+}
+
+// Batches returns the total batches received across leaves.
+func (t *Tree) Batches() int {
+	n := 0
+	for _, l := range t.leaves {
+		l.mu.Lock()
+		n += l.batches
+		l.mu.Unlock()
+	}
+	return n
+}

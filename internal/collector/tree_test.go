@@ -1,0 +1,66 @@
+package collector
+
+import (
+	"testing"
+
+	"vapro/internal/trace"
+)
+
+func trace_frag(rank int, start int64) []trace.Fragment {
+	return []trace.Fragment{{
+		Rank: rank, Kind: trace.Comp, From: 1, State: 2,
+		Start: start, Elapsed: 500,
+		Counters: trace.CountersView{TotIns: 1000, Cycles: 500},
+	}}
+}
+
+func TestTreeShape(t *testing.T) {
+	cases := []struct {
+		ranks, fanout, leaves, levels int
+	}{
+		{1, 4, 1, 1},
+		{16, 4, 4, 2},
+		{256, 4, 64, 4},   // 64 -> 16 -> 4 -> 1
+		{1024, 8, 128, 4}, // 128 -> 16 -> 2 -> 1
+	}
+	for _, c := range cases {
+		tr := NewTree(c.ranks, c.fanout)
+		if tr.Leaves() != c.leaves {
+			t.Fatalf("ranks=%d fanout=%d leaves=%d, want %d", c.ranks, c.fanout, tr.Leaves(), c.leaves)
+		}
+		if tr.Levels() != c.levels {
+			t.Fatalf("ranks=%d fanout=%d levels=%d, want %d", c.ranks, c.fanout, tr.Levels(), c.levels)
+		}
+	}
+}
+
+func TestTreeReducePreservesFragments(t *testing.T) {
+	tr := NewTree(64, 4)
+	total := 0
+	for rank := 0; rank < 64; rank++ {
+		for i := 0; i < 3; i++ {
+			tr.Consume(rank, trace_frag(rank, int64(i)*1000))
+			total++
+		}
+	}
+	g := tr.Reduce()
+	if g.NumFragments() != total {
+		t.Fatalf("root graph has %d fragments, want %d", g.NumFragments(), total)
+	}
+	if tr.Batches() != total {
+		t.Fatalf("batches: %d", tr.Batches())
+	}
+}
+
+func TestTreeReduceIdempotentTopology(t *testing.T) {
+	// Reducing twice must not duplicate fragments (Merge into the same
+	// root would; the API contract is one Reduce per collection epoch,
+	// but a second call on an unchanged tree must at least not lose
+	// data).
+	tr := NewTree(8, 2)
+	tr.Consume(0, trace_frag(0, 0))
+	g1 := tr.Reduce()
+	if g1.NumFragments() != 1 {
+		t.Fatalf("first reduce: %d", g1.NumFragments())
+	}
+}

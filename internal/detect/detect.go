@@ -1,0 +1,445 @@
+// Package detect implements §3.5: performance variance detection over
+// fixed-workload fragments. Per cluster, every fragment's performance
+// is normalized against the fastest member (1.0 = best); normalized
+// values from all clusters are merged — weighted by elapsed time — into
+// per-rank, per-window series separately for computation, communication
+// and IO; a region-growing pass over the resulting heat map locates
+// contiguous low-performance regions and quantifies their impact.
+package detect
+
+import (
+	"math"
+	"sort"
+
+	"vapro/internal/cluster"
+	"vapro/internal/sim"
+	"vapro/internal/stg"
+	"vapro/internal/trace"
+)
+
+// Options configures detection.
+type Options struct {
+	// Cluster configures the fixed-workload identification.
+	Cluster cluster.Options
+	// Window is the heat-map time bucket width.
+	Window sim.Duration
+	// Threshold is the normalized performance below which a cell is a
+	// variance candidate (paper: 0.85).
+	Threshold float64
+	// MinRegionCells discards regions smaller than this many heat-map
+	// cells (single-cell blips are usually PMU noise).
+	MinRegionCells int
+}
+
+// DefaultOptions returns the paper's configuration.
+func DefaultOptions() Options {
+	return Options{
+		Cluster:        cluster.DefaultOptions(),
+		Window:         500 * sim.Millisecond,
+		Threshold:      0.85,
+		MinRegionCells: 1,
+	}
+}
+
+// Class selects which fragment population a heat map describes.
+type Class int
+
+// Heat-map classes, reported separately as the paper does.
+const (
+	Computation Class = iota
+	Communication
+	IOClass
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case Computation:
+		return "computation"
+	case Communication:
+		return "communication"
+	default:
+		return "io"
+	}
+}
+
+// ClassOf maps a fragment kind to its heat-map class.
+func ClassOf(k trace.Kind) Class {
+	switch k {
+	case trace.Comp, trace.Probe:
+		return Computation
+	case trace.IO:
+		return IOClass
+	default:
+		return Communication
+	}
+}
+
+// Sample is one normalized-performance observation.
+type Sample struct {
+	Rank    int
+	Start   int64 // ns
+	Elapsed int64 // ns
+	Perf    float64
+	// Covered marks samples whose snippet repeats within their own
+	// rank (the coverage rule); samples that exist only through
+	// cross-rank pooling (an init phase, HPL's once-per-rank panels)
+	// still support inter-process detection but should be excluded
+	// from temporal loss metrics.
+	Covered bool
+	// ClusterRef identifies the owning cluster for diagnosis drill-down.
+	ClusterRef ClusterRef
+	// FragIndex indexes the fragment inside its edge/vertex fragment
+	// slice.
+	FragIndex int
+}
+
+// ClusterRef names a cluster: the STG element plus the cluster index.
+type ClusterRef struct {
+	IsEdge  bool
+	Edge    trace.EdgeKey
+	Vertex  uint64
+	Cluster int
+}
+
+// HeatMap is a rank × window grid of weighted-average normalized
+// performance. Cells with no observations hold NaN.
+type HeatMap struct {
+	Class   Class
+	Ranks   int
+	Windows int
+	Window  sim.Duration
+	Origin  sim.Time
+	// Cells is row-major: Cells[rank*Windows + win].
+	Cells []float64
+}
+
+// At returns the cell value (NaN if empty).
+func (h *HeatMap) At(rank, win int) float64 { return h.Cells[rank*h.Windows+win] }
+
+// Region is a contiguous low-performance area found by region growing.
+type Region struct {
+	Class    Class
+	RankMin  int
+	RankMax  int
+	WinMin   int
+	WinMax   int
+	Cells    int
+	MeanPerf float64
+	// LossNS is the quantified performance loss: Σ (1-perf)·elapsed
+	// over the member samples, in ns of lost time.
+	LossNS int64
+	// Samples are the member observations (for diagnosis).
+	Samples []Sample
+}
+
+// StartTime returns the virtual start of the region.
+func (r *Region) StartTime(h *HeatMap) sim.Time {
+	return h.Origin.Add(sim.Duration(r.WinMin) * h.Window)
+}
+
+// EndTime returns the virtual end of the region.
+func (r *Region) EndTime(h *HeatMap) sim.Time {
+	return h.Origin.Add(sim.Duration(r.WinMax+1) * h.Window)
+}
+
+// Result is the outcome of a detection pass.
+type Result struct {
+	Maps    map[Class]*HeatMap
+	Regions []Region
+	// Samples per class (time-ordered), the raw normalized series.
+	Samples map[Class][]Sample
+	// Coverage is the fraction of total observed time attributable to
+	// repeated fixed-workload fragments, per class and overall (§6.2).
+	Coverage map[Class]float64
+	// OverallCoverage weights classes by their total time.
+	OverallCoverage float64
+	// FixedClusters / SmallClusters count cluster populations.
+	FixedClusters, SmallClusters int
+}
+
+// Run clusters every STG edge and vertex of g, normalizes performance
+// within each fixed cluster, and builds heat maps and variance regions
+// for ranks [0, ranks).
+func Run(g *stg.Graph, ranks int, opt Options) *Result {
+	if opt.Window <= 0 {
+		opt.Window = 500 * sim.Millisecond
+	}
+	if opt.Threshold <= 0 {
+		opt.Threshold = 0.85
+	}
+	res := &Result{
+		Maps:     make(map[Class]*HeatMap),
+		Samples:  make(map[Class][]Sample),
+		Coverage: make(map[Class]float64),
+	}
+
+	totalTime := map[Class]int64{}
+	fixedTime := map[Class]int64{}
+
+	minFrag := opt.Cluster.MinFragments
+	if minFrag <= 0 {
+		minFrag = 5
+	}
+	addCluster := func(frags []trace.Fragment, cl cluster.Result, ref ClusterRef, class Class) {
+		for ci := range cl.Clusters {
+			c := &cl.Clusters[ci]
+			if c.Fixed {
+				res.FixedClusters++
+			} else {
+				res.SmallClusters++
+				continue
+			}
+			// Fastest member defines performance 1.0.
+			best := int64(math.MaxInt64)
+			perRank := make(map[int]int)
+			for _, m := range c.Members {
+				perRank[frags[m].Rank]++
+				if e := frags[m].Elapsed; e > 0 && e < best {
+					best = e
+				}
+			}
+			if best == math.MaxInt64 {
+				continue
+			}
+			for _, m := range c.Members {
+				f := &frags[m]
+				// Detection pools fragments across processes (the
+				// inter-process comparison needs that), but coverage
+				// follows the paper's repetition notion: the snippet
+				// must recur within a process to count as repeated
+				// fixed workload there.
+				covered := perRank[f.Rank] >= minFrag
+				if covered {
+					fixedTime[class] += f.Elapsed
+				}
+				perf := 1.0
+				if f.Elapsed > 0 {
+					perf = float64(best) / float64(f.Elapsed)
+				}
+				ref := ref
+				ref.Cluster = ci
+				res.Samples[class] = append(res.Samples[class], Sample{
+					Rank:       f.Rank,
+					Start:      f.Start,
+					Elapsed:    f.Elapsed,
+					Perf:       perf,
+					Covered:    covered,
+					ClusterRef: ref,
+					FragIndex:  m,
+				})
+			}
+		}
+		for i := range frags {
+			totalTime[class] += frags[i].Elapsed
+		}
+	}
+
+	for _, e := range g.Edges() {
+		cl := cluster.Run(e.Fragments, opt.Cluster)
+		addCluster(e.Fragments, cl, ClusterRef{IsEdge: true, Edge: e.Key}, Computation)
+	}
+	for _, v := range g.Vertices() {
+		cl := cluster.Run(v.Fragments, opt.Cluster)
+		class := Communication
+		if len(v.Fragments) > 0 {
+			class = ClassOf(v.Fragments[0].Kind)
+		}
+		addCluster(v.Fragments, cl, ClusterRef{Vertex: v.Key}, class)
+	}
+
+	var allTotal, allFixed int64
+	for class, tot := range totalTime {
+		allTotal += tot
+		allFixed += fixedTime[class]
+		if tot > 0 {
+			res.Coverage[class] = float64(fixedTime[class]) / float64(tot)
+		}
+	}
+	if allTotal > 0 {
+		res.OverallCoverage = float64(allFixed) / float64(allTotal)
+	}
+
+	for class, samples := range res.Samples {
+		sort.Slice(samples, func(i, j int) bool { return samples[i].Start < samples[j].Start })
+		h := buildHeatMap(class, samples, ranks, opt.Window)
+		if h != nil {
+			res.Maps[class] = h
+			res.Regions = append(res.Regions, growRegions(h, samples, opt)...)
+		}
+	}
+	// Most impactful regions first (§3.5: reported by performance
+	// impact).
+	sort.Slice(res.Regions, func(i, j int) bool { return res.Regions[i].LossNS > res.Regions[j].LossNS })
+	return res
+}
+
+// MapAndRegions builds a heat map from pre-normalized samples and runs
+// region growing over it. It is the shared back half of detection, also
+// used by the vSensor baseline (which produces its samples differently).
+func MapAndRegions(class Class, samples []Sample, ranks int, opt Options) (*HeatMap, []Region) {
+	if opt.Window <= 0 {
+		opt.Window = 500 * sim.Millisecond
+	}
+	if opt.Threshold <= 0 {
+		opt.Threshold = 0.85
+	}
+	h := buildHeatMap(class, samples, ranks, opt.Window)
+	if h == nil {
+		return nil, nil
+	}
+	return h, growRegions(h, samples, opt)
+}
+
+// buildHeatMap bins the samples into the rank × window grid using
+// elapsed-time-weighted averaging ("weighted equalization" in Fig. 2).
+func buildHeatMap(class Class, samples []Sample, ranks int, window sim.Duration) *HeatMap {
+	if len(samples) == 0 || ranks <= 0 {
+		return nil
+	}
+	var maxEnd int64
+	for i := range samples {
+		if e := samples[i].Start + samples[i].Elapsed; e > maxEnd {
+			maxEnd = e
+		}
+	}
+	wins := int(maxEnd/int64(window)) + 1
+	if wins < 1 {
+		wins = 1
+	}
+	h := &HeatMap{Class: class, Ranks: ranks, Windows: wins, Window: window}
+	h.Cells = make([]float64, ranks*wins)
+	weight := make([]float64, ranks*wins)
+	for i := range h.Cells {
+		h.Cells[i] = math.NaN()
+	}
+	for i := range samples {
+		s := &samples[i]
+		if s.Rank < 0 || s.Rank >= ranks {
+			continue
+		}
+		// Spread the sample over every window it overlaps, weighting
+		// by the overlap length.
+		start, end := s.Start, s.Start+s.Elapsed
+		if end <= start {
+			end = start + 1
+		}
+		w0 := int(start / int64(window))
+		w1 := int((end - 1) / int64(window))
+		if w1 >= wins {
+			w1 = wins - 1
+		}
+		for w := w0; w <= w1; w++ {
+			bs := int64(w) * int64(window)
+			be := bs + int64(window)
+			ov := min64(end, be) - max64(start, bs)
+			if ov <= 0 {
+				continue
+			}
+			idx := s.Rank*wins + w
+			wt := float64(ov)
+			if math.IsNaN(h.Cells[idx]) {
+				h.Cells[idx] = 0
+			}
+			h.Cells[idx] += s.Perf * wt
+			weight[idx] += wt
+		}
+	}
+	for i := range h.Cells {
+		if weight[i] > 0 {
+			h.Cells[i] /= weight[i]
+		}
+	}
+	return h
+}
+
+// growRegions finds 4-connected components of sub-threshold cells and
+// aggregates their bounding boxes and losses.
+func growRegions(h *HeatMap, samples []Sample, opt Options) []Region {
+	low := func(r, w int) bool {
+		v := h.At(r, w)
+		return !math.IsNaN(v) && v < opt.Threshold
+	}
+	seen := make([]bool, len(h.Cells))
+	var regions []Region
+	for r := 0; r < h.Ranks; r++ {
+		for w := 0; w < h.Windows; w++ {
+			idx := r*h.Windows + w
+			if seen[idx] || !low(r, w) {
+				continue
+			}
+			// BFS flood fill.
+			reg := Region{Class: h.Class, RankMin: r, RankMax: r, WinMin: w, WinMax: w}
+			queue := []int{idx}
+			seen[idx] = true
+			var perfSum float64
+			for len(queue) > 0 {
+				cur := queue[0]
+				queue = queue[1:]
+				cr, cw := cur/h.Windows, cur%h.Windows
+				reg.Cells++
+				perfSum += h.At(cr, cw)
+				if cr < reg.RankMin {
+					reg.RankMin = cr
+				}
+				if cr > reg.RankMax {
+					reg.RankMax = cr
+				}
+				if cw < reg.WinMin {
+					reg.WinMin = cw
+				}
+				if cw > reg.WinMax {
+					reg.WinMax = cw
+				}
+				for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+					nr, nw := cr+d[0], cw+d[1]
+					if nr < 0 || nr >= h.Ranks || nw < 0 || nw >= h.Windows {
+						continue
+					}
+					ni := nr*h.Windows + nw
+					if !seen[ni] && low(nr, nw) {
+						seen[ni] = true
+						queue = append(queue, ni)
+					}
+				}
+			}
+			if reg.Cells < opt.MinRegionCells {
+				continue
+			}
+			reg.MeanPerf = perfSum / float64(reg.Cells)
+			regions = append(regions, reg)
+		}
+	}
+	// Attach member samples and quantify loss.
+	for ri := range regions {
+		reg := &regions[ri]
+		t0 := int64(reg.WinMin) * int64(h.Window)
+		t1 := int64(reg.WinMax+1) * int64(h.Window)
+		for i := range samples {
+			s := &samples[i]
+			if s.Rank < reg.RankMin || s.Rank > reg.RankMax {
+				continue
+			}
+			if s.Start+s.Elapsed <= t0 || s.Start >= t1 {
+				continue
+			}
+			reg.Samples = append(reg.Samples, *s)
+			reg.LossNS += int64((1 - s.Perf) * float64(s.Elapsed))
+		}
+	}
+	return regions
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

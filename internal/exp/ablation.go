@@ -1,0 +1,129 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"vapro/internal/apps"
+	"vapro/internal/core"
+	"vapro/internal/detect"
+	"vapro/internal/diagnose"
+	"vapro/internal/noise"
+	"vapro/internal/sim"
+)
+
+// AblationResult sweeps the method's tunable thresholds around the
+// paper's defaults, quantifying the design choices DESIGN.md calls out.
+type AblationResult struct {
+	// Clustering threshold sweep: coverage and cluster counts.
+	ClusterThresholds []float64
+	ClusterCoverage   []float64
+	ClusterFixed      []int
+	// Detection threshold sweep: regions found on a noisy run.
+	DetectThresholds []float64
+	DetectRegions    []int
+	// Abnormal-ratio sweep: abnormal fragment counts on the same run.
+	AbnormalRatios []float64
+	AbnormalFrags  []int
+	// Sampling: overhead and fragment volume with/without short-op
+	// sampling.
+	OverheadOff, OverheadOn   float64
+	FragmentsOff, FragmentsOn int
+}
+
+func init() {
+	register(Experiment{
+		ID:    "ablation",
+		Title: "threshold sweeps: clustering 5%, detection 0.85, abnormal 1.2, sampling (DESIGN.md §5)",
+		Run: func(w io.Writer, scale Scale) (any, error) {
+			return Ablation(w, scale), nil
+		},
+	})
+}
+
+// Ablation runs the sweeps on one noisy CG run (clustering/detection/
+// diagnosis thresholds are pure analysis parameters, so one recording
+// serves all sweeps) plus a traced/plain LU pair for the sampling knob.
+func Ablation(w io.Writer, scale Scale) *AblationResult {
+	outer := 20
+	if scale == Full {
+		outer = 60
+	}
+	opt := core.DefaultOptions()
+	opt.Ranks = 16
+	opt.Collector.Detect.Window = 100 * sim.Millisecond
+	sch := noise.NewSchedule()
+	sch.Add(noise.NodeCPUContention(0, sim.Time(900*sim.Millisecond), sim.Time(1600*sim.Millisecond), 0.5))
+	opt.Noise = sch
+	res := core.RunTraced(apps.NewCG(outer), opt)
+
+	r := &AblationResult{}
+
+	// Clustering threshold.
+	for _, th := range []float64{0.01, 0.02, 0.05, 0.10, 0.20} {
+		dopt := opt.Collector.Detect
+		dopt.Cluster.Threshold = th
+		d := detect.Run(res.Graph, res.Ranks, dopt)
+		r.ClusterThresholds = append(r.ClusterThresholds, th)
+		r.ClusterCoverage = append(r.ClusterCoverage, d.OverallCoverage)
+		r.ClusterFixed = append(r.ClusterFixed, d.FixedClusters)
+	}
+
+	// Detection threshold.
+	for _, th := range []float64{0.5, 0.7, 0.85, 0.95} {
+		dopt := opt.Collector.Detect
+		dopt.Threshold = th
+		d := detect.Run(res.Graph, res.Ranks, dopt)
+		n := 0
+		for _, reg := range d.Regions {
+			if reg.Class == detect.Computation {
+				n++
+			}
+		}
+		r.DetectThresholds = append(r.DetectThresholds, th)
+		r.DetectRegions = append(r.DetectRegions, n)
+	}
+
+	// Abnormal ratio k_a.
+	for _, ka := range []float64{1.05, 1.2, 1.5, 2.0} {
+		dg := diagnose.DefaultOptions()
+		dg.AbnormalRatio = ka
+		rep := res.DiagnoseAll(detect.Computation, dg)
+		r.AbnormalRatios = append(r.AbnormalRatios, ka)
+		r.AbnormalFrags = append(r.AbnormalFrags, rep.AbnormalFrags)
+	}
+
+	// Sampling knob on the interception-heavy LU.
+	luIters := 8
+	luOpt := core.DefaultOptions()
+	luOpt.Ranks = 16
+	plain := core.RunPlain(apps.NewLU(luIters), luOpt)
+	off := core.RunTraced(apps.NewLU(luIters), luOpt)
+	luOpt.Interpose.SampleShortOps = 200 * sim.Microsecond
+	on := core.RunTraced(apps.NewLU(luIters), luOpt)
+	r.OverheadOff = off.Overhead(plain)
+	r.OverheadOn = on.Overhead(plain)
+	r.FragmentsOff = off.Graph.NumFragments()
+	r.FragmentsOn = on.Graph.NumFragments()
+
+	e, _ := Get("ablation")
+	header(w, e)
+	fmt.Fprintln(w, "clustering threshold (paper: 5%):")
+	fmt.Fprintf(w, "  %-10s %10s %8s\n", "threshold", "coverage%", "clusters")
+	for i := range r.ClusterThresholds {
+		fmt.Fprintf(w, "  %-10.2f %10.1f %8d\n", r.ClusterThresholds[i], 100*r.ClusterCoverage[i], r.ClusterFixed[i])
+	}
+	fmt.Fprintln(w, "detection threshold (paper: 0.85):")
+	fmt.Fprintf(w, "  %-10s %8s\n", "threshold", "regions")
+	for i := range r.DetectThresholds {
+		fmt.Fprintf(w, "  %-10.2f %8d\n", r.DetectThresholds[i], r.DetectRegions[i])
+	}
+	fmt.Fprintln(w, "abnormal ratio k_a (paper: 1.2):")
+	fmt.Fprintf(w, "  %-10s %8s\n", "k_a", "abnormal")
+	for i := range r.AbnormalRatios {
+		fmt.Fprintf(w, "  %-10.2f %8d\n", r.AbnormalRatios[i], r.AbnormalFrags[i])
+	}
+	fmt.Fprintf(w, "short-op sampling on LU: overhead %.2f%% -> %.2f%%, fragments %d -> %d\n",
+		100*r.OverheadOff, 100*r.OverheadOn, r.FragmentsOff, r.FragmentsOn)
+	return r
+}

@@ -1,0 +1,71 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation (§6) on the simulated substrates. Each experiment prints a
+// human-readable report mirroring the paper's artifact and returns a
+// structured result for tests and benchmarks to assert the qualitative
+// shape on (who wins, by roughly what factor, where the crossovers
+// fall). Absolute numbers differ from the paper — the substrate is a
+// simulator, not Tianhe-2A — and time axes are compressed (fragments
+// are milliseconds, runs are seconds); EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Scale selects experiment sizing.
+type Scale int
+
+const (
+	// Small runs in seconds on a laptop (CI and benchmarks).
+	Small Scale = iota
+	// Full approaches the paper's process counts (minutes, gigabytes).
+	Full
+)
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID    string // "table1", "fig12", ...
+	Title string
+	Run   func(w io.Writer, scale Scale) (any, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("exp: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Get returns the experiment registered under id.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// IDs lists the registered experiment ids in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns the experiments sorted by id.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, id := range IDs() {
+		out = append(out, registry[id])
+	}
+	return out
+}
+
+func header(w io.Writer, e Experiment) {
+	fmt.Fprintf(w, "=== %s: %s ===\n", e.ID, e.Title)
+}

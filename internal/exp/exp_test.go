@@ -1,0 +1,26 @@
+package exp
+
+import "testing"
+
+func TestRegistry(t *testing.T) {
+	ids := IDs()
+	if len(ids) < 11 {
+		t.Fatalf("only %d experiments registered: %v", len(ids), ids)
+	}
+	want := []string{"ablation", "fig1", "fig11", "fig12", "fig13", "fig15", "fig17", "fig18", "fig5", "fig9", "table1", "table2"}
+	for _, id := range want {
+		e, ok := Get(id)
+		if !ok {
+			t.Fatalf("experiment %q missing", id)
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %q incomplete", id)
+		}
+	}
+	if _, ok := Get("nope"); ok {
+		t.Fatal("unknown id resolved")
+	}
+	if len(All()) != len(ids) {
+		t.Fatal("All/IDs disagree")
+	}
+}

@@ -1,0 +1,104 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"vapro/internal/apps"
+	"vapro/internal/core"
+	"vapro/internal/noise"
+	"vapro/internal/sim"
+	"vapro/internal/stats"
+)
+
+// Fig01Result is the outcome of the Figure 1 experiment: repeated
+// executions of CG on the same nodes with run-to-run environment
+// variance.
+type Fig01Result struct {
+	Runs     int
+	TimesSec []float64
+	MinSec   float64
+	MaxSec   float64
+	MeanSec  float64
+	StdevSec float64
+	// Spread is Max/Min; the paper's figure shows roughly 2x.
+	Spread float64
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig1",
+		Title: "100 repeated CG executions on the same nodes vary ~2x (Figure 1)",
+		Run: func(w io.Writer, scale Scale) (any, error) {
+			r := Fig01(w, scale)
+			return r, nil
+		},
+	})
+}
+
+// Fig01 reruns CG many times under randomly drawn background noise —
+// the shared-cluster environment of the Tianhe-2A figure — and reports
+// the execution-time distribution.
+func Fig01(w io.Writer, scale Scale) *Fig01Result {
+	runs, ranks, outer := 40, 64, 6
+	if scale == Full {
+		runs, ranks, outer = 100, 256, 10
+	}
+	res := &Fig01Result{Runs: runs}
+	master := sim.NewRNG(42)
+	for i := 0; i < runs; i++ {
+		rng := master.Split(uint64(i))
+		sch := noise.NewSchedule()
+		// Each submission shares the machine with a random amount of
+		// other tenants' work: some runs are clean, some hit heavy
+		// CPU or memory interference on a few nodes.
+		nodes := ranks / 24
+		if nodes < 1 {
+			nodes = 1
+		}
+		nNoise := rng.Intn(5) // 0..4 interfering tenants
+		for k := 0; k < nNoise; k++ {
+			node := rng.Intn(nodes)
+			start := sim.Time(rng.Float64() * 1.5 * float64(sim.Second))
+			dur := sim.Duration((1 + 4*rng.Float64()) * float64(sim.Second))
+			if rng.Float64() < 0.5 {
+				sch.Add(noise.NodeCPUContention(node, start, start.Add(dur), 0.5+0.3*rng.Float64()))
+			} else {
+				sch.Add(noise.MemContention(node, start, start.Add(dur), 1.8+2.2*rng.Float64()))
+			}
+		}
+		opt := core.DefaultOptions()
+		opt.Ranks = ranks
+		opt.Seed = uint64(1000 + i)
+		opt.Noise = sch
+		plain := core.RunPlain(apps.NewCG(outer), opt)
+		res.TimesSec = append(res.TimesSec, plain.Makespan.Seconds())
+	}
+	res.MinSec, res.MaxSec = res.TimesSec[0], res.TimesSec[0]
+	for _, t := range res.TimesSec {
+		if t < res.MinSec {
+			res.MinSec = t
+		}
+		if t > res.MaxSec {
+			res.MaxSec = t
+		}
+	}
+	res.MeanSec = stats.Mean(res.TimesSec)
+	res.StdevSec = stats.Stddev(res.TimesSec)
+	if res.MinSec > 0 {
+		res.Spread = res.MaxSec / res.MinSec
+	}
+
+	e, _ := Get("fig1")
+	header(w, e)
+	fmt.Fprintf(w, "%d submissions of %d-rank CG on the same node group:\n", runs, ranks)
+	for i, t := range res.TimesSec {
+		fmt.Fprintf(w, "%6.3f", t)
+		if (i+1)%10 == 0 {
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintf(w, "\nmin %.3fs  max %.3fs  mean %.3fs  stdev %.3fs  spread %.2fx (paper: ~2x)\n",
+		res.MinSec, res.MaxSec, res.MeanSec, res.StdevSec, res.Spread)
+	return res
+}

@@ -1,0 +1,201 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"vapro/internal/apps"
+	"vapro/internal/core"
+	"vapro/internal/detect"
+	"vapro/internal/diagnose"
+	"vapro/internal/noise"
+	"vapro/internal/sim"
+)
+
+// Fig11Point is one abnormal fragment in the breakdown scatter: its
+// excess backend-bound and suspension contributions and the classified
+// major factor.
+type Fig11Point struct {
+	BackendExcessNS    float64
+	SuspensionExcessNS float64
+	Major              string // "BE", "SP", "BE+SP", "normal"
+}
+
+// Fig11Result is the variance-breakdown experiment of Figure 11 plus
+// the §4.2 OLS-vs-formula consistency check.
+type Fig11Result struct {
+	Points []Fig11Point
+	// Counts per class.
+	NBE, NSP, NBoth, NNormal int
+	// Formula-based impact fractions of backend bound and suspension
+	// (paper: 89.4% and 4.9%).
+	FormulaBackendFrac, FormulaSuspensionFrac float64
+	// OLS-based estimates of the same two (paper: 86.6% and 3.1%).
+	OLSBackendFrac, OLSSuspensionFrac float64
+	Report                            *diagnose.Report
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig11",
+		Title: "variance breakdown of CG under concurrent CPU + memory noise (Figure 11, §4.2)",
+		Run: func(w io.Writer, scale Scale) (any, error) {
+			return Fig11(w, scale), nil
+		},
+	})
+}
+
+// Fig11 injects concurrent computing noise and memory contention into
+// 16-rank CG (the Figure 5 method), diagnoses the resulting variance,
+// and classifies each abnormal fragment by its major factor; it also
+// cross-validates the formula-based and OLS-based quantifications.
+func Fig11(w io.Writer, scale Scale) *Fig11Result {
+	outer := 16
+	if scale == Full {
+		outer = 40
+	}
+	sch := noise.NewSchedule()
+	// CPU contention on a few cores, memory contention on the node —
+	// both concurrently, over a mid-run window.
+	t0, t1 := sim.Time(800*sim.Millisecond), sim.Time(1600*sim.Millisecond)
+	sch.Add(noise.CPUContention(0, 1, t0, t1, 0.82))
+	sch.Add(noise.MemContention(0, t0, t1, 3.2))
+	opt := core.DefaultOptions()
+	opt.Ranks = 16
+	opt.Noise = sch
+	res := core.RunTraced(apps.NewCG(outer), opt)
+
+	rep := res.DiagnoseAll(detect.Computation, diagnose.DefaultOptions())
+	r := &Fig11Result{Report: rep}
+
+	// Scatter: per abnormal fragment, backend & suspension excess.
+	// Rebuild the same split the diagnoser used.
+	clusters := res.FixedClusters(detect.Computation)
+	for _, frags := range clusters {
+		if len(frags) < 5 {
+			continue
+		}
+		fastest := frags[0].Elapsed
+		for i := range frags {
+			if frags[i].Elapsed < fastest {
+				fastest = frags[i].Elapsed
+			}
+		}
+		cut := float64(fastest) * 1.2
+		// Reference = mean over normal fragments.
+		var refBE, refSP, n float64
+		for i := range frags {
+			if float64(frags[i].Elapsed) < cut {
+				be, _ := diagnose.TimeNS(diagnose.BackendBound, &frags[i])
+				sp, _ := diagnose.TimeNS(diagnose.Suspension, &frags[i])
+				refBE += be
+				refSP += sp
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		refBE /= n
+		refSP /= n
+		for i := range frags {
+			be, _ := diagnose.TimeNS(diagnose.BackendBound, &frags[i])
+			sp, _ := diagnose.TimeNS(diagnose.Suspension, &frags[i])
+			p := Fig11Point{BackendExcessNS: be - refBE, SuspensionExcessNS: sp - refSP}
+			abnormal := float64(frags[i].Elapsed) >= cut
+			slow := float64(frags[i].Elapsed) - (refBE + refSP)
+			switch {
+			case !abnormal:
+				p.Major = "normal"
+				r.NNormal++
+			case p.BackendExcessNS > 0.25*slow && p.SuspensionExcessNS > 0.25*slow:
+				p.Major = "BE+SP"
+				r.NBoth++
+			case p.SuspensionExcessNS > p.BackendExcessNS:
+				p.Major = "SP"
+				r.NSP++
+			default:
+				p.Major = "BE"
+				r.NBE++
+			}
+			r.Points = append(r.Points, p)
+		}
+	}
+
+	// Formula vs OLS impact fractions of the two S1 factors.
+	if be := rep.Find(diagnose.BackendBound); be != nil {
+		r.FormulaBackendFrac = be.ImpactFrac
+	}
+	if sp := rep.Find(diagnose.Suspension); sp != nil {
+		r.FormulaSuspensionFrac = sp.ImpactFrac
+	}
+	// OLS re-quantification of the same two factors: the statistical
+	// method regresses elapsed time on the factor metrics over the
+	// pooled clusters and rescales coefficients to time (§4.2); the
+	// resulting impacts should agree with the formula-based ones.
+	olsFactors := []diagnose.Factor{diagnose.BackendBound, diagnose.Suspension}
+	q := diagnose.QuantifyOLS(clusters, olsFactors)
+	var olsBE, olsSP, slow float64
+	for _, frags := range clusters {
+		if len(frags) < 5 {
+			continue
+		}
+		fastest := frags[0].Elapsed
+		for i := range frags {
+			if frags[i].Elapsed < fastest {
+				fastest = frags[i].Elapsed
+			}
+		}
+		cut := float64(fastest) * 1.2
+		var refBE, refSP, refE, n float64
+		for i := range frags {
+			if float64(frags[i].Elapsed) < cut {
+				if est, ok := q.EstimatedTimeNS(diagnose.BackendBound, &frags[i]); ok {
+					refBE += est
+				}
+				if est, ok := q.EstimatedTimeNS(diagnose.Suspension, &frags[i]); ok {
+					refSP += est
+				}
+				refE += float64(frags[i].Elapsed)
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		refBE /= n
+		refSP /= n
+		refE /= n
+		for i := range frags {
+			if float64(frags[i].Elapsed) < cut {
+				continue
+			}
+			slow += float64(frags[i].Elapsed) - refE
+			if est, ok := q.EstimatedTimeNS(diagnose.BackendBound, &frags[i]); ok {
+				if ex := est - refBE; ex > 0 {
+					olsBE += ex
+				}
+			}
+			if est, ok := q.EstimatedTimeNS(diagnose.Suspension, &frags[i]); ok {
+				if ex := est - refSP; ex > 0 {
+					olsSP += ex
+				}
+			}
+		}
+	}
+	if slow > 0 {
+		r.OLSBackendFrac = olsBE / slow
+		r.OLSSuspensionFrac = olsSP / slow
+	}
+
+	e, _ := Get("fig11")
+	header(w, e)
+	fmt.Fprintf(w, "abnormal fragments: %d backend-bound-major, %d suspension-major, %d both, %d normal\n",
+		r.NBE, r.NSP, r.NBoth, r.NNormal)
+	fmt.Fprintf(w, "formula-based impact: backend %.1f%%, suspension %.1f%% (paper: 89.4%% / 4.9%%)\n",
+		100*r.FormulaBackendFrac, 100*r.FormulaSuspensionFrac)
+	fmt.Fprintf(w, "OLS-based impact:     backend %.1f%%, suspension %.1f%% (paper: 86.6%% / 3.1%%)\n",
+		100*r.OLSBackendFrac, 100*r.OLSSuspensionFrac)
+	fmt.Fprint(w, rep.String())
+	return r
+}

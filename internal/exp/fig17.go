@@ -1,0 +1,108 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"vapro/internal/apps"
+	"vapro/internal/core"
+	"vapro/internal/detect"
+	"vapro/internal/diagnose"
+	"vapro/internal/heatmap"
+	"vapro/internal/noise"
+)
+
+// Fig17Result is the Nekbone degraded-memory-node case study.
+type Fig17Result struct {
+	Ranks   int
+	BadNode int
+	// Mean normalized performance of the degraded node's ranks vs the
+	// rest.
+	BadNodePerf, OtherPerf float64
+	// Diagnosis shares (paper: 97.2% backend, nearly all memory bound).
+	BackendFrac, MemoryFrac float64
+	// Speedup from replacing the node (paper: 1.24x).
+	ReplaceSpeedup float64
+	HeatMap        string
+	Report         *diagnose.Report
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig17",
+		Title: "Nekbone on a node with degraded memory bandwidth (Figure 17)",
+		Run: func(w io.Writer, scale Scale) (any, error) {
+			return Fig17(w, scale), nil
+		},
+	})
+}
+
+// Fig17 runs Nekbone with one node whose memory bandwidth is 15.5%
+// lower (the paper's measured deficit), detects the slow node,
+// diagnoses memory-bound backend stalls, and measures the speedup from
+// replacing the node.
+func Fig17(w io.Writer, scale Scale) *Fig17Result {
+	ranks, iters := 96, 80
+	if scale == Full {
+		ranks, iters = 128, 120
+	}
+	badNode := 2
+	opt := core.DefaultOptions()
+	opt.Ranks = ranks
+	sch := noise.NewSchedule()
+	sch.Add(noise.DegradedMemoryNode(badNode, 0.845))
+	opt.Noise = sch
+	res := core.RunTraced(apps.NewNekbone(iters), opt)
+
+	r := &Fig17Result{Ranks: ranks, BadNode: badNode}
+	cores := 24
+	var sBad, nBad, sOK, nOK float64
+	for _, s := range res.Detection.Samples[detect.Computation] {
+		wgt := float64(s.Elapsed)
+		if s.Rank/cores == badNode {
+			sBad += s.Perf * wgt
+			nBad += wgt
+		} else {
+			sOK += s.Perf * wgt
+			nOK += wgt
+		}
+	}
+	if nBad > 0 {
+		r.BadNodePerf = sBad / nBad
+	}
+	if nOK > 0 {
+		r.OtherPerf = sOK / nOK
+	}
+	if h := res.Detection.Maps[detect.Computation]; h != nil {
+		r.HeatMap = heatmap.Render(h, heatmap.Options{MaxRows: 24, MaxCols: 64, ShowLegend: true}) +
+			heatmap.RenderRegions(h, res.Detection.Regions)
+	}
+	r.Report = res.DiagnoseAll(detect.Computation, diagnose.DefaultOptions())
+	if be := r.Report.Find(diagnose.BackendBound); be != nil {
+		r.BackendFrac = be.ImpactFrac
+	}
+	if mb := r.Report.Find(diagnose.MemoryBound); mb != nil {
+		r.MemoryFrac = mb.ImpactFrac
+	}
+
+	// Replace the problematic node: rerun on a healthy machine.
+	optOK := opt
+	optOK.Noise = nil
+	bad := core.RunPlain(apps.NewNekbone(iters), opt)
+	good := core.RunPlain(apps.NewNekbone(iters), optOK)
+	if good.Makespan > 0 {
+		r.ReplaceSpeedup = float64(bad.Makespan) / float64(good.Makespan)
+	}
+
+	e, _ := Get("fig17")
+	header(w, e)
+	fmt.Fprintf(w, "node %d memory bandwidth degraded to 84.5%% (ranks %d-%d)\n",
+		badNode, badNode*cores, badNode*cores+cores-1)
+	fmt.Fprint(w, r.HeatMap)
+	fmt.Fprintf(w, "mean normalized perf: degraded node %.3f vs others %.3f\n", r.BadNodePerf, r.OtherPerf)
+	fmt.Fprintf(w, "diagnosis: backend %.1f%% of slowdown (paper: 97.2%%), memory bound %.1f%% (paper: nearly all of it)\n",
+		100*r.BackendFrac, 100*r.MemoryFrac)
+	fmt.Fprint(w, r.Report.String())
+	fmt.Fprintf(w, "replacing the node: %.2fx speedup (paper: 1.24x)\n", r.ReplaceSpeedup)
+	return r
+}

@@ -1,0 +1,25 @@
+package exp
+
+import (
+	"io"
+	"os"
+	"testing"
+)
+
+// TestFullScale runs the headline detection case at the paper's process
+// count (2048 ranks). It takes minutes and gigabytes, so it is opt-in:
+//
+//	VAPRO_FULL=1 go test ./internal/exp -run TestFullScale -timeout 30m
+func TestFullScale(t *testing.T) {
+	if os.Getenv("VAPRO_FULL") == "" {
+		t.Skip("set VAPRO_FULL=1 to run the 2048-rank experiment (~4 min)")
+	}
+	r := Fig13(io.Discard, Full)
+	t.Logf("2048-rank CG: loss %.3f detected=%v p=%v", r.CompLossFrac, r.Detected, r.InvolCSPValue)
+	if !r.Detected {
+		t.Fatal("full-scale detection failed")
+	}
+	if r.CompLossFrac < 0.3 || r.CompLossFrac > 0.6 {
+		t.Fatalf("full-scale loss %.2f", r.CompLossFrac)
+	}
+}

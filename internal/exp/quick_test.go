@@ -1,0 +1,26 @@
+package exp
+
+import (
+	"io"
+	"os"
+	"testing"
+)
+
+// TestQuick exercises every registered experiment at Small scale.
+func TestQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are seconds-long")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var w io.Writer = io.Discard
+			if testing.Verbose() {
+				w = os.Stdout
+			}
+			if _, err := e.Run(w, Small); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,294 @@
+package exp
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// These tests assert the *qualitative shapes* of the paper's evaluation
+// — who wins, by roughly what factor, where the crossovers fall — on
+// the Small-scale experiments. Absolute numbers are simulator-specific;
+// EXPERIMENTS.md records the paper-vs-measured comparison.
+
+func TestFig01Shape(t *testing.T) {
+	r := Fig01(io.Discard, Small)
+	if r.Spread < 1.3 {
+		t.Fatalf("run-to-run spread %.2fx; the paper's figure shows ~2x", r.Spread)
+	}
+	if r.StdevSec <= 0 {
+		t.Fatal("no variance across submissions")
+	}
+}
+
+func TestFig05Shape(t *testing.T) {
+	r := Fig05(io.Discard, Small)
+	// TOT_INS must be at least an order of magnitude more stable than
+	// TSC under both noises.
+	if r.ComputeNoiseTscCV < 10*r.ComputeNoiseInsCV {
+		t.Fatalf("compute noise: TSC CV %.4f vs INS CV %.4f", r.ComputeNoiseTscCV, r.ComputeNoiseInsCV)
+	}
+	if r.MemNoiseTscCV < 10*r.MemNoiseInsCV {
+		t.Fatalf("memory noise: TSC CV %.4f vs INS CV %.4f", r.MemNoiseTscCV, r.MemNoiseInsCV)
+	}
+	if r.ComputeNoiseInsCV > 0.01 {
+		t.Fatalf("TOT_INS CV %.4f too large to be a workload proxy", r.ComputeNoiseInsCV)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	r := Table1(io.Discard, Small)
+
+	// Headline: Vapro context-free coverage beats vSensor by a wide
+	// margin (paper: +30 points).
+	if r.MeanCFCoverage < r.MeanVSCoverage+0.15 {
+		t.Fatalf("CF coverage %.2f not well above vSensor %.2f", r.MeanCFCoverage, r.MeanVSCoverage)
+	}
+	// Context-free beats context-aware on coverage...
+	if r.MeanCFCoverage <= r.MeanCACoverage {
+		t.Fatalf("CF coverage %.2f not above CA %.2f", r.MeanCFCoverage, r.MeanCACoverage)
+	}
+	// ...and costs less.
+	if r.MeanCAOverhead <= r.MeanCFOverhead {
+		t.Fatalf("CA overhead %.4f not above CF %.4f", r.MeanCAOverhead, r.MeanCFOverhead)
+	}
+	// Overheads are a few percent at most.
+	if r.MeanCFOverhead > 0.05 || r.MeanCFOverhead <= 0 {
+		t.Fatalf("CF overhead %.4f implausible", r.MeanCFOverhead)
+	}
+
+	rows := map[string]Table1Row{}
+	for _, row := range r.Rows {
+		rows[row.App] = row
+	}
+	// Per-app stories from the paper.
+	if rows["CESM"].VSCoverage >= 0 {
+		t.Fatal("vSensor must be N/A on CESM")
+	}
+	for _, runtimeFixed := range []string{"AMG", "EP"} {
+		if rows[runtimeFixed].VSCoverage > 0.01 {
+			t.Fatalf("%s has only runtime-fixed workloads; vSensor coverage %.2f", runtimeFixed, rows[runtimeFixed].VSCoverage)
+		}
+		if rows[runtimeFixed].CFCoverage < 0.4 {
+			t.Fatalf("%s Vapro coverage %.2f too low", runtimeFixed, rows[runtimeFixed].CFCoverage)
+		}
+	}
+	// FT: the one app where static analysis wins (rare-but-verified
+	// setup).
+	if rows["FT"].VSCoverage <= rows["FT"].CFCoverage {
+		t.Fatalf("FT: vSensor %.2f should beat Vapro %.2f", rows["FT"].VSCoverage, rows["FT"].CFCoverage)
+	}
+	// MG: context-aware coverage collapses.
+	if rows["MG"].CACoverage > 0.3 || rows["MG"].CFCoverage < 0.6 {
+		t.Fatalf("MG CA %.2f / CF %.2f: CA must collapse", rows["MG"].CACoverage, rows["MG"].CFCoverage)
+	}
+	// Threaded apps have no vSensor columns but healthy Vapro coverage.
+	if r.MeanThreadedCF < 0.5 {
+		t.Fatalf("threaded mean coverage %.2f", r.MeanThreadedCF)
+	}
+	// §6.2 storage: bounded per-rank stream rates. (Our virtual time
+	// axis is compressed ~10x against the paper's runs, which inflates
+	// per-second rates by the same factor; the paper reports 12.8-47.4
+	// KB/s.)
+	for _, row := range r.Rows {
+		if row.StorageKBps > 1500 {
+			t.Fatalf("%s streams %.0f KB/s/rank", row.App, row.StorageKBps)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	r := Table2(io.Discard, Small)
+	rows := map[string]Table2Row{}
+	for _, row := range r.Rows {
+		rows[row.App] = row
+	}
+	for _, perfect := range []string{"CG", "FT", "EP"} {
+		row := rows[perfect]
+		if row.Completeness < 0.99 || row.Homogeneity < 0.99 {
+			t.Fatalf("%s C=%.2f H=%.2f, want 1.00/1.00", perfect, row.Completeness, row.Homogeneity)
+		}
+	}
+	pr := rows["PageRank"]
+	if pr.Completeness < 0.99 {
+		t.Fatalf("PageRank C=%.2f, want 1.00", pr.Completeness)
+	}
+	if pr.Homogeneity > 0.9 || pr.Homogeneity < 0.5 {
+		t.Fatalf("PageRank H=%.2f, paper reports 0.74 (near-equal classes merge)", pr.Homogeneity)
+	}
+	for _, row := range r.Rows {
+		if row.Fragments == 0 {
+			t.Fatalf("%s clustered no fragments", row.App)
+		}
+	}
+}
+
+func TestFig09Shape(t *testing.T) {
+	r := Fig09(io.Discard, Small)
+	if !r.DetectedInWindow {
+		t.Fatal("memory noise window not detected")
+	}
+	if r.MeanPerfInWindow >= r.MeanPerfOutside-0.1 {
+		t.Fatalf("noise window perf %.2f not clearly below quiet %.2f", r.MeanPerfInWindow, r.MeanPerfOutside)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	r := Fig11(io.Discard, Small)
+	if r.NBE == 0 || r.NSP == 0 {
+		t.Fatalf("both factor populations must appear: BE=%d SP=%d", r.NBE, r.NSP)
+	}
+	// Formula and OLS must agree on the dominant factor and roughly on
+	// magnitude (§4.2's consistency check).
+	if r.FormulaBackendFrac < r.FormulaSuspensionFrac {
+		t.Fatal("backend should dominate under this noise mix")
+	}
+	if r.OLSBackendFrac < r.OLSSuspensionFrac {
+		t.Fatal("OLS disagrees on the dominant factor")
+	}
+	diff := r.FormulaBackendFrac - r.OLSBackendFrac
+	if diff < -0.25 || diff > 0.25 {
+		t.Fatalf("formula (%.2f) and OLS (%.2f) backend impacts diverge", r.FormulaBackendFrac, r.OLSBackendFrac)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	r := Fig12(io.Discard, Small)
+	if r.VaproCoverage < r.VSensorCoverage+0.2 {
+		t.Fatalf("coverage gap too small: %.2f vs %.2f", r.VaproCoverage, r.VSensorCoverage)
+	}
+	// Vapro measures close to the true 50% share; vSensor's sparse
+	// samples overestimate badly.
+	if r.VaproPerf < 0.35 || r.VaproPerf > 0.65 {
+		t.Fatalf("Vapro perf %.2f, want ~0.5", r.VaproPerf)
+	}
+	if r.VSensorPerf > 0.35 {
+		t.Fatalf("vSensor perf %.2f, want a spurious deep loss", r.VSensorPerf)
+	}
+	if r.VaproSamples < 3*r.VSensorSamples {
+		t.Fatalf("sample counts: %d vs %d", r.VaproSamples, r.VSensorSamples)
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	r := Fig13(io.Discard, Small)
+	if !r.Detected {
+		t.Fatal("noisy nodes not detected")
+	}
+	// Loss close to the CPU share the noise leaves (paper: 42.8%).
+	if r.CompLossFrac < 0.3 || r.CompLossFrac > 0.6 {
+		t.Fatalf("comp loss %.2f, want ~0.4-0.5", r.CompLossFrac)
+	}
+	if r.InvolCSPValue > 0.001 {
+		t.Fatalf("involuntary CS p=%v, want <0.001", r.InvolCSPValue)
+	}
+	// mpiP's misleading view: comm up a lot, comp barely.
+	commUp := r.MpiPNoisyComm/r.MpiPQuietComm - 1
+	compUp := r.MpiPNoisyComp/r.MpiPQuietComp - 1
+	if commUp < 0.2 {
+		t.Fatalf("mpiP comm increase %.2f too small", commUp)
+	}
+	if compUp > commUp/3 {
+		t.Fatalf("mpiP comp increase %.2f not dwarfed by comm %.2f", compUp, commUp)
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	r := Fig15(io.Discard, Small)
+	// Socket 2 visibly slower.
+	if r.Socket2Perf > r.Socket1Perf-0.1 {
+		t.Fatalf("socket perfs %.2f vs %.2f", r.Socket1Perf, r.Socket2Perf)
+	}
+	// Backend dominates (paper: 96.6%), split between L2 and DRAM
+	// (paper: 48.2% / 38.0%).
+	if r.BackendFrac < 0.85 {
+		t.Fatalf("backend %.2f", r.BackendFrac)
+	}
+	if r.L2Frac < 0.3 || r.DRAMFrac < 0.2 {
+		t.Fatalf("L2 %.2f / DRAM %.2f", r.L2Frac, r.DRAMFrac)
+	}
+	// Huge pages shrink the spread (paper: 51.3%).
+	if r.StdevReduction < 0.3 {
+		t.Fatalf("huge-page stdev reduction %.2f", r.StdevReduction)
+	}
+}
+
+func TestFig17Shape(t *testing.T) {
+	r := Fig17(io.Discard, Small)
+	if r.BadNodePerf > r.OtherPerf-0.1 {
+		t.Fatalf("degraded node %.2f vs others %.2f", r.BadNodePerf, r.OtherPerf)
+	}
+	if r.BackendFrac < 0.85 || r.MemoryFrac < 0.8 {
+		t.Fatalf("diagnosis: backend %.2f memory %.2f (paper: 97.2%% / nearly all)", r.BackendFrac, r.MemoryFrac)
+	}
+	if r.ReplaceSpeedup < 1.1 {
+		t.Fatalf("node replacement speedup %.2f (paper: 1.24x)", r.ReplaceSpeedup)
+	}
+}
+
+func TestFig18Shape(t *testing.T) {
+	r := Fig18(io.Discard, Small)
+	if r.Rank0IOPerf > 0.7 {
+		t.Fatalf("rank-0 IO perf %.2f, should be far below 1", r.Rank0IOPerf)
+	}
+	if r.CompPerf < 0.9 {
+		t.Fatalf("computation perf %.2f, should be stable", r.CompPerf)
+	}
+	if len(r.ReadTimes) == 0 || len(r.WriteTimes) == 0 {
+		t.Fatal("fig19 series empty")
+	}
+	if r.Speedup < 0.1 {
+		t.Fatalf("buffer speedup %.2f (paper: 17.5%%)", r.Speedup)
+	}
+	if r.StdevReduction < 0.4 {
+		t.Fatalf("buffer stdev reduction %.2f (paper: 73.5%%)", r.StdevReduction)
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	r := Ablation(io.Discard, Small)
+	// Coverage plateau around the 5% default.
+	var at5 float64
+	for i, th := range r.ClusterThresholds {
+		if th == 0.05 {
+			at5 = r.ClusterCoverage[i]
+		}
+	}
+	if at5 <= 0.4 {
+		t.Fatalf("coverage at the default threshold: %v", at5)
+	}
+	// Wider tolerance cannot reduce coverage.
+	for i := 1; i < len(r.ClusterCoverage); i++ {
+		if r.ClusterCoverage[i] < r.ClusterCoverage[i-1]-0.02 {
+			t.Fatalf("coverage dropped as the threshold widened: %v", r.ClusterCoverage)
+		}
+	}
+	// Sampling must cut overhead and fragment volume.
+	if r.OverheadOn >= r.OverheadOff {
+		t.Fatalf("sampling overhead: %v -> %v", r.OverheadOff, r.OverheadOn)
+	}
+	if r.FragmentsOn >= r.FragmentsOff {
+		t.Fatalf("sampling fragments: %d -> %d", r.FragmentsOff, r.FragmentsOn)
+	}
+	// The default detection threshold finds the injected region.
+	for i, th := range r.DetectThresholds {
+		if th == 0.85 && r.DetectRegions[i] == 0 {
+			t.Fatal("default detection threshold missed the injected noise")
+		}
+	}
+}
+
+func TestFig04Shape(t *testing.T) {
+	r := Fig04(io.Discard, Small)
+	// CG's loop: Irecv, Send, Wait, Allreduce, plus the entry barrier.
+	if r.CFVertices < 4 || r.CFVertices > 8 {
+		t.Fatalf("context-free vertices: %d", r.CFVertices)
+	}
+	if r.CAVertices < r.CFVertices || r.CAEdges < r.CFEdges {
+		t.Fatalf("context-aware STG (%d/%d) smaller than context-free (%d/%d)",
+			r.CAVertices, r.CAEdges, r.CFVertices, r.CFEdges)
+	}
+	if !strings.Contains(r.DOT, "digraph stg") {
+		t.Fatal("dot rendering missing")
+	}
+}

@@ -1,0 +1,117 @@
+// Package heatmap renders detect.HeatMap grids as ASCII/ANSI art for
+// terminal reports — the textual counterpart of the paper's color heat
+// maps (Figures 9, 12, 13, 15, 17, 18), with variance regions outlined.
+package heatmap
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"vapro/internal/detect"
+)
+
+// shades orders glyphs from worst performance to best.
+var shades = []rune{'#', 'X', 'x', '+', '-', '.', ' '}
+
+// glyph maps a normalized performance value in [0,1] to a shade.
+func glyph(v float64) rune {
+	if math.IsNaN(v) {
+		return '?'
+	}
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	idx := int(v * float64(len(shades)-1))
+	return shades[idx]
+}
+
+// Options configures rendering.
+type Options struct {
+	// MaxRows/MaxCols downsample large grids to fit a terminal.
+	MaxRows, MaxCols int
+	// ShowLegend appends a shade legend.
+	ShowLegend bool
+}
+
+// DefaultOptions fits an 80-column terminal.
+func DefaultOptions() Options { return Options{MaxRows: 32, MaxCols: 72, ShowLegend: true} }
+
+// Render draws the heat map. Rows are ranks (downsampled by min,
+// so a single slow rank stays visible), columns are time windows.
+func Render(h *detect.HeatMap, opt Options) string {
+	if h == nil {
+		return "(no data)\n"
+	}
+	if opt.MaxRows <= 0 {
+		opt.MaxRows = 32
+	}
+	if opt.MaxCols <= 0 {
+		opt.MaxCols = 72
+	}
+	rows := h.Ranks
+	cols := h.Windows
+	rStep := (rows + opt.MaxRows - 1) / opt.MaxRows
+	cStep := (cols + opt.MaxCols - 1) / opt.MaxCols
+	if rStep < 1 {
+		rStep = 1
+	}
+	if cStep < 1 {
+		cStep = 1
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s performance heat map (%d ranks × %d windows of %s; worst cell per %dx%d block)\n",
+		h.Class, h.Ranks, h.Windows, h.Window, rStep, cStep)
+	for r0 := 0; r0 < rows; r0 += rStep {
+		fmt.Fprintf(&b, "%5d |", r0)
+		for c0 := 0; c0 < cols; c0 += cStep {
+			worst := math.NaN()
+			for r := r0; r < r0+rStep && r < rows; r++ {
+				for c := c0; c < c0+cStep && c < cols; c++ {
+					v := h.At(r, c)
+					if math.IsNaN(v) {
+						continue
+					}
+					if math.IsNaN(worst) || v < worst {
+						worst = v
+					}
+				}
+			}
+			b.WriteRune(glyph(worst))
+		}
+		b.WriteString("|\n")
+	}
+	if opt.ShowLegend {
+		b.WriteString("legend: ")
+		for i, g := range shades {
+			fmt.Fprintf(&b, "'%c'≈%.2f ", g, float64(i)/float64(len(shades)-1))
+		}
+		b.WriteString("'?'=no data\n")
+	}
+	return b.String()
+}
+
+// RenderRegions summarizes variance regions under a heat map.
+func RenderRegions(h *detect.HeatMap, regions []detect.Region) string {
+	var b strings.Builder
+	n := 0
+	for i := range regions {
+		r := &regions[i]
+		if r.Class != h.Class {
+			continue
+		}
+		n++
+		fmt.Fprintf(&b, "  region %d: ranks %d-%d, %.2fs-%.2fs, mean perf %.2f, loss %.3fs\n",
+			n, r.RankMin, r.RankMax,
+			r.StartTime(h).Seconds(), r.EndTime(h).Seconds(),
+			r.MeanPerf, float64(r.LossNS)/1e9)
+	}
+	if n == 0 {
+		b.WriteString("  no variance regions detected\n")
+	}
+	return b.String()
+}

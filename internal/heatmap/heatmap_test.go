@@ -1,0 +1,87 @@
+package heatmap
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"vapro/internal/detect"
+	"vapro/internal/sim"
+)
+
+func grid(ranks, wins int, fill float64) *detect.HeatMap {
+	h := &detect.HeatMap{
+		Class: detect.Computation, Ranks: ranks, Windows: wins,
+		Window: 100 * sim.Millisecond,
+		Cells:  make([]float64, ranks*wins),
+	}
+	for i := range h.Cells {
+		h.Cells[i] = fill
+	}
+	return h
+}
+
+func TestRenderNil(t *testing.T) {
+	if out := Render(nil, DefaultOptions()); !strings.Contains(out, "no data") {
+		t.Fatalf("nil map: %q", out)
+	}
+}
+
+func TestRenderShape(t *testing.T) {
+	h := grid(4, 8, 1.0)
+	out := Render(h, DefaultOptions())
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + 4 rows + legend.
+	if len(lines) != 6 {
+		t.Fatalf("lines: %d\n%s", len(lines), out)
+	}
+	for _, l := range lines[1:5] {
+		if !strings.Contains(l, "|") {
+			t.Fatalf("row without borders: %q", l)
+		}
+	}
+}
+
+func TestGlyphMapping(t *testing.T) {
+	h := grid(1, 3, 0)
+	h.Cells[0] = 1.0 // best → space
+	h.Cells[1] = 0.0 // worst → '#'
+	h.Cells[2] = math.NaN()
+	out := Render(h, Options{MaxRows: 4, MaxCols: 8})
+	row := strings.Split(out, "\n")[1]
+	body := row[strings.Index(row, "|")+1 : strings.LastIndex(row, "|")]
+	if body != " #?" {
+		t.Fatalf("glyphs: %q", body)
+	}
+}
+
+func TestDownsamplingKeepsWorst(t *testing.T) {
+	// 64 ranks downsampled to ≤8 rows: the one bad rank must survive.
+	h := grid(64, 4, 1.0)
+	for w := 0; w < 4; w++ {
+		h.Cells[37*4+w] = 0.1
+	}
+	out := Render(h, Options{MaxRows: 8, MaxCols: 8})
+	if !strings.Contains(out, "X") && !strings.Contains(out, "#") {
+		t.Fatalf("bad rank averaged away:\n%s", out)
+	}
+}
+
+func TestRenderRegions(t *testing.T) {
+	h := grid(4, 8, 1.0)
+	regs := []detect.Region{
+		{Class: detect.Computation, RankMin: 1, RankMax: 2, WinMin: 3, WinMax: 5, MeanPerf: 0.4, LossNS: 5e8},
+		{Class: detect.IOClass, RankMin: 0, RankMax: 0, WinMin: 0, WinMax: 0},
+	}
+	out := RenderRegions(h, regs)
+	if !strings.Contains(out, "ranks 1-2") {
+		t.Fatalf("region line missing: %q", out)
+	}
+	// The IO region belongs to another map and must not appear.
+	if strings.Count(out, "region") != 1 {
+		t.Fatalf("foreign class region leaked: %q", out)
+	}
+	if empty := RenderRegions(h, nil); !strings.Contains(empty, "no variance") {
+		t.Fatalf("empty regions: %q", empty)
+	}
+}

@@ -1,0 +1,71 @@
+package heatmap
+
+import (
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+	"strconv"
+
+	"vapro/internal/detect"
+)
+
+// WritePNG renders the heat map as a PNG image (pixels per cell chosen
+// so small grids stay legible), with detected regions outlined in
+// white. The color ramp matches RenderSVG.
+func WritePNG(w io.Writer, h *detect.HeatMap, regions []detect.Region) error {
+	if h == nil {
+		return png.Encode(w, image.NewRGBA(image.Rect(0, 0, 1, 1)))
+	}
+	cellW, cellH := 8, 6
+	if h.Windows > 400 {
+		cellW = 2
+	}
+	if h.Ranks > 400 {
+		cellH = 2
+	}
+	img := image.NewRGBA(image.Rect(0, 0, h.Windows*cellW, h.Ranks*cellH))
+
+	noData := color.RGBA{0xd8, 0xd8, 0xd8, 0xff}
+	for rank := 0; rank < h.Ranks; rank++ {
+		for win := 0; win < h.Windows; win++ {
+			c := noData
+			if v := h.At(rank, win); !math.IsNaN(v) {
+				c = perfRGBA(v)
+			}
+			for y := rank * cellH; y < (rank+1)*cellH; y++ {
+				for x := win * cellW; x < (win+1)*cellW; x++ {
+					img.SetRGBA(x, y, c)
+				}
+			}
+		}
+	}
+
+	white := color.RGBA{0xff, 0xff, 0xff, 0xff}
+	for _, reg := range regions {
+		if reg.Class != h.Class {
+			continue
+		}
+		x0, y0 := reg.WinMin*cellW, reg.RankMin*cellH
+		x1, y1 := (reg.WinMax+1)*cellW-1, (reg.RankMax+1)*cellH-1
+		for x := x0; x <= x1; x++ {
+			img.SetRGBA(x, y0, white)
+			img.SetRGBA(x, y1, white)
+		}
+		for y := y0; y <= y1; y++ {
+			img.SetRGBA(x0, y, white)
+			img.SetRGBA(x1, y, white)
+		}
+	}
+	return png.Encode(w, img)
+}
+
+// perfRGBA converts the SVG ramp's hex color into an RGBA pixel.
+func perfRGBA(v float64) color.RGBA {
+	hex := perfColor(v) // "#rrggbb"
+	r, _ := strconv.ParseUint(hex[1:3], 16, 8)
+	g, _ := strconv.ParseUint(hex[3:5], 16, 8)
+	b, _ := strconv.ParseUint(hex[5:7], 16, 8)
+	return color.RGBA{uint8(r), uint8(g), uint8(b), 0xff}
+}

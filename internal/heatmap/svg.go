@@ -1,0 +1,104 @@
+package heatmap
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"vapro/internal/detect"
+)
+
+// RenderSVG draws the heat map as a standalone SVG document, matching
+// the paper's figures: rows are ranks (top to bottom), columns are time,
+// color runs from dark (performance 0) to light (performance 1), and
+// detected variance regions are outlined in white boxes (as in Figure
+// 13). Empty cells render gray.
+func RenderSVG(h *detect.HeatMap, regions []detect.Region) string {
+	if h == nil {
+		return `<svg xmlns="http://www.w3.org/2000/svg" width="10" height="10"/>`
+	}
+	const (
+		cellW, cellH     = 8, 6
+		marginL, marginT = 46, 24
+		marginR, marginB = 10, 28
+	)
+	width := marginL + h.Windows*cellW + marginR
+	height := marginT + h.Ranks*cellH + marginB
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="9">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="14">%s performance (ranks x time)</text>`+"\n", marginL, h.Class)
+
+	for rank := 0; rank < h.Ranks; rank++ {
+		for win := 0; win < h.Windows; win++ {
+			v := h.At(rank, win)
+			fill := "#d8d8d8" // no data
+			if !math.IsNaN(v) {
+				fill = perfColor(v)
+			}
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"/>`+"\n",
+				marginL+win*cellW, marginT+rank*cellH, cellW, cellH, fill)
+		}
+	}
+
+	// Axis ticks: rank labels every ~8 rows, time labels every ~10 cols.
+	rStep := (h.Ranks + 7) / 8
+	if rStep < 1 {
+		rStep = 1
+	}
+	for rank := 0; rank < h.Ranks; rank += rStep {
+		fmt.Fprintf(&b, `<text x="2" y="%d">%d</text>`+"\n", marginT+rank*cellH+cellH, rank)
+	}
+	cStep := (h.Windows + 9) / 10
+	if cStep < 1 {
+		cStep = 1
+	}
+	for win := 0; win < h.Windows; win += cStep {
+		sec := float64(win) * h.Window.Seconds()
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%.1fs</text>`+"\n",
+			marginL+win*cellW, marginT+h.Ranks*cellH+12, sec)
+	}
+
+	// Region outlines (the paper's white boxes).
+	for _, reg := range regions {
+		if reg.Class != h.Class {
+			continue
+		}
+		x := marginL + reg.WinMin*cellW
+		y := marginT + reg.RankMin*cellH
+		w := (reg.WinMax - reg.WinMin + 1) * cellW
+		ht := (reg.RankMax - reg.RankMin + 1) * cellH
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="white" stroke-width="2"/>`+"\n",
+			x, y, w, ht)
+	}
+
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// perfColor maps performance in [0,1] to a viridis-like ramp (dark
+// violet = bad, yellow = good) so slow regions pop like the paper's
+// light-on-dark maps.
+func perfColor(v float64) string {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	// Three-stop gradient: #440154 -> #21918c -> #fde725.
+	var r0, g0, b0, r1, g1, b1 float64
+	var f float64
+	if v < 0.5 {
+		r0, g0, b0 = 0x44, 0x01, 0x54
+		r1, g1, b1 = 0x21, 0x91, 0x8c
+		f = v * 2
+	} else {
+		r0, g0, b0 = 0x21, 0x91, 0x8c
+		r1, g1, b1 = 0xfd, 0xe7, 0x25
+		f = (v - 0.5) * 2
+	}
+	lerp := func(a, b float64) int { return int(a + (b-a)*f) }
+	return fmt.Sprintf("#%02x%02x%02x", lerp(r0, r1), lerp(g0, g1), lerp(b0, b1))
+}

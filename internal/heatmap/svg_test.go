@@ -1,0 +1,83 @@
+package heatmap
+
+import (
+	"bytes"
+	"image/png"
+	"math"
+	"strings"
+	"testing"
+
+	"vapro/internal/detect"
+)
+
+func TestRenderSVG(t *testing.T) {
+	h := grid(4, 8, 0.9)
+	h.Cells[2*8+3] = 0.2
+	h.Cells[0] = math.NaN()
+	regs := []detect.Region{{Class: detect.Computation, RankMin: 2, RankMax: 2, WinMin: 3, WinMax: 3, MeanPerf: 0.2}}
+	svg := RenderSVG(h, regs)
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("svg framing")
+	}
+	if !strings.Contains(svg, `stroke="white"`) {
+		t.Fatal("region outline missing")
+	}
+	if !strings.Contains(svg, "#d8d8d8") {
+		t.Fatal("no-data cell missing")
+	}
+	// 4x8 cells plus background.
+	if n := strings.Count(svg, "<rect"); n < 33 {
+		t.Fatalf("only %d rects", n)
+	}
+	if RenderSVG(nil, nil) == "" {
+		t.Fatal("nil map")
+	}
+}
+
+func TestPerfColorRamp(t *testing.T) {
+	if perfColor(0) != "#440154" {
+		t.Fatalf("low end: %s", perfColor(0))
+	}
+	if perfColor(1) != "#fde725" {
+		t.Fatalf("high end: %s", perfColor(1))
+	}
+	if perfColor(0.5) != "#21918c" {
+		t.Fatalf("midpoint: %s", perfColor(0.5))
+	}
+	if perfColor(-1) != perfColor(0) || perfColor(2) != perfColor(1) {
+		t.Fatal("clamping")
+	}
+}
+
+func TestWritePNG(t *testing.T) {
+	h := grid(4, 8, 0.9)
+	h.Cells[2*8+3] = 0.2
+	h.Cells[0] = math.NaN()
+	regs := []detect.Region{{Class: detect.Computation, RankMin: 2, RankMax: 2, WinMin: 3, WinMax: 3}}
+	var buf bytes.Buffer
+	if err := WritePNG(&buf, h, regs); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := img.Bounds()
+	if b.Dx() != 8*8 || b.Dy() != 4*6 {
+		t.Fatalf("image size %v", b)
+	}
+	// The bad cell renders dark (violet-ish, low green channel).
+	_, g, _, _ := img.At(3*8+4, 2*6+3).RGBA()
+	_, gGood, _, _ := img.At(6*8+4, 0*6+3).RGBA()
+	if g >= gGood {
+		t.Fatalf("bad cell not darker: g=%d vs %d", g, gGood)
+	}
+	// Nil map still yields a decodable PNG.
+	buf.Reset()
+	if err := WritePNG(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := png.Decode(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

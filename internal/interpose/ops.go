@@ -1,0 +1,299 @@
+package interpose
+
+import (
+	"vapro/internal/mpi"
+	"vapro/internal/rt"
+	"vapro/internal/sim"
+	"vapro/internal/trace"
+	"vapro/internal/vfs"
+)
+
+// Traced implements rt.Runtime. Each wrapper follows the same shape:
+// derive the state from the application call-site, close the pending
+// computation fragment, run the real operation, record the invocation
+// fragment with its arguments.
+
+// Rank implements rt.Runtime.
+func (t *Traced) Rank() int { return t.r.ID() }
+
+// Size implements rt.Runtime.
+func (t *Traced) Size() int { return t.r.Size() }
+
+// Now implements rt.Runtime.
+func (t *Traced) Now() sim.Time { return t.r.Clock() }
+
+// Rand implements rt.Runtime.
+func (t *Traced) Rand() *sim.RNG { return t.r.RNG() }
+
+// Compute implements rt.Runtime: computation is not intercepted (it is
+// application code); its counters accumulate into the open fragment.
+func (t *Traced) Compute(w sim.Workload) {
+	_, c := t.r.Compute(w)
+	t.pending.Add(c)
+	t.pendingAny = true
+	if !w.StaticFixed {
+		t.pendingStatic = false
+	}
+	// Fold the exact workload parameters into the segment's
+	// ground-truth label (FNV-1a over the field values).
+	h := t.pendingTruth
+	if h == 0 {
+		h = 1469598103934665603
+	}
+	for _, v := range [...]uint64{w.Instructions, uint64(w.MemRatio * 1e6), w.WorkingSet} {
+		h ^= v
+		h *= 1099511628211
+	}
+	t.pendingTruth = h
+}
+
+// Send implements rt.Runtime.
+func (t *Traced) Send(dst, tag, bytes int) {
+	st := t.state(1)
+	entry := t.beginExternal(st)
+	t.r.Send(dst, tag, bytes)
+	t.endExternal(st, trace.Comm, entry, trace.Args{Op: "Send", Bytes: bytes, Peer: dst, Tag: tag})
+}
+
+// Recv implements rt.Runtime.
+func (t *Traced) Recv(src, tag int) int {
+	st := t.state(1)
+	entry := t.beginExternal(st)
+	n, _ := t.r.Recv(src, tag)
+	t.endExternal(st, trace.Comm, entry, trace.Args{Op: "Recv", Bytes: n, Peer: src, Tag: tag})
+	return n
+}
+
+// Sendrecv implements rt.Runtime.
+func (t *Traced) Sendrecv(dst, sendTag, bytes, src, recvTag int) int {
+	st := t.state(1)
+	entry := t.beginExternal(st)
+	n, _ := t.r.Sendrecv(dst, sendTag, bytes, src, recvTag)
+	t.endExternal(st, trace.Comm, entry, trace.Args{Op: "Sendrecv", Bytes: bytes, Peer: dst, Tag: sendTag})
+	return n
+}
+
+// Isend implements rt.Runtime.
+func (t *Traced) Isend(dst, tag, bytes int) rt.Req {
+	st := t.state(1)
+	entry := t.beginExternal(st)
+	q := t.r.Isend(dst, tag, bytes)
+	t.endExternal(st, trace.Comm, entry, trace.Args{Op: "Isend", Bytes: bytes, Peer: dst, Tag: tag})
+	return q
+}
+
+// Irecv implements rt.Runtime.
+func (t *Traced) Irecv(src, tag int) rt.Req {
+	st := t.state(1)
+	entry := t.beginExternal(st)
+	q := t.r.Irecv(src, tag)
+	t.endExternal(st, trace.Comm, entry, trace.Args{Op: "Irecv", Bytes: 0, Peer: src, Tag: tag})
+	return q
+}
+
+// Wait implements rt.Runtime.
+func (t *Traced) Wait(q rt.Req) {
+	st := t.state(1)
+	entry := t.beginExternal(st)
+	req := q.(*mpi.Request)
+	t.r.Wait(req)
+	t.endExternal(st, trace.Comm, entry, trace.Args{Op: "Wait", Bytes: req.Bytes()})
+}
+
+// Waitall implements rt.Runtime.
+func (t *Traced) Waitall(qs []rt.Req) {
+	st := t.state(1)
+	entry := t.beginExternal(st)
+	total := 0
+	for _, q := range qs {
+		req := q.(*mpi.Request)
+		t.r.Wait(req)
+		total += req.Bytes()
+	}
+	t.endExternal(st, trace.Comm, entry, trace.Args{Op: "Waitall", Bytes: total, Mode: len(qs)})
+}
+
+// Barrier implements rt.Runtime.
+func (t *Traced) Barrier() {
+	st := t.state(1)
+	entry := t.beginExternal(st)
+	t.r.Barrier()
+	t.endExternal(st, trace.Sync, entry, trace.Args{Op: "Barrier", Peer: -1})
+}
+
+// Bcast implements rt.Runtime.
+func (t *Traced) Bcast(root, bytes int) {
+	st := t.state(1)
+	entry := t.beginExternal(st)
+	t.r.Bcast(root, bytes)
+	t.endExternal(st, trace.Comm, entry, trace.Args{Op: "Bcast", Bytes: bytes, Peer: root, Mode: t.r.Size()})
+}
+
+// Reduce implements rt.Runtime.
+func (t *Traced) Reduce(root, bytes int) {
+	st := t.state(1)
+	entry := t.beginExternal(st)
+	t.r.Reduce(root, bytes)
+	t.endExternal(st, trace.Comm, entry, trace.Args{Op: "Reduce", Bytes: bytes, Peer: root, Mode: t.r.Size()})
+}
+
+// Allreduce implements rt.Runtime.
+func (t *Traced) Allreduce(bytes int) {
+	st := t.state(1)
+	entry := t.beginExternal(st)
+	t.r.Allreduce(bytes)
+	t.endExternal(st, trace.Comm, entry, trace.Args{Op: "Allreduce", Bytes: bytes, Peer: -1, Mode: t.r.Size()})
+}
+
+// Alltoall implements rt.Runtime.
+func (t *Traced) Alltoall(bytesPerRank int) {
+	st := t.state(1)
+	entry := t.beginExternal(st)
+	t.r.Alltoall(bytesPerRank)
+	t.endExternal(st, trace.Comm, entry, trace.Args{Op: "Alltoall", Bytes: bytesPerRank, Peer: -1, Mode: t.r.Size()})
+}
+
+// Allgather implements rt.Runtime.
+func (t *Traced) Allgather(bytesPerRank int) {
+	st := t.state(1)
+	entry := t.beginExternal(st)
+	t.r.Allgather(bytesPerRank)
+	t.endExternal(st, trace.Comm, entry, trace.Args{Op: "Allgather", Bytes: bytesPerRank, Peer: -1, Mode: t.r.Size()})
+}
+
+// Gather implements rt.Runtime.
+func (t *Traced) Gather(root, bytesPerRank int) {
+	st := t.state(1)
+	entry := t.beginExternal(st)
+	t.r.Gather(root, bytesPerRank)
+	t.endExternal(st, trace.Comm, entry, trace.Args{Op: "Gather", Bytes: bytesPerRank, Peer: root, Mode: t.r.Size()})
+}
+
+// Open implements rt.Runtime.
+func (t *Traced) Open(path string, mode vfs.OpenMode) (int, error) {
+	if t.fs == nil {
+		return -1, errNoFS
+	}
+	st := t.state(1)
+	entry := t.beginExternal(st)
+	var f *vfs.File
+	var err error
+	if t.buf != nil && mode == vfs.ReadOnly {
+		if d, ok := t.buf.OpenLocal(path); ok {
+			t.r.Advance(d)
+			f, _, err = t.fs.Open(path, mode, t.r.Node(), t.r.Clock(), t.r.RNG())
+		} else {
+			var d sim.Duration
+			f, d, err = t.fs.Open(path, mode, t.r.Node(), t.r.Clock(), t.r.RNG())
+			t.r.Advance(d)
+		}
+	} else {
+		var d sim.Duration
+		f, d, err = t.fs.Open(path, mode, t.r.Node(), t.r.Clock(), t.r.RNG())
+		t.r.Advance(d)
+	}
+	fd := -1
+	if err == nil {
+		t.nextFD++
+		fd = t.nextFD
+		t.files[fd] = f
+	}
+	t.endExternal(st, trace.IO, entry, trace.Args{Op: "open", FD: fd, Mode: int(mode)})
+	return fd, err
+}
+
+// ReadF implements rt.Runtime.
+func (t *Traced) ReadF(fd, n int) int {
+	st := t.state(1)
+	entry := t.beginExternal(st)
+	f := t.files[fd]
+	got := 0
+	if f != nil {
+		if t.buf != nil {
+			g, d, err := t.buf.ReadFile(f.Path(), f.Offset(), n, t.r.Node(), t.r.Clock(), t.r.RNG())
+			t.r.Advance(d)
+			if err == nil {
+				f.SeekTo(f.Offset() + int64(g))
+				got = g
+			}
+		} else {
+			g, d := f.Read(n, t.r.Node(), t.r.Clock(), t.r.RNG())
+			t.r.Advance(d)
+			got = g
+		}
+	}
+	t.endExternal(st, trace.IO, entry, trace.Args{Op: "read", Bytes: n, FD: fd})
+	return got
+}
+
+// WriteF implements rt.Runtime.
+func (t *Traced) WriteF(fd, n int) {
+	st := t.state(1)
+	entry := t.beginExternal(st)
+	if f := t.files[fd]; f != nil {
+		d := f.Write(n, t.r.Node(), t.r.Clock(), t.r.RNG())
+		t.r.Advance(d)
+	}
+	t.endExternal(st, trace.IO, entry, trace.Args{Op: "write", Bytes: n, FD: fd})
+}
+
+// SeekF implements rt.Runtime: client-side, not intercepted.
+func (t *Traced) SeekF(fd int, offset int64) {
+	if f := t.files[fd]; f != nil {
+		f.SeekTo(offset)
+	}
+}
+
+// CloseF implements rt.Runtime.
+func (t *Traced) CloseF(fd int) {
+	st := t.state(1)
+	entry := t.beginExternal(st)
+	if f := t.files[fd]; f != nil {
+		if t.buf != nil && t.buf.Cached(f.Path()) {
+			t.r.Advance(2 * sim.Microsecond)
+		} else {
+			d := f.Close(t.r.Node(), t.r.Clock(), t.r.RNG())
+			t.r.Advance(d)
+		}
+		delete(t.files, fd)
+	}
+	t.endExternal(st, trace.IO, entry, trace.Args{Op: "close", FD: fd})
+}
+
+// Probe implements rt.Runtime: a user-defined explicit invocation. It
+// cuts a fragment boundary like an external call, but because probes can
+// sit in hot loops the binary exponential backoff policy (§5) adapts the
+// recording stride so overhead stays bounded.
+func (t *Traced) Probe(name string) {
+	bs := t.backoff[name]
+	if bs == nil {
+		bs = &backoffState{stride: 1}
+		t.backoff[name] = bs
+	}
+	bs.count++
+	if bs.count%bs.stride != 0 {
+		// Skipped: the probe costs almost nothing and no fragment
+		// boundary is cut (the compute keeps accumulating).
+		t.r.Advance(50 * sim.Nanosecond)
+		t.Dropped++
+		return
+	}
+	st := trace.SiteState(trace.Site("probe:" + name))
+	if t.opt.Mode == ContextAware {
+		st = t.state(1)
+	}
+	segLen := t.r.Clock().Sub(t.segStart)
+	entry := t.beginExternal(st)
+	t.endExternal(st, trace.Probe, entry, trace.Args{Op: "probe"})
+	// Binary exponential backoff: if fragments are too short, double
+	// the stride; if comfortably long, decay it.
+	if t.opt.BackoffThreshold > 0 {
+		if segLen < t.opt.BackoffThreshold {
+			if bs.stride < 1<<16 {
+				bs.stride *= 2
+			}
+		} else if bs.stride > 1 {
+			bs.stride /= 2
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package mpi
+
+import (
+	"sort"
+	"sync"
+
+	"vapro/internal/sim"
+)
+
+// Sub-communicators: MPI_Comm_split and collectives over subsets of
+// ranks. Real applications (NPB CG's row/column exchanges, CESM's
+// per-component communicators) are structured around these; the
+// interposition layer observes their invocations exactly like
+// world-wide ones.
+
+// Comm is a communicator: an ordered subset of world ranks. The world
+// itself is the zero context; derived communicators carry their own
+// context so point-to-point traffic and collective sequences never mix
+// across communicators (MPI's communication-context guarantee).
+type Comm struct {
+	world *World
+	ctx   uint64
+	// members maps comm rank -> world rank.
+	members []int
+	// myRank is this handle's comm rank (handles are per world-rank).
+	myRank int
+	owner  *Rank
+
+	collSeq uint64
+}
+
+// splitSlot coordinates one Split call across all world ranks.
+type splitSlot struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	arrived int
+	entries []splitEntry
+	done    bool
+	groups  map[int][]splitEntry
+	maxT    sim.Time
+}
+
+type splitEntry struct {
+	worldRank int
+	color     int
+	key       int
+}
+
+var splitCtxCounter struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+// Split partitions the world by color, ordering members by (key, world
+// rank), and returns this rank's new communicator — the MPI_Comm_split
+// semantics. Every rank of the world must call Split collectively.
+// Ranks passing a negative color receive nil (MPI_UNDEFINED).
+func (r *Rank) Split(color, key int) *Comm {
+	w := r.world
+	seq := r.nextSplit()
+	w.collMu.Lock()
+	s, ok := w.splitSlots[seq]
+	if !ok {
+		s = &splitSlot{}
+		s.cond = sync.NewCond(&s.mu)
+		w.splitSlots[seq] = s
+	}
+	w.collMu.Unlock()
+
+	s.mu.Lock()
+	s.entries = append(s.entries, splitEntry{worldRank: r.id, color: color, key: key})
+	if r.clock > s.maxT {
+		s.maxT = r.clock
+	}
+	s.arrived++
+	if s.arrived == w.size {
+		s.groups = make(map[int][]splitEntry)
+		for _, e := range s.entries {
+			if e.color >= 0 {
+				s.groups[e.color] = append(s.groups[e.color], e)
+			}
+		}
+		for _, g := range s.groups {
+			g := g
+			sort.Slice(g, func(i, j int) bool {
+				if g[i].key != g[j].key {
+					return g[i].key < g[j].key
+				}
+				return g[i].worldRank < g[j].worldRank
+			})
+		}
+		s.done = true
+		s.cond.Broadcast()
+		w.collMu.Lock()
+		delete(w.splitSlots, seq)
+		w.collMu.Unlock()
+	} else {
+		for !s.done {
+			s.cond.Wait()
+		}
+	}
+	group := s.groups[color]
+	maxT := s.maxT
+	s.mu.Unlock()
+
+	// Split is itself a (cheap) collective: synchronize like a barrier.
+	r.AdvanceTo(maxT.Add(w.collCost(maxT, logStages(w.size), 0).Sub(maxT)))
+
+	if color < 0 {
+		return nil
+	}
+	members := make([]int, len(group))
+	myRank := -1
+	for i, e := range group {
+		members[i] = e.worldRank
+		if e.worldRank == r.id {
+			myRank = i
+		}
+	}
+	// Context id must be identical for all members of the same new
+	// communicator and distinct across communicators: derive it from
+	// the split sequence and color (deterministic across ranks).
+	ctx := uint64(seq)<<20 | uint64(color+1)
+	return &Comm{world: w, ctx: ctx, members: members, myRank: myRank, owner: r}
+}
+
+func (r *Rank) nextSplit() uint64 {
+	r.splitSeq++
+	return r.splitSeq | 1<<40 // disjoint from collective sequences
+}
+
+// Size returns the communicator's rank count.
+func (c *Comm) Size() int { return len(c.members) }
+
+// Rank returns this process's rank within the communicator.
+func (c *Comm) Rank() int { return c.myRank }
+
+// WorldRank translates a comm rank to the world rank.
+func (c *Comm) WorldRank(commRank int) int { return c.members[commRank] }
+
+// Send transmits within the communicator (comm-rank addressing).
+func (c *Comm) Send(dst, tag, bytes int) sim.Duration {
+	return c.owner.sendCtx(c.members[dst], tag, bytes, c.ctx)
+}
+
+// Recv receives within the communicator.
+func (c *Comm) Recv(src, tag int) (int, sim.Duration) {
+	from := AnySource
+	if src != AnySource {
+		from = c.members[src]
+	}
+	return c.owner.recvCtx(from, tag, c.ctx)
+}
+
+// Sendrecv performs the paired exchange: send to dst while receiving
+// from src, completing when both transfers do (MPI_Sendrecv).
+func (c *Comm) Sendrecv(dst, sendTag, bytes, src, recvTag int) (int, sim.Duration) {
+	start := c.owner.clock
+	c.Send(dst, sendTag, bytes)
+	n, _ := c.Recv(src, recvTag)
+	return n, c.owner.clock.Sub(start)
+}
+
+// commCollective synchronizes the communicator's members at their
+// seq-th collective and returns the common leave time.
+func (c *Comm) commCollective(bytes, stages int) sim.Duration {
+	c.collSeq++
+	start := c.owner.clock
+	seq := c.ctx<<16 | c.collSeq
+	leave := c.world.subCollective(seq, len(c.members), c.owner.clock, func(maxEnter sim.Time) sim.Time {
+		return c.world.collCost(maxEnter, stages, bytes)
+	})
+	c.owner.AdvanceTo(leave)
+	return c.owner.clock.Sub(start)
+}
+
+// Barrier blocks until every member has entered.
+func (c *Comm) Barrier() sim.Duration { return c.commCollective(0, logStages(len(c.members))) }
+
+// Allreduce combines bytes across the communicator.
+func (c *Comm) Allreduce(bytes int) sim.Duration {
+	return c.commCollective(bytes, 2*logStages(len(c.members)))
+}
+
+// Bcast broadcasts bytes from the comm-rank root.
+func (c *Comm) Bcast(root, bytes int) sim.Duration {
+	return c.commCollective(bytes, logStages(len(c.members)))
+}

@@ -1,0 +1,181 @@
+package mpi
+
+import (
+	"testing"
+
+	"vapro/internal/sim"
+)
+
+func TestSplitSemantics(t *testing.T) {
+	w := smallWorld(8)
+	type info struct {
+		size, rank, worldRank int
+	}
+	got := make([]info, 8)
+	w.Run(func(r *Rank) {
+		// Two colors: even and odd world ranks; key reverses order.
+		c := r.Split(r.ID()%2, -r.ID())
+		got[r.ID()] = info{size: c.Size(), rank: c.Rank(), worldRank: c.WorldRank(c.Rank())}
+	})
+	for wr, in := range got {
+		if in.size != 4 {
+			t.Fatalf("rank %d comm size %d", wr, in.size)
+		}
+		if in.worldRank != wr {
+			t.Fatalf("rank %d maps to world rank %d", wr, in.worldRank)
+		}
+	}
+	// Key -ID reverses: world rank 6 (largest even) gets comm rank 0.
+	if got[6].rank != 0 || got[0].rank != 3 {
+		t.Fatalf("key ordering: rank6->%d rank0->%d", got[6].rank, got[0].rank)
+	}
+}
+
+func TestSplitUndefined(t *testing.T) {
+	w := smallWorld(4)
+	w.Run(func(r *Rank) {
+		color := 0
+		if r.ID() == 3 {
+			color = -1 // MPI_UNDEFINED
+		}
+		c := r.Split(color, 0)
+		if r.ID() == 3 {
+			if c != nil {
+				t.Error("undefined color got a communicator")
+			}
+			return
+		}
+		if c.Size() != 3 {
+			t.Errorf("comm size %d", c.Size())
+		}
+		c.Barrier()
+	})
+}
+
+func TestCommP2PIsolation(t *testing.T) {
+	w := smallWorld(4)
+	w.Run(func(r *Rank) {
+		c := r.Split(r.ID()%2, r.ID())
+		// Within each 2-member comm, exchange with the peer using the
+		// SAME tag both colors use: contexts must keep them separate.
+		peer := 1 - c.Rank()
+		if c.Rank() == 0 {
+			c.Send(peer, 5, 100+r.ID())
+			n, _ := c.Recv(peer, 5)
+			if n != 200+r.ID()+2 {
+				t.Errorf("rank %d got %d", r.ID(), n)
+			}
+		} else {
+			n, _ := c.Recv(peer, 5)
+			if n != 100+r.ID()-2 {
+				t.Errorf("rank %d got %d", r.ID(), n)
+			}
+			c.Send(peer, 5, 200+r.ID())
+		}
+	})
+}
+
+func TestCommCollectives(t *testing.T) {
+	w := smallWorld(8)
+	leave := make([]sim.Time, 8)
+	w.Run(func(r *Rank) {
+		c := r.Split(r.ID()/4, r.ID()) // two comms of 4
+		// Skew arrivals within the comm.
+		for i := 0; i <= c.Rank(); i++ {
+			r.Compute(sim.Workload{Instructions: 1e5, MemRatio: 0.3, WorkingSet: 1 << 20})
+		}
+		c.Barrier()
+		c.Allreduce(64)
+		c.Bcast(0, 128)
+		leave[r.ID()] = r.Clock()
+	})
+	// Members of the same comm leave together; different comms may not.
+	for g := 0; g < 2; g++ {
+		base := leave[g*4]
+		for i := 1; i < 4; i++ {
+			if leave[g*4+i] != base {
+				t.Fatalf("comm %d members desynchronized: %v", g, leave)
+			}
+		}
+	}
+}
+
+func TestSendrecv(t *testing.T) {
+	w := smallWorld(4)
+	w.Run(func(r *Rank) {
+		right := (r.ID() + 1) % 4
+		left := (r.ID() + 3) % 4
+		n, d := r.Sendrecv(right, 9, 1000+r.ID(), left, 9)
+		if n != 1000+left {
+			t.Errorf("rank %d sendrecv got %d", r.ID(), n)
+		}
+		if d <= 0 {
+			t.Error("no elapsed time")
+		}
+	})
+}
+
+func TestScanAndReduceScatter(t *testing.T) {
+	w := smallWorld(4)
+	clocks := w.Run(func(r *Rank) {
+		r.Scan(64)
+		r.ReduceScatter(256)
+	})
+	for i, c := range clocks {
+		if c <= 0 {
+			t.Fatalf("rank %d idle", i)
+		}
+		if c != clocks[0] {
+			t.Fatalf("collectives must synchronize: %v", clocks)
+		}
+	}
+}
+
+func TestCommSendrecvRing(t *testing.T) {
+	w := smallWorld(6)
+	w.Run(func(r *Rank) {
+		c := r.Split(0, r.ID())
+		right := (c.Rank() + 1) % c.Size()
+		left := (c.Rank() + c.Size() - 1) % c.Size()
+		n, _ := c.Sendrecv(right, 2, 50+c.Rank(), left, 2)
+		if n != 50+left {
+			t.Errorf("ring exchange: rank %d got %d", c.Rank(), n)
+		}
+	})
+}
+
+func TestInterNodeCostsMore(t *testing.T) {
+	m := sim.NewMachine(sim.Config{Nodes: 2, CoresPerNode: 2, FreqGHz: 2, Seed: 1})
+	w := NewWorld(4, m, sim.IdealEnv{}) // ranks 0,1 node 0; ranks 2,3 node 1
+	var intra, inter sim.Duration
+	w.Run(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Send(1, 0, 1<<20) // same node
+			r.Send(2, 1, 1<<20) // cross node
+		case 1:
+			_, intra = r.Recv(0, 0)
+		case 2:
+			_, inter = r.Recv(0, 1)
+		}
+	})
+	if inter <= intra {
+		t.Fatalf("inter-node transfer (%v) not slower than intra-node (%v)", inter, intra)
+	}
+}
+
+func TestCollectiveSlotReuse(t *testing.T) {
+	// Many collectives in sequence must not leak slots.
+	w := smallWorld(4)
+	w.Run(func(r *Rank) {
+		for i := 0; i < 200; i++ {
+			r.Barrier()
+		}
+	})
+	w.collMu.Lock()
+	n := len(w.collSlots) + len(w.subSlots) + len(w.splitSlots)
+	w.collMu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d collective slots leaked", n)
+	}
+}

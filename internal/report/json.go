@@ -1,0 +1,106 @@
+package report
+
+import (
+	"encoding/json"
+
+	"vapro/internal/core"
+	"vapro/internal/detect"
+	"vapro/internal/diagnose"
+)
+
+// Summary is the machine-readable form of a run's analysis — what a
+// monitoring pipeline ingests instead of the HTML report.
+type Summary struct {
+	App       string  `json:"app"`
+	Ranks     int     `json:"ranks"`
+	MakespanS float64 `json:"makespan_s"`
+	Fragments int     `json:"fragments"`
+
+	Coverage map[string]float64 `json:"coverage"`
+	Overall  float64            `json:"overall_coverage"`
+
+	Regions []RegionSummary `json:"regions"`
+
+	Diagnosis []FactorSummary `json:"diagnosis,omitempty"`
+}
+
+// RegionSummary is one detected variance region.
+type RegionSummary struct {
+	Class    string  `json:"class"`
+	RankMin  int     `json:"rank_min"`
+	RankMax  int     `json:"rank_max"`
+	StartS   float64 `json:"start_s"`
+	EndS     float64 `json:"end_s"`
+	MeanPerf float64 `json:"mean_perf"`
+	LossS    float64 `json:"loss_s"`
+}
+
+// FactorSummary is one node of the diagnosis factor tree, flattened
+// with its depth.
+type FactorSummary struct {
+	Factor   string  `json:"factor"`
+	Stage    int     `json:"stage"`
+	Impact   float64 `json:"impact"`
+	Duration float64 `json:"duration"`
+	PValue   float64 `json:"p_value,omitempty"`
+	Major    bool    `json:"major,omitempty"`
+}
+
+// JSON serializes the run's analysis. When diagnose is true the top
+// computation region (falling back to IO) is diagnosed and included.
+func JSON(res *core.Result, diagnoseTop bool) ([]byte, error) {
+	s := Summary{
+		App:       res.App.Name,
+		Ranks:     res.Ranks,
+		MakespanS: res.Makespan.Seconds(),
+		Fragments: res.Graph.NumFragments(),
+		Coverage:  map[string]float64{},
+		Overall:   res.Detection.OverallCoverage,
+	}
+	for class, cov := range res.Detection.Coverage {
+		s.Coverage[class.String()] = cov
+	}
+	for _, reg := range res.Detection.Regions {
+		rs := RegionSummary{
+			Class:    reg.Class.String(),
+			RankMin:  reg.RankMin,
+			RankMax:  reg.RankMax,
+			MeanPerf: reg.MeanPerf,
+			LossS:    float64(reg.LossNS) / 1e9,
+		}
+		if h := res.Detection.Maps[reg.Class]; h != nil {
+			rs.StartS = reg.StartTime(h).Seconds()
+			rs.EndS = reg.EndTime(h).Seconds()
+		}
+		s.Regions = append(s.Regions, rs)
+	}
+	if diagnoseTop {
+		for _, class := range []detect.Class{detect.Computation, detect.IOClass} {
+			rep := res.DiagnoseTop(class, diagnose.DefaultOptions())
+			if rep == nil || rep.AbnormalFrags == 0 {
+				continue
+			}
+			var walk func(frs []diagnose.FactorReport)
+			walk = func(frs []diagnose.FactorReport) {
+				for i := range frs {
+					f := &frs[i]
+					fs := FactorSummary{
+						Factor:   f.Factor.String(),
+						Stage:    f.Factor.Stage(),
+						Impact:   f.ImpactFrac,
+						Duration: f.DurationFrac,
+						Major:    f.Major,
+					}
+					if f.PValue >= 0 {
+						fs.PValue = f.PValue
+					}
+					s.Diagnosis = append(s.Diagnosis, fs)
+					walk(f.Children)
+				}
+			}
+			walk(rep.Factors)
+			break
+		}
+	}
+	return json.MarshalIndent(&s, "", "  ")
+}

@@ -1,0 +1,164 @@
+// Package report renders a complete, self-contained HTML report for one
+// analyzed run: the three per-class heat maps (as inline SVG) with
+// detected regions outlined, the variance-region table ranked by
+// quantified loss, the progressive diagnosis factor tree, coverage
+// numbers, and an STG summary. It is the shareable form of the paper's
+// step 7 (Visualization): the artifact a user mails to the system
+// administrator along with "node 23 has a memory problem".
+package report
+
+import (
+	"fmt"
+	"html"
+	"sort"
+	"strings"
+
+	"vapro/internal/core"
+	"vapro/internal/detect"
+	"vapro/internal/diagnose"
+	"vapro/internal/heatmap"
+)
+
+// Options configures the report.
+type Options struct {
+	// Title heads the document (defaults to the app name).
+	Title string
+	// Diagnose runs the progressive diagnosis for the top region of
+	// every class that has one.
+	Diagnose bool
+	// DiagnoseOptions tunes it.
+	DiagnoseOptions diagnose.Options
+	// MaxRegions caps the region table.
+	MaxRegions int
+}
+
+// DefaultOptions enables diagnosis with the paper's thresholds.
+func DefaultOptions() Options {
+	return Options{
+		Diagnose:        true,
+		DiagnoseOptions: diagnose.DefaultOptions(),
+		MaxRegions:      20,
+	}
+}
+
+// HTML renders the report document.
+func HTML(res *core.Result, opt Options) string {
+	if opt.MaxRegions <= 0 {
+		opt.MaxRegions = 20
+	}
+	title := opt.Title
+	if title == "" {
+		title = res.App.Name + " — Vapro report"
+	}
+
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(title))
+	b.WriteString(`<style>
+body { font-family: sans-serif; margin: 2em; max-width: 72em; }
+table { border-collapse: collapse; margin: 1em 0; }
+th, td { border: 1px solid #ccc; padding: 0.3em 0.8em; text-align: right; }
+th { background: #f0f0f0; }
+td.l, th.l { text-align: left; }
+pre { background: #f7f7f7; padding: 1em; overflow-x: auto; }
+.warn { color: #b00; font-weight: bold; }
+.ok { color: #070; }
+</style></head><body>
+`)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(title))
+
+	// Summary.
+	st := res.Graph.Stats()
+	fmt.Fprintf(&b, "<p>%d ranks, makespan %s; STG: %d vertices, %d edges, %d fragments "+
+		"(%d computation, %d communication, %d IO).</p>\n",
+		res.Ranks, res.Makespan, st.Vertices, st.Edges, res.Graph.NumFragments(),
+		st.CompFragments, st.CommFragments, st.IOFragments)
+
+	// Coverage.
+	b.WriteString("<h2>Detection coverage</h2>\n<table><tr><th class=l>class</th><th>coverage</th></tr>\n")
+	for _, class := range []detect.Class{detect.Computation, detect.Communication, detect.IOClass} {
+		if cov, ok := res.Detection.Coverage[class]; ok {
+			fmt.Fprintf(&b, "<tr><td class=l>%s</td><td>%.1f%%</td></tr>\n", class, 100*cov)
+		}
+	}
+	fmt.Fprintf(&b, "<tr><td class=l>overall</td><td>%.1f%%</td></tr>\n</table>\n",
+		100*res.Detection.OverallCoverage)
+
+	// Verdict line.
+	if len(res.Detection.Regions) == 0 {
+		b.WriteString("<p class=ok>No performance variance detected.</p>\n")
+	} else {
+		fmt.Fprintf(&b, "<p class=warn>%d variance region(s) detected.</p>\n", len(res.Detection.Regions))
+	}
+
+	// Region table, ranked by loss.
+	if len(res.Detection.Regions) > 0 {
+		b.WriteString("<h2>Variance regions</h2>\n")
+		b.WriteString("<table><tr><th>#</th><th class=l>class</th><th>ranks</th><th>window</th><th>mean perf</th><th>loss</th></tr>\n")
+		regions := append([]detect.Region(nil), res.Detection.Regions...)
+		sort.SliceStable(regions, func(i, j int) bool { return regions[i].LossNS > regions[j].LossNS })
+		for i, reg := range regions {
+			if i >= opt.MaxRegions {
+				fmt.Fprintf(&b, "<tr><td colspan=6 class=l>… %d more</td></tr>\n", len(regions)-i)
+				break
+			}
+			h := res.Detection.Maps[reg.Class]
+			window := "?"
+			if h != nil {
+				window = fmt.Sprintf("%.2fs – %.2fs", reg.StartTime(h).Seconds(), reg.EndTime(h).Seconds())
+			}
+			fmt.Fprintf(&b, "<tr><td>%d</td><td class=l>%s</td><td>%d–%d</td><td>%s</td><td>%.2f</td><td>%.3fs</td></tr>\n",
+				i+1, reg.Class, reg.RankMin, reg.RankMax, window, reg.MeanPerf, float64(reg.LossNS)/1e9)
+		}
+		b.WriteString("</table>\n")
+	}
+
+	// Heat maps.
+	for _, class := range []detect.Class{detect.Computation, detect.Communication, detect.IOClass} {
+		h := res.Detection.Maps[class]
+		if h == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "<h2>%s heat map</h2>\n", class)
+		b.WriteString(heatmap.RenderSVG(h, res.Detection.Regions))
+	}
+
+	// Diagnosis.
+	if opt.Diagnose {
+		for _, class := range []detect.Class{detect.Computation, detect.IOClass, detect.Communication} {
+			rep := res.DiagnoseTop(class, opt.DiagnoseOptions)
+			if rep == nil || rep.AbnormalFrags == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "<h2>Progressive diagnosis (%s)</h2>\n", class)
+			fmt.Fprintf(&b, "<pre>%s</pre>\n", html.EscapeString(rep.String()))
+			writeFactorTable(&b, rep)
+		}
+	}
+
+	b.WriteString("</body></html>\n")
+	return b.String()
+}
+
+// writeFactorTable renders the factor tree as a table with impact and
+// duration columns (the paper's "impact and time duration for each
+// factor").
+func writeFactorTable(b *strings.Builder, rep *diagnose.Report) {
+	b.WriteString("<table><tr><th class=l>factor</th><th>stage</th><th>impact</th><th>duration</th><th>p-value</th></tr>\n")
+	var walk func(frs []diagnose.FactorReport, depth int)
+	walk = func(frs []diagnose.FactorReport, depth int) {
+		for i := range frs {
+			f := &frs[i]
+			p := ""
+			if f.PValue >= 0 {
+				p = fmt.Sprintf("%.3g", f.PValue)
+			}
+			fmt.Fprintf(b, "<tr><td class=l>%s%s</td><td>%d</td><td>%.1f%%</td><td>%.1f%%</td><td>%s</td></tr>\n",
+				strings.Repeat("&nbsp;&nbsp;", depth), html.EscapeString(f.Factor.String()),
+				f.Factor.Stage(), 100*f.ImpactFrac, 100*f.DurationFrac, p)
+			walk(f.Children, depth+1)
+		}
+	}
+	walk(rep.Factors, 0)
+	b.WriteString("</table>\n")
+}

@@ -1,0 +1,118 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"vapro/internal/apps"
+	"vapro/internal/core"
+	"vapro/internal/detect"
+	"vapro/internal/noise"
+	"vapro/internal/sim"
+	"vapro/internal/stg"
+)
+
+func noisyRun(t *testing.T) *core.Result {
+	t.Helper()
+	opt := core.DefaultOptions()
+	opt.Ranks = 16
+	opt.Collector.Detect.Window = 100 * sim.Millisecond
+	sch := noise.NewSchedule()
+	sch.Add(noise.CPUContention(0, 1, sim.Time(900*sim.Millisecond), sim.Time(1500*sim.Millisecond), 0.5))
+	opt.Noise = sch
+	return core.RunTraced(apps.NewCG(15), opt)
+}
+
+func TestHTMLReport(t *testing.T) {
+	res := noisyRun(t)
+	doc := HTML(res, DefaultOptions())
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"Detection coverage",
+		"Variance regions",
+		"computation heat map",
+		"<svg",
+		"Progressive diagnosis",
+		"suspension",
+		"</html>",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+	if !strings.Contains(doc, "variance region(s) detected") {
+		t.Fatal("verdict line missing")
+	}
+}
+
+func TestHTMLReportQuiet(t *testing.T) {
+	// A hand-built result with no regions exercises the quiet verdict
+	// branch (real runs almost always flag some small wait region).
+	res := &core.Result{
+		Ranks:    4,
+		Makespan: sim.Duration(sim.Second),
+		Graph:    stg.New(),
+		Detection: &detect.Result{
+			Coverage: map[detect.Class]float64{detect.Computation: 0.9},
+			Maps:     map[detect.Class]*detect.HeatMap{},
+			Samples:  map[detect.Class][]detect.Sample{},
+		},
+	}
+	opt := DefaultOptions()
+	opt.Diagnose = false
+	doc := HTML(res, opt)
+	if !strings.Contains(doc, "No performance variance detected") {
+		t.Fatal("quiet verdict missing")
+	}
+}
+
+func TestHTMLTitleEscaping(t *testing.T) {
+	res := noisyRun(t)
+	opt := DefaultOptions()
+	opt.Title = `<script>alert("x")</script>`
+	doc := HTML(res, opt)
+	if strings.Contains(doc, "<script>") {
+		t.Fatal("title not escaped")
+	}
+}
+
+func TestMaxRegionsCap(t *testing.T) {
+	res := noisyRun(t)
+	opt := DefaultOptions()
+	opt.MaxRegions = 1
+	doc := HTML(res, opt)
+	if len(res.Detection.Regions) > 1 && !strings.Contains(doc, "more") {
+		t.Fatal("region cap not applied")
+	}
+}
+
+func TestJSONSummary(t *testing.T) {
+	res := noisyRun(t)
+	data, err := JSON(res, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Summary
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.App != "CG" || s.Ranks != 16 || s.Fragments == 0 {
+		t.Fatalf("summary identity: %+v", s)
+	}
+	if s.Overall <= 0 || len(s.Coverage) == 0 {
+		t.Fatal("coverage missing")
+	}
+	if len(s.Regions) == 0 {
+		t.Fatal("regions missing")
+	}
+	foundSusp := false
+	for _, f := range s.Diagnosis {
+		if f.Factor == "suspension" && f.Impact > 0.5 {
+			foundSusp = true
+		}
+	}
+	if !foundSusp {
+		t.Fatalf("diagnosis missing suspension: %+v", s.Diagnosis)
+	}
+}

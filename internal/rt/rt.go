@@ -1,0 +1,244 @@
+// Package rt defines the runtime interface application skeletons program
+// against, plus the plain (untraced) implementation used for baseline
+// timing. Vapro's interposition layer (internal/interpose) implements
+// the same interface while recording fragments — mirroring how the real
+// tool LD_PRELOADs itself between an unmodified binary and its external
+// libraries.
+package rt
+
+import (
+	"errors"
+
+	"vapro/internal/mpi"
+	"vapro/internal/sim"
+	"vapro/internal/vfs"
+)
+
+// Req is an opaque nonblocking-operation handle.
+type Req interface{}
+
+// errNoFS is returned by IO operations when the runtime was configured
+// without a file system.
+var errNoFS = errors.New("rt: no file system configured")
+
+// Runtime is everything an application skeleton may do: compute,
+// communicate, do IO, and synchronize. Implementations advance the
+// rank's virtual clock as a side effect of every call.
+type Runtime interface {
+	// Identity and time.
+	Rank() int
+	Size() int
+	Now() sim.Time
+	Rand() *sim.RNG
+
+	// Computation.
+	Compute(w sim.Workload)
+
+	// Point-to-point communication.
+	Send(dst, tag, bytes int)
+	Recv(src, tag int) int
+	Sendrecv(dst, sendTag, bytes, src, recvTag int) int
+	Isend(dst, tag, bytes int) Req
+	Irecv(src, tag int) Req
+	Wait(q Req)
+	Waitall(qs []Req)
+
+	// Collectives.
+	Barrier()
+	Bcast(root, bytes int)
+	Reduce(root, bytes int)
+	Allreduce(bytes int)
+	Alltoall(bytesPerRank int)
+	Allgather(bytesPerRank int)
+	Gather(root, bytesPerRank int)
+
+	// File IO. Handles are process-local descriptors.
+	Open(path string, mode vfs.OpenMode) (int, error)
+	ReadF(fd, n int) int
+	WriteF(fd, n int)
+	SeekF(fd int, offset int64)
+	CloseF(fd int)
+
+	// Probe is a user-defined explicit invocation (the Dyninst-inserted
+	// probe of the paper) marking a fragment boundary in long compute
+	// regions.
+	Probe(name string)
+}
+
+// Config carries the pieces shared by every Runtime implementation.
+type Config struct {
+	FS         *vfs.FS // file system (nil disables IO)
+	BufferedIO bool    // route reads through a client-side file buffer (the RAxML fix)
+}
+
+// Plain is the untraced runtime: it forwards every call straight to the
+// substrates with zero recording overhead. Baseline runs for overhead
+// measurement use this.
+type Plain struct {
+	R   *mpi.Rank
+	FS  *vfs.FS
+	Buf *vfs.Buffer
+
+	files  map[int]*vfs.File
+	nextFD int
+}
+
+// NewPlain wraps an mpi.Rank (and optional FS) into a plain runtime.
+func NewPlain(r *mpi.Rank, cfg Config) *Plain {
+	p := &Plain{R: r, FS: cfg.FS, files: make(map[int]*vfs.File)}
+	if cfg.BufferedIO && cfg.FS != nil {
+		p.Buf = vfs.NewBuffer(cfg.FS)
+	}
+	return p
+}
+
+// Rank implements Runtime.
+func (p *Plain) Rank() int { return p.R.ID() }
+
+// Size implements Runtime.
+func (p *Plain) Size() int { return p.R.Size() }
+
+// Now implements Runtime.
+func (p *Plain) Now() sim.Time { return p.R.Clock() }
+
+// Rand implements Runtime.
+func (p *Plain) Rand() *sim.RNG { return p.R.RNG() }
+
+// Compute implements Runtime.
+func (p *Plain) Compute(w sim.Workload) { p.R.Compute(w) }
+
+// Send implements Runtime.
+func (p *Plain) Send(dst, tag, bytes int) { p.R.Send(dst, tag, bytes) }
+
+// Recv implements Runtime.
+func (p *Plain) Recv(src, tag int) int {
+	n, _ := p.R.Recv(src, tag)
+	return n
+}
+
+// Sendrecv implements Runtime.
+func (p *Plain) Sendrecv(dst, sendTag, bytes, src, recvTag int) int {
+	n, _ := p.R.Sendrecv(dst, sendTag, bytes, src, recvTag)
+	return n
+}
+
+// Isend implements Runtime.
+func (p *Plain) Isend(dst, tag, bytes int) Req { return p.R.Isend(dst, tag, bytes) }
+
+// Irecv implements Runtime.
+func (p *Plain) Irecv(src, tag int) Req { return p.R.Irecv(src, tag) }
+
+// Wait implements Runtime.
+func (p *Plain) Wait(q Req) { p.R.Wait(q.(*mpi.Request)) }
+
+// Waitall implements Runtime.
+func (p *Plain) Waitall(qs []Req) {
+	for _, q := range qs {
+		p.R.Wait(q.(*mpi.Request))
+	}
+}
+
+// Barrier implements Runtime.
+func (p *Plain) Barrier() { p.R.Barrier() }
+
+// Bcast implements Runtime.
+func (p *Plain) Bcast(root, bytes int) { p.R.Bcast(root, bytes) }
+
+// Reduce implements Runtime.
+func (p *Plain) Reduce(root, bytes int) { p.R.Reduce(root, bytes) }
+
+// Allreduce implements Runtime.
+func (p *Plain) Allreduce(bytes int) { p.R.Allreduce(bytes) }
+
+// Alltoall implements Runtime.
+func (p *Plain) Alltoall(bytesPerRank int) { p.R.Alltoall(bytesPerRank) }
+
+// Allgather implements Runtime.
+func (p *Plain) Allgather(bytesPerRank int) { p.R.Allgather(bytesPerRank) }
+
+// Gather implements Runtime.
+func (p *Plain) Gather(root, bytesPerRank int) { p.R.Gather(root, bytesPerRank) }
+
+// Open implements Runtime. With the file buffer enabled, reopening an
+// already-cached file is a local operation (the paper's fix avoids the
+// shared-FS metadata round trips of the small files entirely).
+func (p *Plain) Open(path string, mode vfs.OpenMode) (int, error) {
+	if p.FS == nil {
+		return -1, errNoFS
+	}
+	if p.Buf != nil && mode == vfs.ReadOnly {
+		if d, ok := p.Buf.OpenLocal(path); ok {
+			p.R.Advance(d)
+			f, _, err := p.FS.Open(path, mode, p.R.Node(), p.R.Clock(), p.R.RNG())
+			if err != nil {
+				return -1, err
+			}
+			p.nextFD++
+			p.files[p.nextFD] = f
+			return p.nextFD, nil
+		}
+	}
+	f, d, err := p.FS.Open(path, mode, p.R.Node(), p.R.Clock(), p.R.RNG())
+	p.R.Advance(d)
+	if err != nil {
+		return -1, err
+	}
+	p.nextFD++
+	p.files[p.nextFD] = f
+	return p.nextFD, nil
+}
+
+// ReadF implements Runtime.
+func (p *Plain) ReadF(fd, n int) int {
+	f := p.files[fd]
+	if f == nil {
+		return 0
+	}
+	if p.Buf != nil {
+		got, d, err := p.Buf.ReadFile(f.Path(), f.Offset(), n, p.R.Node(), p.R.Clock(), p.R.RNG())
+		p.R.Advance(d)
+		if err != nil {
+			return 0
+		}
+		f.SeekTo(f.Offset() + int64(got))
+		return got
+	}
+	got, d := f.Read(n, p.R.Node(), p.R.Clock(), p.R.RNG())
+	p.R.Advance(d)
+	return got
+}
+
+// WriteF implements Runtime.
+func (p *Plain) WriteF(fd, n int) {
+	f := p.files[fd]
+	if f == nil {
+		return
+	}
+	d := f.Write(n, p.R.Node(), p.R.Clock(), p.R.RNG())
+	p.R.Advance(d)
+}
+
+// SeekF implements Runtime.
+func (p *Plain) SeekF(fd int, offset int64) {
+	if f := p.files[fd]; f != nil {
+		f.SeekTo(offset)
+	}
+}
+
+// CloseF implements Runtime. Closing a buffered file is local.
+func (p *Plain) CloseF(fd int) {
+	f := p.files[fd]
+	if f == nil {
+		return
+	}
+	if p.Buf != nil && p.Buf.Cached(f.Path()) {
+		p.R.Advance(2 * sim.Microsecond)
+	} else {
+		d := f.Close(p.R.Node(), p.R.Clock(), p.R.RNG())
+		p.R.Advance(d)
+	}
+	delete(p.files, fd)
+}
+
+// Probe implements Runtime: without Vapro attached a probe is free.
+func (p *Plain) Probe(name string) {}

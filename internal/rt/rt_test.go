@@ -1,0 +1,103 @@
+package rt
+
+import (
+	"testing"
+
+	"vapro/internal/mpi"
+	"vapro/internal/sim"
+	"vapro/internal/vfs"
+)
+
+func world(size int, fs *vfs.FS) *mpi.World {
+	m := sim.NewMachine(sim.Config{Nodes: 1, CoresPerNode: size, FreqGHz: 2, Seed: 1})
+	return mpi.NewWorld(size, m, sim.IdealEnv{})
+}
+
+func TestPlainForwardsOps(t *testing.T) {
+	w := world(2, nil)
+	var got int
+	w.Run(func(r *mpi.Rank) {
+		p := NewPlain(r, Config{})
+		if p.Rank() != r.ID() || p.Size() != 2 {
+			t.Error("identity")
+		}
+		if p.Rank() == 0 {
+			p.Send(1, 0, 64)
+			p.Wait(p.Isend(1, 1, 32))
+			p.Barrier()
+			p.Allreduce(8)
+		} else {
+			got = p.Recv(0, 0)
+			q := p.Irecv(0, 1)
+			p.Waitall([]Req{q})
+			p.Barrier()
+			p.Allreduce(8)
+		}
+		p.Compute(sim.Workload{Instructions: 1000, MemRatio: 0.5, WorkingSet: 1024})
+		if p.Now() <= 0 {
+			t.Error("clock did not advance")
+		}
+		if p.Rand() == nil {
+			t.Error("no rng")
+		}
+		p.Probe("free") // no-op, must not panic
+	})
+	if got != 64 {
+		t.Fatalf("recv got %d", got)
+	}
+}
+
+func TestPlainIO(t *testing.T) {
+	fs := vfs.New(sim.IdealEnv{}, 1)
+	fs.Create("/data", 1000)
+	w := world(1, fs)
+	w.Run(func(r *mpi.Rank) {
+		p := NewPlain(r, Config{FS: fs})
+		fd, err := p.Open("/data", vfs.ReadOnly)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if n := p.ReadF(fd, 500); n != 500 {
+			t.Errorf("read %d", n)
+		}
+		p.SeekF(fd, 0)
+		if n := p.ReadF(fd, 2000); n != 1000 {
+			t.Errorf("read after seek %d", n)
+		}
+		p.CloseF(fd)
+		// Ops on a closed/bogus fd are safe no-ops.
+		if n := p.ReadF(fd, 10); n != 0 {
+			t.Errorf("read on closed fd: %d", n)
+		}
+		p.WriteF(999, 10)
+		p.SeekF(999, 0)
+		p.CloseF(999)
+
+		if _, err := p.Open("/missing", vfs.ReadOnly); err == nil {
+			t.Error("open of missing file succeeded")
+		}
+	})
+}
+
+func TestPlainBufferedIO(t *testing.T) {
+	fs := vfs.New(sim.IdealEnv{}, 1)
+	fs.Create("/small", 100)
+	w := world(1, fs)
+	w.Run(func(r *mpi.Rank) {
+		p := NewPlain(r, Config{FS: fs, BufferedIO: true})
+		// First pass populates the buffer.
+		fd, _ := p.Open("/small", vfs.ReadOnly)
+		p.ReadF(fd, 100)
+		p.CloseF(fd)
+		t1 := p.Now()
+		// Second pass must be much cheaper.
+		fd, _ = p.Open("/small", vfs.ReadOnly)
+		p.ReadF(fd, 100)
+		p.CloseF(fd)
+		t2 := p.Now()
+		if (t2-t1)*5 > t1 {
+			t.Errorf("buffered reopen (%v) not much cheaper than cold (%v)", t2-t1, t1)
+		}
+	})
+}

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func sampleCounters() Counters {
+	return Counters{
+		TotIns: 1000, Cycles: 500, TSC: 700,
+		SlotsFrontend: 100, SlotsBadSpec: 50, SlotsRetiring: 1000, SlotsBackend: 850,
+		SlotsCore: 200, SlotsMemory: 650,
+		SlotsL1: 100, SlotsL2: 150, SlotsL3: 200, SlotsDRAM: 200,
+		Suspension: 42, SoftPF: 3, HardPF: 1, VolCS: 2, InvolCS: 5, Signals: 1,
+		LoadStores: 400, CacheMisses: 7, L2MissStall: 9,
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := sampleCounters()
+	b := sampleCounters()
+	a.Add(b)
+	if a.TotIns != 2000 || a.Cycles != 1000 || a.TSC != 1400 {
+		t.Fatalf("Add base fields: %+v", a)
+	}
+	if a.SlotsDRAM != 400 || a.InvolCS != 10 || a.Suspension != 84 {
+		t.Fatalf("Add detail fields: %+v", a)
+	}
+}
+
+func TestTotalSlots(t *testing.T) {
+	c := Counters{Cycles: 25}
+	if c.TotalSlots() != 100 {
+		t.Fatalf("TotalSlots = %d", c.TotalSlots())
+	}
+}
+
+func TestGroupHasAndCount(t *testing.T) {
+	g := GroupBase | GroupOS
+	if !g.Has(GroupBase) || !g.Has(GroupOS) || g.Has(GroupMemory) {
+		t.Fatal("Has misbehaves")
+	}
+	if g.Count() != 2 {
+		t.Fatalf("Count = %d", g.Count())
+	}
+	if GroupAll.Count() != 6 {
+		t.Fatalf("GroupAll.Count = %d", GroupAll.Count())
+	}
+}
+
+func TestMaskBaseAlwaysKept(t *testing.T) {
+	c := sampleCounters()
+	m := c.Mask(GroupBase)
+	if m.TotIns != c.TotIns || m.Cycles != c.Cycles || m.TSC != c.TSC {
+		t.Fatal("base fields must survive any mask")
+	}
+	if m.SlotsBackend != 0 || m.SoftPF != 0 || m.LoadStores != 0 {
+		t.Fatalf("non-armed fields leaked: %+v", m)
+	}
+}
+
+func TestMaskGroupSelectivity(t *testing.T) {
+	c := sampleCounters()
+
+	m := c.Mask(GroupBase | GroupTopdownL1)
+	if m.SlotsFrontend != c.SlotsFrontend || m.Suspension != c.Suspension {
+		t.Fatal("topdown L1 group not delivered")
+	}
+	if m.SlotsMemory != 0 || m.SlotsL2 != 0 || m.SoftPF != 0 {
+		t.Fatal("other groups leaked through topdown mask")
+	}
+
+	m = c.Mask(GroupBase | GroupBackend)
+	if m.SlotsCore != c.SlotsCore || m.SlotsMemory != c.SlotsMemory {
+		t.Fatal("backend group not delivered")
+	}
+	if m.SlotsL1 != 0 {
+		t.Fatal("memory group leaked through backend mask")
+	}
+
+	m = c.Mask(GroupBase | GroupMemory)
+	if m.SlotsL3 != c.SlotsL3 || m.SlotsDRAM != c.SlotsDRAM {
+		t.Fatal("memory group not delivered")
+	}
+
+	m = c.Mask(GroupBase | GroupOS)
+	if m.SoftPF != c.SoftPF || m.InvolCS != c.InvolCS || m.Suspension != c.Suspension {
+		t.Fatal("OS group not delivered")
+	}
+
+	m = c.Mask(GroupBase | GroupExtra)
+	if m.LoadStores != c.LoadStores || m.L2MissStall != c.L2MissStall {
+		t.Fatal("extra group not delivered")
+	}
+}
+
+func TestMaskAllIsIdentity(t *testing.T) {
+	c := sampleCounters()
+	if c.Mask(GroupAll) != c {
+		t.Fatal("GroupAll mask must be identity")
+	}
+}
+
+// Property: masking is idempotent.
+func TestMaskIdempotent(t *testing.T) {
+	f := func(armedBits uint8) bool {
+		armed := Group(armedBits) & GroupAll
+		c := sampleCounters()
+		once := c.Mask(armed)
+		twice := once.Mask(armed)
+		return once == twice
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedSensitivity(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	root := NewRNG(7)
+	s1 := root.Split(1)
+	s2 := root.Split(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if s1.Uint64() == s2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split streams collided %d times", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(9)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(4)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) hit only %d distinct values", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(5)
+	var sum, sumSq float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance %v, want ~1", variance)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	r := NewRNG(6)
+	const scale = 0.01
+	for i := 0; i < 10000; i++ {
+		f := r.Jitter(scale)
+		if f < 1-3*scale-1e-12 || f > 1+3*scale+1e-12 {
+			t.Fatalf("jitter %v outside clamp", f)
+		}
+	}
+}
+
+func TestExpFloat64Positive(t *testing.T) {
+	r := NewRNG(8)
+	sum := 0.0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("exponential draw negative: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.03 {
+		t.Fatalf("exponential mean %v, want ~1", mean)
+	}
+}
+
+// Property: Split is deterministic in (parent state, id).
+func TestSplitDeterministicProperty(t *testing.T) {
+	f := func(seed, id uint64) bool {
+		a := NewRNG(seed).Split(id)
+		b := NewRNG(seed).Split(id)
+		return a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

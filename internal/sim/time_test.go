@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDurationSeconds(t *testing.T) {
+	if s := (2 * Second).Seconds(); s != 2 {
+		t.Fatalf("2s = %v seconds", s)
+	}
+	if s := (1500 * Millisecond).Seconds(); s != 1.5 {
+		t.Fatalf("1500ms = %v seconds", s)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(0).Add(3 * Second)
+	if t0.Seconds() != 3 {
+		t.Fatalf("Add: %v", t0)
+	}
+	if d := t0.Sub(Time(Second)); d != 2*Second {
+		t.Fatalf("Sub: %v", d)
+	}
+}
+
+func TestFromSeconds(t *testing.T) {
+	if d := FromSeconds(0.25); d != 250*Millisecond {
+		t.Fatalf("FromSeconds(0.25) = %v", d)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	if s := (1500 * Millisecond).String(); s != "1.5s" {
+		t.Fatalf("String: %q", s)
+	}
+}
+
+// Property: Add/Sub round-trip.
+func TestAddSubRoundTrip(t *testing.T) {
+	f := func(base int64, delta int32) bool {
+		t0 := Time(base % (1 << 50))
+		d := Duration(delta)
+		return t0.Add(d).Sub(t0) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,66 @@
+package stats
+
+import "math"
+
+// V-measure (Rosenberg & Hirschberg, 2007) scores a clustering against
+// ground-truth class labels with two conditional-entropy criteria:
+// homogeneity (each cluster contains only members of a single class)
+// and completeness (all members of a class are assigned to the same
+// cluster). Table 2 of the paper reports these for the fixed-workload
+// identification.
+
+// VMeasure returns homogeneity, completeness and their harmonic mean
+// for the given ground-truth class labels and predicted cluster labels.
+// Labels are arbitrary ints; the slices must have equal length.
+func VMeasure(classes, clusters []int) (homogeneity, completeness, v float64) {
+	n := len(classes)
+	if n == 0 || n != len(clusters) {
+		return 0, 0, 0
+	}
+	// Contingency table.
+	type pair struct{ c, k int }
+	joint := make(map[pair]int)
+	classN := make(map[int]int)
+	clustN := make(map[int]int)
+	for i := 0; i < n; i++ {
+		joint[pair{classes[i], clusters[i]}]++
+		classN[classes[i]]++
+		clustN[clusters[i]]++
+	}
+	fn := float64(n)
+
+	entropy := func(counts map[int]int) float64 {
+		h := 0.0
+		for _, c := range counts {
+			p := float64(c) / fn
+			h -= p * math.Log(p)
+		}
+		return h
+	}
+	hClass := entropy(classN)
+	hClust := entropy(clustN)
+
+	// Conditional entropies H(class|cluster) and H(cluster|class).
+	var hCK, hKC float64
+	for p, cnt := range joint {
+		pj := float64(cnt) / fn
+		hCK -= pj * math.Log(float64(cnt)/float64(clustN[p.k]))
+		hKC -= pj * math.Log(float64(cnt)/float64(classN[p.c]))
+	}
+
+	if hClass == 0 {
+		homogeneity = 1
+	} else {
+		homogeneity = 1 - hCK/hClass
+	}
+	if hClust == 0 {
+		completeness = 1
+	} else {
+		completeness = 1 - hKC/hClust
+	}
+	if homogeneity+completeness == 0 {
+		return homogeneity, completeness, 0
+	}
+	v = 2 * homogeneity * completeness / (homogeneity + completeness)
+	return homogeneity, completeness, v
+}

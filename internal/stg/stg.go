@@ -1,0 +1,214 @@
+// Package stg implements the State Transition Graph of §3.2: vertices
+// are program running states (call-sites or call-paths), edges are the
+// transitions between them (the computation snippets separating two
+// external invocations). Fragments attach to vertices (communication,
+// IO, sync, probe invocations) and to edges (computation), which is the
+// organization the fixed-workload clustering of §3.4 runs over.
+package stg
+
+import (
+	"fmt"
+	"sort"
+
+	"vapro/internal/trace"
+)
+
+// Vertex is one running state with the invocation fragments observed in
+// that state.
+type Vertex struct {
+	Key       uint64
+	Name      string
+	Kind      trace.Kind // dominant fragment kind at this vertex
+	Fragments []trace.Fragment
+}
+
+// Edge is one state transition with the computation fragments observed
+// on it.
+type Edge struct {
+	Key       trace.EdgeKey
+	Fragments []trace.Fragment
+}
+
+// Graph is a State Transition Graph built from a fragment stream. The
+// zero value is not ready; construct with New. Graph is not safe for
+// concurrent mutation; the collector serializes Add calls per graph.
+type Graph struct {
+	vertices map[uint64]*Vertex
+	edges    map[trace.EdgeKey]*Edge
+	names    map[uint64]string
+	frags    int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		vertices: make(map[uint64]*Vertex),
+		edges:    make(map[trace.EdgeKey]*Edge),
+		names:    make(map[uint64]string),
+	}
+}
+
+// SetName records a human-readable name for a state key (for reports).
+func (g *Graph) SetName(key uint64, name string) { g.names = setName(g.names, key, name) }
+
+func setName(m map[uint64]string, key uint64, name string) map[uint64]string {
+	if name != "" {
+		if _, ok := m[key]; !ok {
+			m[key] = name
+		}
+	}
+	return m
+}
+
+// Name returns the recorded name of a state key.
+func (g *Graph) Name(key uint64) string {
+	if n, ok := g.names[key]; ok {
+		return n
+	}
+	if key == trace.EntryState.Key {
+		return trace.EntryState.Name
+	}
+	return fmt.Sprintf("state(%x)", key)
+}
+
+// Add attaches one fragment: computation fragments to the edge
+// (From→State), everything else to the vertex State.
+func (g *Graph) Add(f trace.Fragment) {
+	g.frags++
+	if f.Kind == trace.Comp {
+		k := f.Edge()
+		e, ok := g.edges[k]
+		if !ok {
+			e = &Edge{Key: k}
+			g.edges[k] = e
+		}
+		e.Fragments = append(e.Fragments, f)
+		return
+	}
+	v, ok := g.vertices[f.State]
+	if !ok {
+		v = &Vertex{Key: f.State, Kind: f.Kind}
+		g.vertices[f.State] = v
+	}
+	v.Fragments = append(v.Fragments, f)
+}
+
+// AddBatch attaches a batch of fragments.
+func (g *Graph) AddBatch(frags []trace.Fragment) {
+	for i := range frags {
+		g.Add(frags[i])
+	}
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.vertices) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// NumFragments returns the total number of attached fragments.
+func (g *Graph) NumFragments() int { return g.frags }
+
+// Vertices returns the vertices sorted by key (deterministic iteration).
+func (g *Graph) Vertices() []*Vertex {
+	out := make([]*Vertex, 0, len(g.vertices))
+	for _, v := range g.vertices {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Edges returns the edges sorted by key (deterministic iteration).
+func (g *Graph) Edges() []*Edge {
+	out := make([]*Edge, 0, len(g.edges))
+	for _, e := range g.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.From != out[j].Key.From {
+			return out[i].Key.From < out[j].Key.From
+		}
+		return out[i].Key.To < out[j].Key.To
+	})
+	return out
+}
+
+// Vertex returns the vertex for key, or nil.
+func (g *Graph) Vertex(key uint64) *Vertex { return g.vertices[key] }
+
+// Edge returns the edge for key, or nil.
+func (g *Graph) Edge(key trace.EdgeKey) *Edge { return g.edges[key] }
+
+// Successors returns the distinct destination states reachable from the
+// state `from`, sorted.
+func (g *Graph) Successors(from uint64) []uint64 {
+	var out []uint64
+	for k := range g.edges {
+		if k.From == from {
+			out = append(out, k.To)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Merge folds other into g (used when concatenating per-window graphs or
+// per-server shards).
+func (g *Graph) Merge(other *Graph) {
+	for _, v := range other.Vertices() {
+		for _, f := range v.Fragments {
+			g.Add(f)
+		}
+	}
+	for _, e := range other.Edges() {
+		for _, f := range e.Fragments {
+			g.Add(f)
+		}
+	}
+	for k, n := range other.names {
+		g.SetName(k, n)
+	}
+}
+
+// Stats summarizes the graph for reports.
+type Stats struct {
+	Vertices, Edges int
+	CompFragments   int
+	CommFragments   int
+	IOFragments     int
+	OtherFragments  int
+	TotalCompTime   int64 // ns
+	TotalVertexTime int64 // ns
+}
+
+// Stats computes summary statistics.
+func (g *Graph) Stats() Stats {
+	s := Stats{Vertices: len(g.vertices), Edges: len(g.edges)}
+	for _, e := range g.edges {
+		s.CompFragments += len(e.Fragments)
+		for i := range e.Fragments {
+			s.TotalCompTime += e.Fragments[i].Elapsed
+		}
+	}
+	for _, v := range g.vertices {
+		for i := range v.Fragments {
+			s.TotalVertexTime += v.Fragments[i].Elapsed
+			switch v.Fragments[i].Kind {
+			case trace.Comm:
+				s.CommFragments++
+			case trace.IO:
+				s.IOFragments++
+			default:
+				s.OtherFragments++
+			}
+		}
+	}
+	return s
+}
+
+// String renders a compact dot-like description (small graphs only).
+func (g *Graph) String() string {
+	out := fmt.Sprintf("STG{%d vertices, %d edges, %d fragments}", len(g.vertices), len(g.edges), g.frags)
+	return out
+}

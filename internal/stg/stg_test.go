@@ -1,0 +1,134 @@
+package stg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vapro/internal/trace"
+)
+
+func fragComp(rank int, from, to uint64, start, elapsed int64) trace.Fragment {
+	return trace.Fragment{Rank: rank, Kind: trace.Comp, From: from, State: to, Start: start, Elapsed: elapsed}
+}
+
+func fragComm(rank int, state uint64, start, elapsed int64) trace.Fragment {
+	return trace.Fragment{Rank: rank, Kind: trace.Comm, State: state, Start: start, Elapsed: elapsed}
+}
+
+func TestAddRouting(t *testing.T) {
+	g := New()
+	g.Add(fragComp(0, 1, 2, 0, 10))
+	g.Add(fragComm(0, 2, 10, 5))
+	if g.NumEdges() != 1 || g.NumVertices() != 1 || g.NumFragments() != 2 {
+		t.Fatalf("routing: %s", g)
+	}
+	if e := g.Edge(trace.EdgeKey{From: 1, To: 2}); e == nil || len(e.Fragments) != 1 {
+		t.Fatal("comp fragment not on edge")
+	}
+	if v := g.Vertex(2); v == nil || len(v.Fragments) != 1 || v.Kind != trace.Comm {
+		t.Fatal("comm fragment not on vertex")
+	}
+}
+
+func TestSuccessors(t *testing.T) {
+	g := New()
+	g.Add(fragComp(0, 1, 2, 0, 1))
+	g.Add(fragComp(0, 1, 3, 0, 1))
+	g.Add(fragComp(0, 2, 3, 0, 1))
+	succ := g.Successors(1)
+	if len(succ) != 2 || succ[0] != 2 || succ[1] != 3 {
+		t.Fatalf("successors: %v", succ)
+	}
+}
+
+func TestDeterministicIteration(t *testing.T) {
+	build := func() *Graph {
+		g := New()
+		for i := uint64(0); i < 50; i++ {
+			g.Add(fragComp(0, i, i+1, 0, 1))
+			g.Add(fragComm(0, i, 0, 1))
+		}
+		return g
+	}
+	a, b := build(), build()
+	ae, be := a.Edges(), b.Edges()
+	for i := range ae {
+		if ae[i].Key != be[i].Key {
+			t.Fatal("edge iteration order not deterministic")
+		}
+	}
+	av, bv := a.Vertices(), b.Vertices()
+	for i := range av {
+		if av[i].Key != bv[i].Key {
+			t.Fatal("vertex iteration order not deterministic")
+		}
+	}
+}
+
+// Property: fragment conservation — every added fragment is findable,
+// and Merge preserves the total.
+func TestFragmentConservation(t *testing.T) {
+	f := func(seeds []uint16) bool {
+		g1, g2 := New(), New()
+		n := 0
+		for i, s := range seeds {
+			fr := fragComp(i%4, uint64(s%7), uint64(s%5), int64(i), 1)
+			if s%3 == 0 {
+				fr.Kind = trace.Comm
+			}
+			if i%2 == 0 {
+				g1.Add(fr)
+			} else {
+				g2.Add(fr)
+			}
+			n++
+		}
+		g1.Merge(g2)
+		return g1.NumFragments() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := New()
+	g.Add(fragComp(0, 1, 2, 0, 100))
+	g.Add(fragComm(0, 2, 100, 50))
+	g.Add(trace.Fragment{Rank: 0, Kind: trace.IO, State: 3, Elapsed: 25})
+	s := g.Stats()
+	if s.CompFragments != 1 || s.CommFragments != 1 || s.IOFragments != 1 {
+		t.Fatalf("stats counts: %+v", s)
+	}
+	if s.TotalCompTime != 100 || s.TotalVertexTime != 75 {
+		t.Fatalf("stats times: %+v", s)
+	}
+}
+
+func TestNames(t *testing.T) {
+	g := New()
+	g.SetName(5, "cg.f:1170")
+	if g.Name(5) != "cg.f:1170" {
+		t.Fatal("name not recorded")
+	}
+	if g.Name(trace.EntryState.Key) != trace.EntryState.Name {
+		t.Fatal("entry name missing")
+	}
+	if g.Name(999) == "" {
+		t.Fatal("unknown key must render something")
+	}
+	// First name wins.
+	g.SetName(5, "other")
+	if g.Name(5) != "cg.f:1170" {
+		t.Fatal("name overwritten")
+	}
+}
+
+func TestMergeNames(t *testing.T) {
+	a, b := New(), New()
+	b.SetName(1, "site-a")
+	a.Merge(b)
+	if a.Name(1) != "site-a" {
+		t.Fatal("merge dropped names")
+	}
+}

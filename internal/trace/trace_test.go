@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Comp: "comp", Comm: "comm", IO: "io", Sync: "sync", Probe: "probe",
+		Kind(99): "kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestSiteStateStable(t *testing.T) {
+	a := SiteState("cg.go:42")
+	b := SiteState("cg.go:42")
+	if a.Key != b.Key || a.Name != "cg.go:42" {
+		t.Fatal("site state must be a pure function of the site")
+	}
+	c := SiteState("cg.go:43")
+	if c.Key == a.Key {
+		t.Fatal("distinct sites collided")
+	}
+}
+
+func TestPathStateDistinguishesContexts(t *testing.T) {
+	s := Site("smooth.go:10")
+	a := PathState(s, []Site{"main.go:1", "driver.go:5"})
+	b := PathState(s, []Site{"main.go:1", "driver.go:9"})
+	if a.Key == b.Key {
+		t.Fatal("different call paths must give different states")
+	}
+	free := SiteState(s)
+	if a.Key == free.Key {
+		t.Fatal("context-aware and context-free states should differ")
+	}
+}
+
+func TestEntryState(t *testing.T) {
+	if EntryState.Key != 0 || EntryState.Name == "" {
+		t.Fatalf("entry state: %+v", EntryState)
+	}
+}
+
+func TestFragmentEdgeAndEnd(t *testing.T) {
+	f := Fragment{Kind: Comp, From: 1, State: 2, Start: 100, Elapsed: 50}
+	if f.Edge() != (EdgeKey{From: 1, To: 2}) {
+		t.Fatalf("edge: %+v", f.Edge())
+	}
+	if f.End() != 150 {
+		t.Fatalf("end: %d", f.End())
+	}
+}
+
+// Property: PathState never collides with a different path length of
+// the same prefix (separator injection safety).
+func TestPathStateSeparator(t *testing.T) {
+	a := PathState("x", []Site{"ab"})
+	b := PathState("x", []Site{"a", "b"})
+	if a.Key == b.Key {
+		t.Fatal("path hashing must separate frames")
+	}
+	f := func(s1, s2 string) bool {
+		if s1 == s2 {
+			return true
+		}
+		return SiteState(Site(s1)).Key != SiteState(Site(s2)).Key
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

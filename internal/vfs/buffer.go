@@ -1,0 +1,96 @@
+package vfs
+
+import (
+	"sync"
+
+	"vapro/internal/sim"
+)
+
+// Buffer is the client-side file buffer the paper implements to fix the
+// RAxML IO variance: small files are fetched once from the distributed
+// store and then served from node-local memory, turning hundreds of
+// small shared-FS reads into one bulk transfer. It wraps an FS and
+// exposes buffered reads with the same timing interface.
+type Buffer struct {
+	fs *FS
+
+	mu     sync.Mutex
+	cached map[string]int64 // path -> cached size
+
+	// LocalLatency and LocalGap are the costs of serving from the
+	// buffer (memory copy through the page cache).
+	LocalLatency sim.Duration
+	LocalGap     float64
+}
+
+// NewBuffer wraps fs with an empty buffer.
+func NewBuffer(fs *FS) *Buffer {
+	return &Buffer{
+		fs:           fs,
+		cached:       make(map[string]int64),
+		LocalLatency: 2 * sim.Microsecond,
+		LocalGap:     0.05,
+	}
+}
+
+// ReadFile reads up to n bytes of path. On the first access to a path
+// the whole file is fetched from the shared FS (charged at bulk-transfer
+// cost); subsequent reads are served locally and are immune to shared-FS
+// noise. It returns the bytes read and the elapsed time.
+func (b *Buffer) ReadFile(path string, offset int64, n int, node int, t sim.Time, rng *sim.RNG) (int, sim.Duration, error) {
+	b.mu.Lock()
+	size, ok := b.cached[path]
+	b.mu.Unlock()
+
+	var elapsed sim.Duration
+	if !ok {
+		f, d, err := b.fs.Open(path, ReadOnly, node, t, rng)
+		if err != nil {
+			return 0, d, err
+		}
+		elapsed += d
+		total := b.fs.Size(path)
+		// One sequential bulk read of the whole file.
+		_, d = f.Read(int(total), node, t.Add(elapsed), rng)
+		elapsed += d
+		elapsed += f.Close(node, t.Add(elapsed), rng)
+		b.mu.Lock()
+		b.cached[path] = total
+		b.mu.Unlock()
+		size = total
+	}
+
+	avail := size - offset
+	if avail < 0 {
+		avail = 0
+	}
+	if int64(n) > avail {
+		n = int(avail)
+	}
+	local := b.LocalLatency + sim.Duration(float64(n)*b.LocalGap)
+	if b.fs.cost.JitterStddev > 0 {
+		local = sim.Duration(float64(local) * rng.Jitter(b.fs.cost.JitterStddev/4))
+	}
+	return n, elapsed + local, nil
+}
+
+// OpenLocal returns the elapsed time of opening a cached file from the
+// buffer (no shared-FS metadata round trip). It returns ok=false when
+// the path is not cached yet.
+func (b *Buffer) OpenLocal(path string) (sim.Duration, bool) {
+	b.mu.Lock()
+	_, ok := b.cached[path]
+	b.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	return b.LocalLatency, true
+}
+
+// Cached reports whether path is already buffered.
+func (b *Buffer) Cached(path string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, ok := b.cached[path]
+	return ok
+}
