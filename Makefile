@@ -2,9 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build test vet race cover bench experiments full clean
+.PHONY: all build check test vet race cover bench experiments full clean
 
 all: build vet test
+
+# Everything CI needs: compile, vet, full test suite, race pass.
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -16,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/mpi ./internal/collector ./internal/core ./internal/interpose
+	$(GO) test -race ./internal/mpi ./internal/collector ./internal/core ./internal/interpose ./internal/detect ./internal/cluster
 
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/... .

@@ -26,6 +26,7 @@ import (
 	"vapro/internal/noise"
 	"vapro/internal/sim"
 	"vapro/internal/stats"
+	"vapro/internal/stg"
 	"vapro/internal/trace"
 )
 
@@ -239,6 +240,80 @@ func synthFrags(n int) []trace.Fragment {
 	}
 	return frags
 }
+
+// Algorithm 1 on a typical per-element population (the analysis hot
+// path): the 1-D TOT_INS fast path plus pooled scratch should keep the
+// per-call allocations near-constant regardless of fragment count.
+func BenchmarkClusterRun(b *testing.B) {
+	frags := synthFrags(100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster.Run(frags, cluster.DefaultOptions())
+	}
+}
+
+// A warm cluster cache must serve repeated analyses of an unchanged
+// element with near-zero allocations.
+func BenchmarkClusterRunCached(b *testing.B) {
+	frags := synthFrags(100_000)
+	c := cluster.NewCache()
+	key := cluster.EdgeKey(trace.EdgeKey{From: 1, To: 2})
+	c.Run(key, 1, frags, cluster.DefaultOptions())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Run(key, 1, frags, cluster.DefaultOptions())
+	}
+}
+
+// synthGraph builds an STG with many independent elements so the
+// parallel detection fan-out has shardable work: `edges` computation
+// edges with several workload classes each, plus one comm vertex per
+// edge.
+func synthGraph(edges, perEdge, ranks int) *stg.Graph {
+	rng := sim.NewRNG(3)
+	g := stg.New()
+	for e := 0; e < edges; e++ {
+		from, to := uint64(e+1), uint64(e+2)
+		for i := 0; i < perEdge; i++ {
+			class := uint64(1+rng.Intn(5)) * 1_000_000
+			g.Add(trace.Fragment{
+				Rank: i % ranks, Kind: trace.Comp, From: from, State: to,
+				Start:    int64(i/ranks) * 1_000_000,
+				Elapsed:  500_000 + int64(rng.Intn(100_000)),
+				Counters: trace.CountersView{TotIns: class + uint64(rng.Intn(1000))},
+			})
+		}
+		for i := 0; i < perEdge/8; i++ {
+			g.Add(trace.Fragment{
+				Rank: i % ranks, Kind: trace.Comm, State: to,
+				Start:   int64(i/ranks)*1_000_000 + 600_000,
+				Elapsed: 50_000,
+				Args:    trace.Args{Op: "Send", Bytes: 1024 << uint(e%3)},
+			})
+		}
+	}
+	return g
+}
+
+// Detection across worker counts: the per-element cluster+normalize
+// stage and the per-class map passes shard across the pool; output is
+// identical at any width (see TestParallelRunMatchesSequential).
+func benchDetectRunParallel(b *testing.B, workers int) {
+	g := synthGraph(64, 4000, 16)
+	opt := detect.DefaultOptions()
+	opt.Parallelism = workers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		detect.Run(g, 16, opt)
+	}
+}
+
+func BenchmarkDetectRunParallel1(b *testing.B) { benchDetectRunParallel(b, 1) }
+func BenchmarkDetectRunParallel4(b *testing.B) { benchDetectRunParallel(b, 4) }
+func BenchmarkDetectRunParallel8(b *testing.B) { benchDetectRunParallel(b, 8) }
 
 // Algorithm 1 must stay (near-)linear: this bench documents its
 // throughput on a million fragments.

@@ -1,0 +1,91 @@
+// Cluster memoization: the analysis layers above (whole-run detection,
+// the online monitor's overlapped windows, diagnosis drill-down) all
+// need the clustering of the same STG edges and vertices. A Cache keys
+// one Result per element on (element identity, fragment-slice version,
+// options), so each clustering is computed once and recomputed only
+// when the element's fragment population actually changed — the
+// incremental behaviour the online monitor relies on.
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"vapro/internal/trace"
+)
+
+// Key identifies one STG element (an edge or a vertex) in the cache.
+type Key struct {
+	IsEdge bool
+	Edge   trace.EdgeKey
+	Vertex uint64
+}
+
+// EdgeKey builds the cache key of an STG edge.
+func EdgeKey(k trace.EdgeKey) Key { return Key{IsEdge: true, Edge: k} }
+
+// VertexKey builds the cache key of an STG vertex.
+func VertexKey(v uint64) Key { return Key{Vertex: v} }
+
+type entry struct {
+	version uint64
+	nfrags  int
+	opt     Options
+	res     Result
+}
+
+// Cache memoizes per-element clusterings. It is safe for concurrent
+// use; the parallel detection pipeline hits it from its worker pool.
+type Cache struct {
+	mu      sync.RWMutex
+	entries map[Key]entry
+
+	hits, misses atomic.Uint64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache { return &Cache{entries: make(map[Key]entry)} }
+
+// Run returns the clustering of frags, memoized on (key, version, opt):
+// a cached Result is returned as long as the element's version stamp and
+// fragment count are unchanged and the options match. The returned
+// Result is shared between callers and must be treated as read-only.
+//
+// version must be a stamp that changes whenever the fragment slice
+// changes (stg bumps Edge.Version / Vertex.Version on every append);
+// the fragment count is checked as well as a second guard.
+func (c *Cache) Run(key Key, version uint64, frags []trace.Fragment, opt Options) Result {
+	opt = opt.normalized()
+	c.mu.RLock()
+	e, ok := c.entries[key]
+	c.mu.RUnlock()
+	if ok && e.version == version && e.nfrags == len(frags) && e.opt == opt {
+		c.hits.Add(1)
+		return e.res
+	}
+	c.misses.Add(1)
+	res := Run(frags, opt)
+	c.mu.Lock()
+	c.entries[key] = entry{version: version, nfrags: len(frags), opt: opt, res: res}
+	c.mu.Unlock()
+	return res
+}
+
+// Invalidate drops the cached clustering of one element.
+func (c *Cache) Invalidate(key Key) {
+	c.mu.Lock()
+	delete(c.entries, key)
+	c.mu.Unlock()
+}
+
+// Len returns the number of cached elements.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Stats returns the hit/miss counters accumulated so far.
+func (c *Cache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}

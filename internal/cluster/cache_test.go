@@ -1,0 +1,133 @@
+package cluster_test
+
+import (
+	"reflect"
+	"testing"
+
+	"vapro/internal/cluster"
+	"vapro/internal/stg"
+	"vapro/internal/trace"
+)
+
+func cacheFrag(ins uint64) trace.Fragment {
+	return trace.Fragment{
+		Kind:     trace.Comp,
+		Elapsed:  100,
+		Counters: trace.CountersView{TotIns: ins},
+	}
+}
+
+func TestCacheHitOnUnchangedVersion(t *testing.T) {
+	c := cluster.NewCache()
+	frags := make([]trace.Fragment, 0, 10)
+	for i := 0; i < 10; i++ {
+		frags = append(frags, cacheFrag(1_000_000))
+	}
+	key := cluster.EdgeKey(trace.EdgeKey{From: 1, To: 2})
+	opt := cluster.DefaultOptions()
+
+	first := c.Run(key, 10, frags, opt)
+	second := c.Run(key, 10, frags, opt)
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("stats after warm lookup: hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("cached result differs from computed result")
+	}
+}
+
+func TestCacheNormalizesOptions(t *testing.T) {
+	c := cluster.NewCache()
+	frags := []trace.Fragment{cacheFrag(100), cacheFrag(100)}
+	key := cluster.VertexKey(7)
+	// Zero options and the explicit defaults are the same clustering;
+	// they must share one cache entry.
+	c.Run(key, 2, frags, cluster.Options{})
+	c.Run(key, 2, frags, cluster.DefaultOptions())
+	if hits, _ := c.Stats(); hits != 1 {
+		t.Fatalf("zero options missed the default-options entry: hits=%d", hits)
+	}
+}
+
+func TestCacheDistinctOptionsRecompute(t *testing.T) {
+	c := cluster.NewCache()
+	frags := []trace.Fragment{cacheFrag(100), cacheFrag(104)}
+	key := cluster.VertexKey(1)
+	a := cluster.DefaultOptions()
+	b := cluster.DefaultOptions()
+	b.Threshold = 0.01
+	c.Run(key, 2, frags, a)
+	res := c.Run(key, 2, frags, b)
+	if _, misses := c.Stats(); misses != 2 {
+		t.Fatalf("different options must not hit: misses=%d", misses)
+	}
+	if len(res.Clusters) != 2 {
+		t.Fatalf("1%% threshold should split 4%%-apart fragments: %d clusters", len(res.Clusters))
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := cluster.NewCache()
+	frags := []trace.Fragment{cacheFrag(100)}
+	key := cluster.VertexKey(1)
+	c.Run(key, 1, frags, cluster.DefaultOptions())
+	if c.Len() != 1 {
+		t.Fatalf("cache len %d, want 1", c.Len())
+	}
+	c.Invalidate(key)
+	if c.Len() != 0 {
+		t.Fatalf("cache len %d after invalidate, want 0", c.Len())
+	}
+	c.Run(key, 1, frags, cluster.DefaultOptions())
+	if hits, misses := c.Stats(); hits != 0 || misses != 2 {
+		t.Fatalf("invalidated entry must recompute: hits=%d misses=%d", hits, misses)
+	}
+}
+
+// Appending fragments to one STG edge bumps its version and invalidates
+// only that element's cached clustering: the untouched vertex keeps
+// hitting.
+func TestCacheVersionBumpInvalidatesOnlyGrownElement(t *testing.T) {
+	g := stg.New()
+	for i := 0; i < 6; i++ {
+		g.Add(trace.Fragment{Rank: 0, Kind: trace.Comp, From: 1, State: 2,
+			Counters: trace.CountersView{TotIns: 1_000_000}, Elapsed: 100})
+		g.Add(trace.Fragment{Rank: 0, Kind: trace.Comm, State: 2,
+			Args: trace.Args{Op: "Send", Bytes: 1024}, Elapsed: 10})
+	}
+	e := g.Edge(trace.EdgeKey{From: 1, To: 2})
+	v := g.Vertex(2)
+	if e.Version != 6 || v.Version != 6 {
+		t.Fatalf("versions after 6 appends: edge=%d vertex=%d, want 6/6", e.Version, v.Version)
+	}
+
+	c := cluster.NewCache()
+	opt := cluster.DefaultOptions()
+	runBoth := func() {
+		c.Run(cluster.EdgeKey(e.Key), e.Version, e.Fragments, opt)
+		c.Run(cluster.VertexKey(v.Key), v.Version, v.Fragments, opt)
+	}
+	runBoth() // cold: 2 misses
+	runBoth() // warm: 2 hits
+
+	// Grow only the edge.
+	g.Add(trace.Fragment{Rank: 0, Kind: trace.Comp, From: 1, State: 2,
+		Counters: trace.CountersView{TotIns: 1_000_000}, Elapsed: 100})
+	if e.Version != 7 {
+		t.Fatalf("edge version %d after append, want 7", e.Version)
+	}
+	if v.Version != 6 {
+		t.Fatalf("vertex version %d must be untouched", v.Version)
+	}
+	runBoth() // edge misses (grew), vertex hits
+	hits, misses := c.Stats()
+	if hits != 3 || misses != 3 {
+		t.Fatalf("hits=%d misses=%d, want 3/3 (only the grown edge re-clustered)", hits, misses)
+	}
+
+	// The recomputed edge clustering must see the appended fragment.
+	res := c.Run(cluster.EdgeKey(e.Key), e.Version, e.Fragments, opt)
+	if got := len(res.Assign); got != 7 {
+		t.Fatalf("cached edge clustering covers %d fragments, want 7", got)
+	}
+}

@@ -11,6 +11,7 @@ package cluster
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"vapro/internal/trace"
 )
@@ -32,6 +33,19 @@ type Options struct {
 // DefaultOptions returns the paper's configuration.
 func DefaultOptions() Options {
 	return Options{Threshold: 0.05, MinFragments: 5}
+}
+
+// normalized fills the zero fields with the paper defaults, so
+// semantically identical option values compare equal (the cache keys on
+// the normalized form).
+func (o Options) normalized() Options {
+	if o.Threshold <= 0 {
+		o.Threshold = 0.05
+	}
+	if o.MinFragments <= 0 {
+		o.MinFragments = 5
+	}
+	return o
 }
 
 // Vector is a workload vector: normalized performance metrics and/or
@@ -60,6 +74,21 @@ func (v Vector) Dist(o Vector) float64 {
 		s += d * d
 	}
 	return math.Sqrt(s)
+}
+
+// distSq is Dist without the final square root: the clustering inner
+// loop compares squared distances against a squared threshold instead.
+func distSq(v, o Vector) float64 {
+	n := len(v)
+	if len(o) < n {
+		n = len(o)
+	}
+	s := 0.0
+	for i := 0; i < n; i++ {
+		d := v[i] - o[i]
+		s += d * d
+	}
+	return s
 }
 
 // CompVector builds the workload vector of a computation fragment:
@@ -92,6 +121,61 @@ func VectorOf(f *trace.Fragment, opt Options) Vector {
 	return InvokeVector(f)
 }
 
+// appendVector appends the workload vector of f to dst, mirroring
+// VectorOf but into a shared flat buffer (no per-fragment allocation).
+func appendVector(dst []float64, f *trace.Fragment, opt Options) []float64 {
+	if f.Kind == trace.Comp {
+		dst = append(dst, float64(f.Counters.TotIns))
+		if opt.UseExtraMetrics {
+			dst = append(dst, float64(f.Counters.LoadStores))
+		}
+		return dst
+	}
+	return append(dst,
+		float64(f.Args.Bytes),
+		float64(f.Args.Peer+2)*1e-3,
+		float64(f.Args.Tag)*1e-3,
+		float64(f.Args.Mode)*1e-3)
+}
+
+// vectorDims returns the dimensionality VectorOf would produce for f.
+func vectorDims(f *trace.Fragment, opt Options) int {
+	if f.Kind == trace.Comp {
+		if opt.UseExtraMetrics {
+			return 2
+		}
+		return 1
+	}
+	return 4
+}
+
+// scratch holds the per-call working set of Run, recycled through a
+// sync.Pool so repeated clustering (the analysis hot path) does not
+// re-allocate it. Nothing in a returned Result aliases the scratch.
+type scratch struct {
+	norms     []float64
+	order     []int
+	processed []bool
+	vecs      []Vector
+	flat      []float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func (s *scratch) size(n int) {
+	if cap(s.norms) < n {
+		s.norms = make([]float64, n)
+		s.order = make([]int, n)
+		s.processed = make([]bool, n)
+	}
+	s.norms = s.norms[:n]
+	s.order = s.order[:n]
+	s.processed = s.processed[:n]
+	for i := range s.processed {
+		s.processed[i] = false
+	}
+}
+
 // Cluster is one identified workload class.
 type Cluster struct {
 	// Members indexes into the fragment slice that was clustered.
@@ -119,12 +203,7 @@ type Result struct {
 // Run clusters the fragments with Algorithm 1. The input order is
 // irrelevant to the result (fragments are sorted by norm internally).
 func Run(frags []trace.Fragment, opt Options) Result {
-	if opt.Threshold <= 0 {
-		opt.Threshold = 0.05
-	}
-	if opt.MinFragments <= 0 {
-		opt.MinFragments = 5
-	}
+	opt = opt.normalized()
 	n := len(frags)
 	res := Result{Assign: make([]int, n)}
 	for i := range res.Assign {
@@ -134,13 +213,51 @@ func Run(frags []trace.Fragment, opt Options) Result {
 		return res
 	}
 
-	vecs := make([]Vector, n)
-	norms := make([]float64, n)
-	order := make([]int, n)
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	sc.size(n)
+	norms, order := sc.norms, sc.order
+
+	// The dominant population is 1-D TOT_INS computation vectors; for
+	// those the vector IS its norm (TOT_INS ≥ 0), so the whole pass runs
+	// on the norms array with no per-fragment vector at all, and the
+	// distance is |a−b| (exactly what Dist computes in 1-D).
+	oneD := !opt.UseExtraMetrics
 	for i := range frags {
-		vecs[i] = VectorOf(&frags[i], opt)
-		norms[i] = vecs[i].Norm()
-		order[i] = i
+		if frags[i].Kind != trace.Comp {
+			oneD = false
+			break
+		}
+	}
+	var vecs []Vector
+	if oneD {
+		for i := range frags {
+			norms[i] = float64(frags[i].Counters.TotIns)
+			order[i] = i
+		}
+	} else {
+		// One flat backing array for all vectors: n small slices become
+		// a single allocation (amortized to zero via the scratch pool).
+		dims := 0
+		for i := range frags {
+			dims += vectorDims(&frags[i], opt)
+		}
+		if cap(sc.vecs) < n {
+			sc.vecs = make([]Vector, n)
+		}
+		if cap(sc.flat) < dims {
+			sc.flat = make([]float64, 0, dims)
+		}
+		vecs = sc.vecs[:n]
+		flat := sc.flat[:0]
+		for i := range frags {
+			lo := len(flat)
+			flat = appendVector(flat, &frags[i], opt)
+			vecs[i] = Vector(flat[lo:len(flat):len(flat)])
+			norms[i] = vecs[i].Norm()
+			order[i] = i
+		}
+		sc.flat = flat
 	}
 	// Line 2: sort by norm.
 	sort.SliceStable(order, func(a, b int) bool { return norms[order[a]] < norms[order[b]] })
@@ -149,7 +266,7 @@ func Run(frags []trace.Fragment, opt Options) Result {
 	// candidates are norm-sorted, all members of a cluster lie in the
 	// contiguous norm range [seed, seed*(1+threshold)]; the scan is a
 	// single forward pass, linear overall.
-	processed := make([]bool, n)
+	processed := sc.processed
 	for pos := 0; pos < n; pos++ {
 		seed := order[pos]
 		if processed[seed] {
@@ -163,6 +280,7 @@ func Run(frags []trace.Fragment, opt Options) Result {
 			// zero vectors.
 			limit, maxDist = 0, 0
 		}
+		maxDistSq := maxDist * maxDist
 		for q := pos; q < n; q++ {
 			cand := order[q]
 			if norms[cand] > limit {
@@ -171,7 +289,15 @@ func Run(frags []trace.Fragment, opt Options) Result {
 			if processed[cand] {
 				continue
 			}
-			if vecs[cand].Dist(vecs[seed]) <= maxDist {
+			var in bool
+			if oneD {
+				// norms are sorted, so norms[cand]−norms[seed] ≥ 0 is
+				// exactly the 1-D Euclidean distance.
+				in = norms[cand]-norms[seed] <= maxDist
+			} else {
+				in = distSq(vecs[cand], vecs[seed]) <= maxDistSq
+			}
+			if in {
 				processed[cand] = true
 				c.Members = append(c.Members, cand)
 			}

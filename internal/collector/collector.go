@@ -150,14 +150,17 @@ func (p *Pool) WindowResults() []*WindowResult {
 	if stride <= 0 {
 		stride = int64(p.opt.Period)
 	}
+	// One analyzer across all windows: each element is clustered once
+	// and every overlapped window reuses it, instead of re-clustering a
+	// per-window subgraph from scratch.
+	an := detect.NewAnalyzer()
 	var out []*WindowResult
 	for start := int64(0); start < maxEnd; start += stride {
 		end := start + int64(p.opt.Period)
-		sub := subGraph(g, start, end)
-		if sub.NumFragments() == 0 {
+		if !overlapsAny(g, start, end) {
 			continue
 		}
-		res := detect.Run(sub, p.ranks, p.opt.Detect)
+		res := an.RunWindow(g, p.ranks, p.opt.Detect, start, end)
 		out = append(out, &WindowResult{
 			Start:  sim.Time(start),
 			End:    sim.Time(end),
@@ -173,27 +176,27 @@ type WindowResult struct {
 	Result     *detect.Result
 }
 
-// subGraph extracts the fragments overlapping [start, end).
-func subGraph(g *stg.Graph, start, end int64) *stg.Graph {
-	sub := stg.New()
+// overlapsAny reports whether any fragment of g overlaps [start, end)
+// — the "is this window non-empty" guard of the periodic analysis.
+func overlapsAny(g *stg.Graph, start, end int64) bool {
 	keep := func(f *trace.Fragment) bool {
 		return f.Start < end && f.Start+f.Elapsed > start
 	}
 	for _, e := range g.Edges() {
 		for i := range e.Fragments {
 			if keep(&e.Fragments[i]) {
-				sub.Add(e.Fragments[i])
+				return true
 			}
 		}
 	}
 	for _, v := range g.Vertices() {
 		for i := range v.Fragments {
 			if keep(&v.Fragments[i]) {
-				sub.Add(v.Fragments[i])
+				return true
 			}
 		}
 	}
-	return sub
+	return false
 }
 
 // Server is one analysis server process.

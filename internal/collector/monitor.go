@@ -7,6 +7,7 @@ import (
 	"vapro/internal/detect"
 	"vapro/internal/diagnose"
 	"vapro/internal/sim"
+	"vapro/internal/stg"
 	"vapro/internal/trace"
 )
 
@@ -29,6 +30,14 @@ type Monitor struct {
 	opt  MonitorOptions
 
 	mu sync.Mutex
+	// graph is the monitor's own incrementally merged STG: batches are
+	// appended as they arrive, so a window analysis starts from the
+	// current graph in O(1) instead of re-merging every server's graph
+	// (the old per-window O(total fragments) rebuild).
+	graph *stg.Graph
+	// analyzer memoizes per-element clusterings across windows; only
+	// elements that grew since the previous window are re-clustered.
+	analyzer *detect.Analyzer
 	// watermark is the minimum completed virtual time across ranks —
 	// a window is analyzable once every rank has advanced past its
 	// end.
@@ -102,18 +111,22 @@ func NewMonitor(pool *Pool, opt MonitorOptions) *Monitor {
 	return &Monitor{
 		pool:     pool,
 		opt:      opt,
+		graph:    stg.New(),
+		analyzer: detect.NewAnalyzer(),
 		rankHigh: make(map[int]sim.Time),
 		stage:    1,
 	}
 }
 
-// Consume implements interpose.Sink: forward to the pool, advance the
-// rank watermark, and analyze any window every rank has passed.
+// Consume implements interpose.Sink: forward to the pool, append to the
+// monitor's merged graph, advance the rank watermark, and analyze any
+// window every rank has passed.
 func (m *Monitor) Consume(rank int, frags []trace.Fragment) {
 	m.pool.Consume(rank, frags)
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.graph.AddBatch(frags)
 	high := m.rankHigh[rank]
 	for i := range frags {
 		if e := sim.Time(frags[i].Start + frags[i].Elapsed); e > high {
@@ -154,11 +167,12 @@ func (m *Monitor) analyzeReady() {
 }
 
 func (m *Monitor) analyzeWindowLocked(start, end sim.Time) {
-	g := subGraph(m.pool.Graph(), int64(start), int64(end))
-	if g.NumFragments() == 0 {
-		return
-	}
-	res := detect.Run(g, m.opt.Ranks, m.opt.Detect)
+	// Clustering is memoized per element across the overlapped windows
+	// (and normalization uses each element's full population, so the
+	// per-window reference performance is the best fragment seen so
+	// far, not just the window's best); the window only filters which
+	// samples feed the heat map.
+	res := m.analyzer.RunWindow(m.graph, m.opt.Ranks, m.opt.Detect, int64(start), int64(end))
 	classOK := func(c detect.Class) bool {
 		if len(m.opt.Classes) == 0 {
 			return true
@@ -235,16 +249,25 @@ func (m *Monitor) Stage() int {
 	return m.stage
 }
 
+// CacheStats reports the hit/miss counters of the monitor's memoized
+// clustering layer: hits are window analyses that reused a previous
+// window's clustering of an element that did not grow in between.
+func (m *Monitor) CacheStats() (hits, misses uint64) {
+	return m.analyzer.Cache().Stats()
+}
+
 // DiagnoseEvent runs the progressive diagnosis for an online event's
-// top region against the pool's accumulated data. Fragments are
-// re-clustered per edge so only comparable fixed-workload populations
+// top region against the monitor's accumulated data. Fragments are
+// clustered per edge (reusing the clusterings the window analyses
+// already memoized) so only comparable fixed-workload populations
 // are differenced — mixing workload classes would misattribute their
 // intrinsic differences as variance.
 func (m *Monitor) DiagnoseEvent(ev *Event, opt diagnose.Options) *diagnose.Report {
 	if len(ev.Regions) == 0 {
 		return nil
 	}
-	g := m.pool.Graph()
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	var clusters [][]trace.Fragment
 	seen := map[trace.EdgeKey]bool{}
 	for _, s := range ev.Regions[0].Samples {
@@ -252,11 +275,11 @@ func (m *Monitor) DiagnoseEvent(ev *Event, opt diagnose.Options) *diagnose.Repor
 			continue
 		}
 		seen[s.ClusterRef.Edge] = true
-		e := g.Edge(s.ClusterRef.Edge)
+		e := m.graph.Edge(s.ClusterRef.Edge)
 		if e == nil {
 			continue
 		}
-		cl := cluster.Run(e.Fragments, m.opt.Detect.Cluster)
+		cl := m.analyzer.Cache().Run(cluster.EdgeKey(e.Key), e.Version, e.Fragments, m.opt.Detect.Cluster)
 		for ci := range cl.Clusters {
 			if !cl.Clusters[ci].Fixed {
 				continue

@@ -138,6 +138,21 @@ func TestMonitorWaitsForAllRanks(t *testing.T) {
 	}
 }
 
+// Overlapped windows must share clusterings: elements that did not grow
+// between two window analyses are served from the monitor's cache.
+func TestMonitorReusesClusteringsAcrossWindows(t *testing.T) {
+	pool := NewPool(4, DefaultOptions())
+	m := NewMonitor(pool, monOpts(4))
+	feedMonitor(m)
+	hits, misses := m.CacheStats()
+	if misses == 0 {
+		t.Fatal("monitor never clustered anything")
+	}
+	if hits == 0 {
+		t.Fatal("overlapped windows re-clustered every element (no cache hits)")
+	}
+}
+
 func TestMonitorDiagnoseEvent(t *testing.T) {
 	pool := NewPool(4, DefaultOptions())
 	m := NewMonitor(pool, monOpts(4))

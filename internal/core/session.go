@@ -138,6 +138,19 @@ type Result struct {
 	Recording *collector.Recording
 
 	clusterOpt cluster.Options
+	// analyzer memoizes per-element clusterings: the whole-run
+	// detection pass populates it, and the diagnosis drill-down paths
+	// (regionClusters, FixedClusters) reuse those clusterings instead
+	// of re-running Algorithm 1 per call.
+	analyzer *detect.Analyzer
+}
+
+// clusterElement returns the (memoized) clustering of one STG element.
+func (r *Result) clusterElement(key cluster.Key, version uint64, frags []trace.Fragment) cluster.Result {
+	if r.analyzer == nil {
+		r.analyzer = detect.NewAnalyzer()
+	}
+	return r.analyzer.Cache().Run(key, version, frags, r.clusterOpt)
 }
 
 // RunTraced executes the application with Vapro attached: interposition,
@@ -193,7 +206,8 @@ func RunTraced(app apps.App, opt Options) *Result {
 	for k, v := range res.SiteNames {
 		res.Graph.SetName(k, v)
 	}
-	res.Detection = detect.Run(res.Graph, ranks, opt.Collector.Detect)
+	res.analyzer = detect.NewAnalyzer()
+	res.Detection = res.analyzer.Run(res.Graph, ranks, opt.Collector.Detect)
 	if recorder != nil {
 		res.Recording = recorder.Recording(ranks, int64(res.Makespan), res.SiteNames)
 	}
@@ -228,7 +242,8 @@ func AnalyzeRecording(rd io.Reader, dopt detect.Options) (*Result, error) {
 		clusterOpt: dopt.Cluster,
 	}
 	res.App.Name = "recording"
-	res.Detection = detect.Run(g, rec.Ranks, dopt)
+	res.analyzer = detect.NewAnalyzer()
+	res.Detection = res.analyzer.Run(g, rec.Ranks, dopt)
 	return res, nil
 }
 
@@ -286,7 +301,8 @@ func RunOnline(app apps.App, opt Options) *OnlineResult {
 	for k, v := range res.SiteNames {
 		res.Graph.SetName(k, v)
 	}
-	res.Detection = detect.Run(res.Graph, ranks, opt.Collector.Detect)
+	res.analyzer = detect.NewAnalyzer()
+	res.Detection = res.analyzer.Run(res.Graph, ranks, opt.Collector.Detect)
 	return &OnlineResult{Result: res, Monitor: mon, Events: mon.Drain()}
 }
 
@@ -300,7 +316,9 @@ func (r *Result) Overhead(plain *PlainResult) float64 {
 }
 
 // regionClusters re-derives the fixed-workload clusters referenced by a
-// region's samples and returns their full fragment populations.
+// region's samples and returns their full fragment populations. The
+// per-element clusterings come from the shared cache, so the drill-down
+// reuses what the detection pass already computed.
 func (r *Result) regionClusters(region *detect.Region) [][]trace.Fragment {
 	// Deduplicate cluster references.
 	type key struct {
@@ -318,17 +336,19 @@ func (r *Result) regionClusters(region *detect.Region) [][]trace.Fragment {
 		}
 		seen[k] = true
 		var frags []trace.Fragment
+		var ckey cluster.Key
+		var version uint64
 		if k.isEdge {
 			if e := r.Graph.Edge(k.edge); e != nil {
-				frags = e.Fragments
+				frags, ckey, version = e.Fragments, cluster.EdgeKey(k.edge), e.Version
 			}
 		} else if v := r.Graph.Vertex(k.vertex); v != nil {
-			frags = v.Fragments
+			frags, ckey, version = v.Fragments, cluster.VertexKey(k.vertex), v.Version
 		}
 		if frags == nil {
 			continue
 		}
-		cl := cluster.Run(frags, r.clusterOpt)
+		cl := r.clusterElement(ckey, version, frags)
 		if k.cluster < 0 || k.cluster >= len(cl.Clusters) {
 			continue
 		}
@@ -366,8 +386,8 @@ func (r *Result) DiagnoseTop(class detect.Class, opt diagnose.Options) *diagnose
 // populations diagnosis operates on.
 func (r *Result) FixedClusters(class detect.Class) [][]trace.Fragment {
 	var clusters [][]trace.Fragment
-	collect := func(frags []trace.Fragment) {
-		cl := cluster.Run(frags, r.clusterOpt)
+	collect := func(key cluster.Key, version uint64, frags []trace.Fragment) {
+		cl := r.clusterElement(key, version, frags)
 		for ci := range cl.Clusters {
 			if !cl.Clusters[ci].Fixed {
 				continue
@@ -381,12 +401,12 @@ func (r *Result) FixedClusters(class detect.Class) [][]trace.Fragment {
 	}
 	if class == detect.Computation {
 		for _, e := range r.Graph.Edges() {
-			collect(e.Fragments)
+			collect(cluster.EdgeKey(e.Key), e.Version, e.Fragments)
 		}
 	} else {
 		for _, v := range r.Graph.Vertices() {
 			if len(v.Fragments) > 0 && detect.ClassOf(v.Fragments[0].Kind) == class {
-				collect(v.Fragments)
+				collect(cluster.VertexKey(v.Key), v.Version, v.Fragments)
 			}
 		}
 	}

@@ -9,7 +9,10 @@ package detect
 
 import (
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"vapro/internal/cluster"
 	"vapro/internal/sim"
@@ -29,6 +32,12 @@ type Options struct {
 	// MinRegionCells discards regions smaller than this many heat-map
 	// cells (single-cell blips are usually PMU noise).
 	MinRegionCells int
+	// Parallelism caps the analysis worker pool: the per-element
+	// cluster+normalize stage and the per-class heat-map/region passes
+	// fan out across this many goroutines. 0 means GOMAXPROCS, 1 forces
+	// the sequential reference path. The result is identical at any
+	// setting (elements are sharded and merged in deterministic order).
+	Parallelism int
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -158,10 +167,62 @@ type Result struct {
 	FixedClusters, SmallClusters int
 }
 
+// Analyzer runs detection passes that share one memoized clustering
+// layer: repeated analyses over the same (or a growing) graph — the
+// online monitor's overlapped windows, the whole-run pass, diagnosis
+// drill-down — re-cluster only the STG elements whose fragment slices
+// actually changed (tracked by the elements' version stamps).
+type Analyzer struct {
+	cache *cluster.Cache
+}
+
+// NewAnalyzer returns an Analyzer with an empty clustering cache.
+func NewAnalyzer() *Analyzer { return &Analyzer{cache: cluster.NewCache()} }
+
+// Cache exposes the memoized clustering layer so sibling passes (the
+// diagnosis drill-down in core, the monitor's event diagnosis) reuse
+// the same per-element clusterings detection computed.
+func (a *Analyzer) Cache() *cluster.Cache { return a.cache }
+
 // Run clusters every STG edge and vertex of g, normalizes performance
 // within each fixed cluster, and builds heat maps and variance regions
-// for ranks [0, ranks).
+// for ranks [0, ranks). It is a convenience wrapper constructing a
+// one-shot Analyzer; callers analyzing the same graph repeatedly should
+// hold an Analyzer and call its Run method instead.
 func Run(g *stg.Graph, ranks int, opt Options) *Result {
+	return NewAnalyzer().Run(g, ranks, opt)
+}
+
+// Run is the whole-graph detection pass (see the package-level Run).
+func (a *Analyzer) Run(g *stg.Graph, ranks int, opt Options) *Result {
+	return a.run(g, ranks, opt, math.MinInt64, math.MaxInt64, 0)
+}
+
+// RunWindow analyzes only the fragments overlapping [start, end) ns —
+// the online monitor's per-window view. Clustering and normalization
+// still use each element's full fragment population (memoized across
+// windows), so overlapped windows share one clustering per element and
+// only elements that grew since the previous window are re-clustered;
+// the window merely filters which samples feed the heat map. The heat
+// map's Origin is set to start so cells cover the window, not the whole
+// run.
+func (a *Analyzer) RunWindow(g *stg.Graph, ranks int, opt Options, start, end int64) *Result {
+	return a.run(g, ranks, opt, start, end, start)
+}
+
+// elemOut is the per-element partial result of the cluster+normalize
+// stage; partials merge deterministically in element order, which makes
+// the parallel pass bit-identical to the sequential one.
+type elemOut struct {
+	samples       [numClasses][]Sample
+	total, fixed  [numClasses]int64
+	fixedClusters int
+	smallClusters int
+}
+
+const numClasses = 3
+
+func (a *Analyzer) run(g *stg.Graph, ranks int, opt Options, start, end, origin int64) *Result {
 	if opt.Window <= 0 {
 		opt.Window = 500 * sim.Millisecond
 	}
@@ -174,104 +235,189 @@ func Run(g *stg.Graph, ranks int, opt Options) *Result {
 		Coverage: make(map[Class]float64),
 	}
 
-	totalTime := map[Class]int64{}
-	fixedTime := map[Class]int64{}
+	// Stage 1: per-element cluster+normalize, sharded across workers.
+	// Elements are independent; outputs land in a slot per element.
+	edges := g.Edges()
+	verts := g.Vertices()
+	outs := make([]elemOut, len(edges)+len(verts))
+	forEach(len(outs), opt.Parallelism, func(i int) {
+		if i < len(edges) {
+			e := edges[i]
+			cl := a.cache.Run(cluster.EdgeKey(e.Key), e.Version, e.Fragments, opt.Cluster)
+			outs[i] = normalizeElement(e.Fragments, cl, ClusterRef{IsEdge: true, Edge: e.Key}, opt, start, end)
+		} else {
+			v := verts[i-len(edges)]
+			cl := a.cache.Run(cluster.VertexKey(v.Key), v.Version, v.Fragments, opt.Cluster)
+			outs[i] = normalizeElement(v.Fragments, cl, ClusterRef{Vertex: v.Key}, opt, start, end)
+		}
+	})
 
-	minFrag := opt.Cluster.MinFragments
-	if minFrag <= 0 {
-		minFrag = 5
-	}
-	addCluster := func(frags []trace.Fragment, cl cluster.Result, ref ClusterRef, class Class) {
-		for ci := range cl.Clusters {
-			c := &cl.Clusters[ci]
-			if c.Fixed {
-				res.FixedClusters++
-			} else {
-				res.SmallClusters++
-				continue
+	// Deterministic merge: element order (edges then vertices, both
+	// key-sorted) fixes the sample concatenation order regardless of
+	// which worker finished first.
+	var total, fixed [numClasses]int64
+	for i := range outs {
+		o := &outs[i]
+		res.FixedClusters += o.fixedClusters
+		res.SmallClusters += o.smallClusters
+		for c := 0; c < numClasses; c++ {
+			if len(o.samples[c]) > 0 {
+				res.Samples[Class(c)] = append(res.Samples[Class(c)], o.samples[c]...)
 			}
-			// Fastest member defines performance 1.0.
-			best := int64(math.MaxInt64)
-			perRank := make(map[int]int)
-			for _, m := range c.Members {
-				perRank[frags[m].Rank]++
-				if e := frags[m].Elapsed; e > 0 && e < best {
-					best = e
-				}
-			}
-			if best == math.MaxInt64 {
-				continue
-			}
-			for _, m := range c.Members {
-				f := &frags[m]
-				// Detection pools fragments across processes (the
-				// inter-process comparison needs that), but coverage
-				// follows the paper's repetition notion: the snippet
-				// must recur within a process to count as repeated
-				// fixed workload there.
-				covered := perRank[f.Rank] >= minFrag
-				if covered {
-					fixedTime[class] += f.Elapsed
-				}
-				perf := 1.0
-				if f.Elapsed > 0 {
-					perf = float64(best) / float64(f.Elapsed)
-				}
-				ref := ref
-				ref.Cluster = ci
-				res.Samples[class] = append(res.Samples[class], Sample{
-					Rank:       f.Rank,
-					Start:      f.Start,
-					Elapsed:    f.Elapsed,
-					Perf:       perf,
-					Covered:    covered,
-					ClusterRef: ref,
-					FragIndex:  m,
-				})
-			}
+			total[c] += o.total[c]
+			fixed[c] += o.fixed[c]
 		}
-		for i := range frags {
-			totalTime[class] += frags[i].Elapsed
-		}
-	}
-
-	for _, e := range g.Edges() {
-		cl := cluster.Run(e.Fragments, opt.Cluster)
-		addCluster(e.Fragments, cl, ClusterRef{IsEdge: true, Edge: e.Key}, Computation)
-	}
-	for _, v := range g.Vertices() {
-		cl := cluster.Run(v.Fragments, opt.Cluster)
-		class := Communication
-		if len(v.Fragments) > 0 {
-			class = ClassOf(v.Fragments[0].Kind)
-		}
-		addCluster(v.Fragments, cl, ClusterRef{Vertex: v.Key}, class)
 	}
 
 	var allTotal, allFixed int64
-	for class, tot := range totalTime {
-		allTotal += tot
-		allFixed += fixedTime[class]
-		if tot > 0 {
-			res.Coverage[class] = float64(fixedTime[class]) / float64(tot)
+	for c := 0; c < numClasses; c++ {
+		allTotal += total[c]
+		allFixed += fixed[c]
+		if total[c] > 0 {
+			res.Coverage[Class(c)] = float64(fixed[c]) / float64(total[c])
 		}
 	}
 	if allTotal > 0 {
 		res.OverallCoverage = float64(allFixed) / float64(allTotal)
 	}
 
-	for class, samples := range res.Samples {
+	// Stage 2: the per-class heat-map and region-growing passes are
+	// fully independent — run them concurrently, then concatenate the
+	// regions in fixed class order.
+	var maps [numClasses]*HeatMap
+	var regions [numClasses][]Region
+	forEach(numClasses, opt.Parallelism, func(c int) {
+		samples := res.Samples[Class(c)]
+		if len(samples) == 0 {
+			return
+		}
 		sort.Slice(samples, func(i, j int) bool { return samples[i].Start < samples[j].Start })
-		h := buildHeatMap(class, samples, ranks, opt.Window)
-		if h != nil {
-			res.Maps[class] = h
-			res.Regions = append(res.Regions, growRegions(h, samples, opt)...)
+		h := buildHeatMap(Class(c), samples, ranks, opt.Window, origin)
+		if h == nil {
+			return
+		}
+		maps[c] = h
+		regions[c] = growRegions(h, samples, opt)
+	})
+	for c := 0; c < numClasses; c++ {
+		if maps[c] != nil {
+			res.Maps[Class(c)] = maps[c]
+			res.Regions = append(res.Regions, regions[c]...)
 		}
 	}
 	// Most impactful regions first (§3.5: reported by performance
 	// impact).
 	sort.Slice(res.Regions, func(i, j int) bool { return res.Regions[i].LossNS > res.Regions[j].LossNS })
 	return res
+}
+
+// normalizeElement turns one element's clustering into normalized
+// samples and coverage partials, keeping only fragments overlapping
+// [start, end). Each fragment is classed by its own kind — a vertex
+// carrying mixed fragment kinds contributes to several classes rather
+// than being classed wholesale by its first fragment.
+func normalizeElement(frags []trace.Fragment, cl cluster.Result, ref ClusterRef, opt Options, start, end int64) (out elemOut) {
+	minFrag := opt.Cluster.MinFragments
+	if minFrag <= 0 {
+		minFrag = 5
+	}
+	for ci := range cl.Clusters {
+		c := &cl.Clusters[ci]
+		if c.Fixed {
+			out.fixedClusters++
+		} else {
+			out.smallClusters++
+			continue
+		}
+		// Fastest member defines performance 1.0.
+		best := int64(math.MaxInt64)
+		perRank := make(map[int]int)
+		for _, m := range c.Members {
+			perRank[frags[m].Rank]++
+			if e := frags[m].Elapsed; e > 0 && e < best {
+				best = e
+			}
+		}
+		if best == math.MaxInt64 {
+			continue
+		}
+		for _, m := range c.Members {
+			f := &frags[m]
+			if f.Start >= end || f.Start+f.Elapsed <= start {
+				continue
+			}
+			class := ClassOf(f.Kind)
+			// Detection pools fragments across processes (the
+			// inter-process comparison needs that), but coverage
+			// follows the paper's repetition notion: the snippet
+			// must recur within a process to count as repeated
+			// fixed workload there.
+			covered := perRank[f.Rank] >= minFrag
+			if covered {
+				out.fixed[class] += f.Elapsed
+			}
+			perf := 1.0
+			if f.Elapsed > 0 {
+				perf = float64(best) / float64(f.Elapsed)
+			}
+			ref := ref
+			ref.Cluster = ci
+			out.samples[class] = append(out.samples[class], Sample{
+				Rank:       f.Rank,
+				Start:      f.Start,
+				Elapsed:    f.Elapsed,
+				Perf:       perf,
+				Covered:    covered,
+				ClusterRef: ref,
+				FragIndex:  m,
+			})
+		}
+	}
+	for i := range frags {
+		f := &frags[i]
+		if f.Start >= end || f.Start+f.Elapsed <= start {
+			continue
+		}
+		out.total[ClassOf(f.Kind)] += f.Elapsed
+	}
+	return out
+}
+
+// forEach runs fn(0..n-1) across a bounded worker pool. parallelism 0
+// means GOMAXPROCS; 1 (or n==1) degenerates to a plain sequential loop.
+// Iterations are claimed from an atomic counter, so callers writing to
+// disjoint slots see a deterministic overall result.
+func forEach(n, parallelism int, fn func(int)) {
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // MapAndRegions builds a heat map from pre-normalized samples and runs
@@ -284,7 +430,7 @@ func MapAndRegions(class Class, samples []Sample, ranks int, opt Options) (*Heat
 	if opt.Threshold <= 0 {
 		opt.Threshold = 0.85
 	}
-	h := buildHeatMap(class, samples, ranks, opt.Window)
+	h := buildHeatMap(class, samples, ranks, opt.Window, 0)
 	if h == nil {
 		return nil, nil
 	}
@@ -293,21 +439,24 @@ func MapAndRegions(class Class, samples []Sample, ranks int, opt Options) (*Heat
 
 // buildHeatMap bins the samples into the rank × window grid using
 // elapsed-time-weighted averaging ("weighted equalization" in Fig. 2).
-func buildHeatMap(class Class, samples []Sample, ranks int, window sim.Duration) *HeatMap {
+// origin is the virtual time of the first cell column (0 for whole-run
+// maps; the window start for the monitor's per-window maps, so the grid
+// covers only the window instead of growing with absolute time).
+func buildHeatMap(class Class, samples []Sample, ranks int, window sim.Duration, origin int64) *HeatMap {
 	if len(samples) == 0 || ranks <= 0 {
 		return nil
 	}
-	var maxEnd int64
+	maxEnd := origin
 	for i := range samples {
 		if e := samples[i].Start + samples[i].Elapsed; e > maxEnd {
 			maxEnd = e
 		}
 	}
-	wins := int(maxEnd/int64(window)) + 1
+	wins := int((maxEnd-origin)/int64(window)) + 1
 	if wins < 1 {
 		wins = 1
 	}
-	h := &HeatMap{Class: class, Ranks: ranks, Windows: wins, Window: window}
+	h := &HeatMap{Class: class, Ranks: ranks, Windows: wins, Window: window, Origin: sim.Time(origin)}
 	h.Cells = make([]float64, ranks*wins)
 	weight := make([]float64, ranks*wins)
 	for i := range h.Cells {
@@ -319,18 +468,26 @@ func buildHeatMap(class Class, samples []Sample, ranks int, window sim.Duration)
 			continue
 		}
 		// Spread the sample over every window it overlaps, weighting
-		// by the overlap length.
+		// by the overlap length. Samples may start before origin (a
+		// fragment straddling the window boundary); only the part from
+		// origin on is binned.
 		start, end := s.Start, s.Start+s.Elapsed
 		if end <= start {
 			end = start + 1
 		}
-		w0 := int(start / int64(window))
-		w1 := int((end - 1) / int64(window))
+		w0 := int((start - origin) / int64(window))
+		if w0 < 0 {
+			w0 = 0
+		}
+		w1 := int((end - 1 - origin) / int64(window))
+		if w1 < 0 {
+			continue
+		}
 		if w1 >= wins {
 			w1 = wins - 1
 		}
 		for w := w0; w <= w1; w++ {
-			bs := int64(w) * int64(window)
+			bs := origin + int64(w)*int64(window)
 			be := bs + int64(window)
 			ov := min64(end, be) - max64(start, bs)
 			if ov <= 0 {
@@ -413,8 +570,8 @@ func growRegions(h *HeatMap, samples []Sample, opt Options) []Region {
 	// Attach member samples and quantify loss.
 	for ri := range regions {
 		reg := &regions[ri]
-		t0 := int64(reg.WinMin) * int64(h.Window)
-		t1 := int64(reg.WinMax+1) * int64(h.Window)
+		t0 := int64(h.Origin) + int64(reg.WinMin)*int64(h.Window)
+		t1 := int64(h.Origin) + int64(reg.WinMax+1)*int64(h.Window)
 		for i := range samples {
 			s := &samples[i]
 			if s.Rank < reg.RankMin || s.Rank > reg.RankMax {

@@ -20,6 +20,10 @@ type Vertex struct {
 	Name      string
 	Kind      trace.Kind // dominant fragment kind at this vertex
 	Fragments []trace.Fragment
+	// Version is a monotonic stamp bumped on every fragment append.
+	// Downstream memoization (cluster.Cache) keys cached clusterings on
+	// it, so repeated analyses re-cluster only elements that grew.
+	Version uint64
 }
 
 // Edge is one state transition with the computation fragments observed
@@ -27,6 +31,9 @@ type Vertex struct {
 type Edge struct {
 	Key       trace.EdgeKey
 	Fragments []trace.Fragment
+	// Version is a monotonic stamp bumped on every fragment append (see
+	// Vertex.Version).
+	Version uint64
 }
 
 // Graph is a State Transition Graph built from a fragment stream. The
@@ -83,6 +90,7 @@ func (g *Graph) Add(f trace.Fragment) {
 			g.edges[k] = e
 		}
 		e.Fragments = append(e.Fragments, f)
+		e.Version++
 		return
 	}
 	v, ok := g.vertices[f.State]
@@ -91,6 +99,7 @@ func (g *Graph) Add(f trace.Fragment) {
 		g.vertices[f.State] = v
 	}
 	v.Fragments = append(v.Fragments, f)
+	v.Version++
 }
 
 // AddBatch attaches a batch of fragments.
