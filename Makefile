@@ -2,12 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build check test vet race cover bench experiments full clean
+.PHONY: all build check test vet race cover bench bench-smoke experiments full clean
 
 all: build vet test
 
-# Everything CI needs: compile, vet, full test suite, race pass.
-check: build vet test race
+# Everything CI needs: compile, vet, full test suite, race pass, and a
+# single-iteration pass over the ingestion benchmarks (catches crashes
+# and gross regressions without benchmarking for real).
+check: build vet test race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -27,6 +29,11 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# One iteration of the ingestion-plane benchmarks: a smoke test, not a
+# measurement (see EXPERIMENTS.md for recorded numbers).
+bench-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkPoolIngest$$|BenchmarkWindowResults' -benchtime 1x .
 
 experiments:
 	$(GO) run ./cmd/vaproexp all

@@ -12,6 +12,7 @@ package vapro_test
 
 import (
 	"io"
+	"sync"
 	"testing"
 
 	"vapro"
@@ -391,6 +392,109 @@ func BenchmarkWireEncode(b *testing.B) {
 type nopCloser struct{ io.Writer }
 
 func (nopCloser) Close() error { return nil }
+
+// --- ingestion-plane benches (§3.5/§5 server intake + window analysis) ---
+
+// ingestWorkload builds the streaming-ingestion workload: `total`
+// fragments across `clients` ranks and `edges` STG edges, spanning
+// `spanNS` of virtual time, batched `batch` fragments at a time — the
+// fragment stream a 256-client server shard absorbs per period.
+func ingestWorkload(clients, total, edges, batch int, spanNS int64) []collector.Batch {
+	rng := sim.NewRNG(7)
+	perRank := total / clients
+	step := spanNS / int64(perRank)
+	var out []collector.Batch
+	for rank := 0; rank < clients; rank++ {
+		var frags []trace.Fragment
+		for i := 0; i < perRank; i++ {
+			e := i % edges
+			class := uint64(1+e%5) * 1_000_000
+			frags = append(frags, trace.Fragment{
+				Rank: rank, Kind: trace.Comp,
+				From: uint64(e + 1), State: uint64(e + 2),
+				Start:    int64(i)*step + int64(rng.Intn(int(step/4))),
+				Elapsed:  step/2 + int64(rng.Intn(int(step/4))),
+				Counters: trace.CountersView{TotIns: class + uint64(rng.Intn(1000))},
+			})
+			if len(frags) == batch {
+				out = append(out, collector.Batch{Rank: rank, Fragments: frags})
+				frags = nil
+			}
+		}
+		if len(frags) > 0 {
+			out = append(out, collector.Batch{Rank: rank, Fragments: frags})
+		}
+	}
+	return out
+}
+
+// BenchmarkPoolIngest pushes 256 clients × 1M fragments through
+// Pool.Consume from a single feeder and drains to the server graphs:
+// the server-side intake hot path.
+func BenchmarkPoolIngest(b *testing.B) {
+	batches := ingestWorkload(256, 1_000_000, 32, 256, int64(50*sim.Second))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := collector.NewPool(256, collector.DefaultOptions())
+		for _, bt := range batches {
+			p.Consume(bt.Rank, bt.Fragments)
+		}
+		if n := p.FragmentCount(); n != benchIngestTotal {
+			b.Fatalf("ingested %d fragments", n)
+		}
+	}
+}
+
+// benchIngestTotal is 1M rounded down to a whole number of fragments
+// per rank (1M/256 ranks = 3906 each).
+const benchIngestTotal = 1_000_000 / 256 * 256
+
+// BenchmarkPoolIngestParallel8 feeds the same stream from 8 concurrent
+// goroutines (disjoint rank sets), the contention shape of hundreds of
+// clients hitting one server shard.
+func BenchmarkPoolIngestParallel8(b *testing.B) {
+	batches := ingestWorkload(256, 1_000_000, 32, 256, int64(50*sim.Second))
+	const feeders = 8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := collector.NewPool(256, collector.DefaultOptions())
+		var wg sync.WaitGroup
+		wg.Add(feeders)
+		for f := 0; f < feeders; f++ {
+			go func(f int) {
+				defer wg.Done()
+				for _, bt := range batches {
+					if bt.Rank%feeders == f {
+						p.Consume(bt.Rank, bt.Fragments)
+					}
+				}
+			}(f)
+		}
+		wg.Wait()
+		if n := p.FragmentCount(); n != benchIngestTotal {
+			b.Fatalf("ingested %d fragments", n)
+		}
+	}
+}
+
+// BenchmarkWindowResults runs the periodic overlapped-window analysis
+// over 1M fragments / 256 clients spanning ~50 windows — the per-period
+// server wake-up of Figure 8, repeated as in production.
+func BenchmarkWindowResults(b *testing.B) {
+	batches := ingestWorkload(256, 1_000_000, 32, 256, int64(50*sim.Second))
+	opt := collector.DefaultOptions()
+	opt.Period = 2 * sim.Second
+	opt.Overlap = 1 * sim.Second
+	p := collector.NewPool(256, opt)
+	for _, bt := range batches {
+		p.Consume(bt.Rank, bt.Fragments)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wins := p.WindowResults()
+		b.ReportMetric(float64(len(wins)), "windows")
+	}
+}
 
 // Online monitoring loop end to end (deployment mode), with a noise
 // burst so the progressive arming path is exercised.

@@ -34,6 +34,9 @@ type Options struct {
 	Overlap sim.Duration
 	// Detect configures the per-window analysis.
 	Detect detect.Options
+	// Intake tunes the server intake path (staging shards, background
+	// merging, backpressure).
+	Intake IntakeOptions
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -54,6 +57,12 @@ type Pool struct {
 	ranks   int
 	servers []*Server
 	Armed   *interpose.Armed
+
+	// amu serializes the analysis side (merged view + analyzer);
+	// ingestion never takes it.
+	amu  sync.Mutex
+	view *mergedView
+	an   *detect.Analyzer
 }
 
 // NewPool builds the server pool for the given number of client ranks.
@@ -79,6 +88,8 @@ func NewPool(ranks int, opt Options) *Pool {
 		opt:   opt,
 		ranks: ranks,
 		Armed: interpose.NewArmed(sim.GroupBase | sim.GroupTopdownL1 | sim.GroupOS),
+		view:  newMergedView(),
+		an:    detect.NewAnalyzer(),
 	}
 	for i := 0; i < n; i++ {
 		p.servers = append(p.servers, newServer(i, opt))
@@ -93,12 +104,28 @@ func (p *Pool) Servers() int { return len(p.servers) }
 // shard.
 func (p *Pool) Consume(rank int, frags []trace.Fragment) {
 	s := p.servers[rank%len(p.servers)]
-	s.consume(frags)
+	s.consume(rank, frags)
 }
 
-// Graph merges every server's STG into one global graph (used for the
-// final whole-run analysis and reports).
+// Close stops background mergers and drains any staged batches. Pools
+// without background intake need no Close; calling it is always safe.
+func (p *Pool) Close() {
+	for _, s := range p.servers {
+		s.close()
+	}
+}
+
+// drainAll merges every server's staged batches into its graph.
+func (p *Pool) drainAll() {
+	for _, s := range p.servers {
+		s.drain()
+	}
+}
+
+// Graph merges every server's STG into one fresh global graph (used for
+// the final whole-run analysis and reports; the caller owns the result).
 func (p *Pool) Graph() *stg.Graph {
+	p.drainAll()
 	g := stg.New()
 	for _, s := range p.servers {
 		s.mu.Lock()
@@ -110,6 +137,7 @@ func (p *Pool) Graph() *stg.Graph {
 
 // FragmentCount returns the total fragments received by all servers.
 func (p *Pool) FragmentCount() int {
+	p.drainAll()
 	n := 0
 	for _, s := range p.servers {
 		s.mu.Lock()
@@ -119,48 +147,123 @@ func (p *Pool) FragmentCount() int {
 	return n
 }
 
-// WindowResults runs the periodic per-window analysis on every server
-// and concatenates the results in time order: the online view of the
-// run. Each window [k·(period−overlap), k·(period−overlap)+period) is
-// analyzed independently, exactly like a server waking up each period.
-func (p *Pool) WindowResults() []*WindowResult {
-	// Merge first: the per-window analysis must see all ranks of a
-	// window even when they are sharded across servers. Each server
-	// analyzes only its own clients in the real deployment; merging
-	// here models the concatenation step of Figure 8.
-	g := p.Graph()
-	var maxEnd int64
-	collect := func(frags []trace.Fragment) {
-		for i := range frags {
-			if e := frags[i].Start + frags[i].Elapsed; e > maxEnd {
-				maxEnd = e
+// mergedView is the incrementally maintained union of every server's
+// STG. Each element's version in the view is the sum of the servers'
+// element versions (= the element's total append count, exactly the
+// version a from-scratch merge would stamp), so a refresh re-concatenates
+// only the elements that actually grew, and an unchanged pool refreshes
+// in O(elements) version checks instead of O(total fragments).
+type mergedView struct {
+	graph   *stg.Graph
+	edgeVer map[trace.EdgeKey]uint64
+	vertVer map[uint64]uint64
+}
+
+func newMergedView() *mergedView {
+	return &mergedView{
+		graph:   stg.New(),
+		edgeVer: make(map[trace.EdgeKey]uint64),
+		vertVer: make(map[uint64]uint64),
+	}
+}
+
+type viewAccum struct {
+	ver   uint64
+	kind  trace.Kind
+	parts [][]trace.Fragment
+}
+
+// refreshView folds the servers' current graphs into the merged view.
+// Per-server fragment slices are snapshotted (length-bounded) under the
+// server lock; stg appends never mutate the snapshotted prefix, so the
+// concatenation can run without holding any server lock. Caller holds
+// p.amu.
+func (p *Pool) refreshView() *stg.Graph {
+	v := p.view
+	eacc := make(map[trace.EdgeKey]*viewAccum)
+	vacc := make(map[uint64]*viewAccum)
+	for _, s := range p.servers {
+		s.mu.Lock()
+		for _, e := range s.graph.Edges() {
+			a := eacc[e.Key]
+			if a == nil {
+				a = &viewAccum{}
+				eacc[e.Key] = a
 			}
+			a.ver += e.Version
+			a.parts = append(a.parts, e.Fragments[:len(e.Fragments):len(e.Fragments)])
+		}
+		for _, vx := range s.graph.Vertices() {
+			a := vacc[vx.Key]
+			if a == nil {
+				// The first server holding the vertex decides its kind,
+				// matching a from-scratch merge (vertex kind comes from
+				// the first fragment added).
+				a = &viewAccum{kind: vx.Kind}
+				vacc[vx.Key] = a
+			}
+			a.ver += vx.Version
+			a.parts = append(a.parts, vx.Fragments[:len(vx.Fragments):len(vx.Fragments)])
+		}
+		s.graph.EachName(v.graph.SetName)
+		s.mu.Unlock()
+	}
+	for k, a := range eacc {
+		if v.edgeVer[k] != a.ver {
+			v.graph.PutEdge(k, concatParts(a.parts), a.ver)
+			v.edgeVer[k] = a.ver
 		}
 	}
-	for _, e := range g.Edges() {
-		collect(e.Fragments)
+	for k, a := range vacc {
+		if v.vertVer[k] != a.ver {
+			v.graph.PutVertex(k, a.kind, concatParts(a.parts), a.ver)
+			v.vertVer[k] = a.ver
+		}
 	}
-	for _, v := range g.Vertices() {
-		collect(v.Fragments)
+	return v.graph
+}
+
+func concatParts(parts [][]trace.Fragment) []trace.Fragment {
+	n := 0
+	for _, p := range parts {
+		n += len(p)
 	}
-	if maxEnd == 0 {
+	out := make([]trace.Fragment, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// WindowResults runs the periodic per-window analysis and concatenates
+// the results in time order: the online view of the run. Each window
+// [k·(period−overlap), k·(period−overlap)+period) is analyzed
+// independently, exactly like a server waking up each period. The
+// analysis runs over the incrementally merged view with a persistent
+// analyzer, so repeated calls re-do work only for the elements (and
+// windows) that received new fragments.
+func (p *Pool) WindowResults() []*WindowResult {
+	p.drainAll()
+	p.amu.Lock()
+	defer p.amu.Unlock()
+	g := p.refreshView()
+	_, maxEnd, ok := g.Bounds()
+	if !ok || maxEnd <= 0 {
 		return nil
 	}
 	stride := int64(p.opt.Period - p.opt.Overlap)
 	if stride <= 0 {
 		stride = int64(p.opt.Period)
 	}
-	// One analyzer across all windows: each element is clustered once
-	// and every overlapped window reuses it, instead of re-clustering a
-	// per-window subgraph from scratch.
-	an := detect.NewAnalyzer()
 	var out []*WindowResult
 	for start := int64(0); start < maxEnd; start += stride {
 		end := start + int64(p.opt.Period)
-		if !overlapsAny(g, start, end) {
+		// Element span bounds reject empty windows without touching
+		// fragments (the old path re-scanned every fragment per window).
+		if !g.Overlaps(start, end) {
 			continue
 		}
-		res := an.RunWindow(g, p.ranks, p.opt.Detect, start, end)
+		res := p.an.RunWindow(g, p.ranks, p.opt.Detect, start, end)
 		out = append(out, &WindowResult{
 			Start:  sim.Time(start),
 			End:    sim.Time(end),
@@ -176,54 +279,6 @@ type WindowResult struct {
 	Result     *detect.Result
 }
 
-// overlapsAny reports whether any fragment of g overlaps [start, end)
-// — the "is this window non-empty" guard of the periodic analysis.
-func overlapsAny(g *stg.Graph, start, end int64) bool {
-	keep := func(f *trace.Fragment) bool {
-		return f.Start < end && f.Start+f.Elapsed > start
-	}
-	for _, e := range g.Edges() {
-		for i := range e.Fragments {
-			if keep(&e.Fragments[i]) {
-				return true
-			}
-		}
-	}
-	for _, v := range g.Vertices() {
-		for i := range v.Fragments {
-			if keep(&v.Fragments[i]) {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// Server is one analysis server process.
-type Server struct {
-	id  int
-	opt Options
-
-	mu    sync.Mutex
-	graph *stg.Graph
-	// bytesIn tracks the transport volume for the storage-overhead
-	// accounting of §6.2.
-	bytesIn int64
-	batches int
-}
-
-func newServer(id int, opt Options) *Server {
-	return &Server{id: id, opt: opt, graph: stg.New()}
-}
-
-func (s *Server) consume(frags []trace.Fragment) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.graph.AddBatch(frags)
-	s.bytesIn += int64(len(frags)) * 96
-	s.batches++
-}
-
 // Stats summarizes a pool's transport volume.
 type Stats struct {
 	Servers   int
@@ -231,12 +286,13 @@ type Stats struct {
 	BytesIn   int64
 	Batches   int
 	// BytesPerRankSecond is the storage rate per client (§6.2 reports
-	// 12.8-47.4 KB/s).
+	// 12.8-47.4 KB/s), measured over the encoded wire format.
 	BytesPerRankSecond float64
 }
 
 // Stats returns transport statistics given the run's virtual makespan.
 func (p *Pool) Stats(makespan sim.Duration) Stats {
+	p.drainAll()
 	st := Stats{Servers: len(p.servers)}
 	for _, s := range p.servers {
 		s.mu.Lock()

@@ -121,11 +121,19 @@ func TestStats(t *testing.T) {
 	if st.Fragments != 8 || st.Batches != 4 {
 		t.Fatalf("stats: %+v", st)
 	}
-	if st.BytesIn != 8*96 {
-		t.Fatalf("bytes: %d", st.BytesIn)
+	// BytesIn is the measured wire encoding, not an estimate. Each batch
+	// (2 fragments, 2 dictionary keys, identical counters so the second
+	// fragment delta-encodes to a few bytes) is 38 bytes with the v1
+	// format — this pin catches accidental format or accounting drift.
+	wantBatch := trace.BatchWireSize(0, []trace.Fragment{frag(0, 0, 100), frag(0, 100, 100)})
+	if wantBatch != 38 {
+		t.Fatalf("wire format drifted: batch is %d bytes, want 38", wantBatch)
 	}
-	// 8×96 bytes / 2s / 4 ranks = 96 B/s/rank.
-	if st.BytesPerRankSecond != 96 {
+	if st.BytesIn != 4*int64(wantBatch) {
+		t.Fatalf("bytes: %d, want %d", st.BytesIn, 4*wantBatch)
+	}
+	// 152 bytes / 2s / 4 ranks = 19 B/s/rank.
+	if st.BytesPerRankSecond != 19 {
 		t.Fatalf("rate: %v", st.BytesPerRankSecond)
 	}
 }

@@ -1,0 +1,191 @@
+package collector
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"vapro/internal/stg"
+	"vapro/internal/trace"
+)
+
+// IntakeOptions tunes the server intake path. The old path serialized
+// every client of a server behind one mutex for the whole graph append;
+// intake now stages batches in striped shards (a short critical section
+// per stripe) and merges them into the graph in arrival order either
+// opportunistically on the consume path or on a background merger.
+type IntakeOptions struct {
+	// Shards stripes each server's staging area so concurrent Consume
+	// calls from different clients contend only within a stripe. 0
+	// means 8; 1 is the sequential reference mode (a single stripe,
+	// still staged, bit-identical results).
+	Shards int
+	// Background moves graph merging to a dedicated goroutine per
+	// server, taking it off the client consume path entirely. Pools
+	// with background intake should be Closed to stop the mergers
+	// (every read path still drains on demand, so results never depend
+	// on merger timing).
+	Background bool
+	// MaxStaged bounds the per-server staged-batch backlog; a consumer
+	// that finds the backlog at the bound performs a synchronous drain
+	// (backpressure instead of unbounded buffering). 0 means 256.
+	MaxStaged int
+}
+
+func (o IntakeOptions) normalized() IntakeOptions {
+	if o.Shards <= 0 {
+		o.Shards = 8
+	}
+	if o.MaxStaged <= 0 {
+		o.MaxStaged = 256
+	}
+	return o
+}
+
+// stagedBatch is one client batch waiting to be merged. seq is the
+// arrival stamp: drains apply batches in seq order, so a sequential
+// feeder produces exactly the graph the old directly-locked path built.
+type stagedBatch struct {
+	seq   uint64
+	bytes int
+	frags []trace.Fragment
+}
+
+type intakeShard struct {
+	mu      sync.Mutex
+	batches []stagedBatch
+	_       [24]byte // keep neighbouring stripe locks off one cache line
+}
+
+// Server is one analysis server process.
+type Server struct {
+	id  int
+	opt Options
+
+	seq    atomic.Uint64
+	staged atomic.Int64
+	shards []intakeShard
+
+	notify    chan struct{}
+	done      chan struct{}
+	mergerWG  sync.WaitGroup
+	closeOnce sync.Once
+
+	mu    sync.Mutex
+	graph *stg.Graph
+	// bytesIn tracks the transport volume for the storage-overhead
+	// accounting of §6.2, measured over the encoded wire format.
+	bytesIn int64
+	batches int
+}
+
+func newServer(id int, opt Options) *Server {
+	opt.Intake = opt.Intake.normalized()
+	s := &Server{
+		id:     id,
+		opt:    opt,
+		shards: make([]intakeShard, opt.Intake.Shards),
+		graph:  stg.New(),
+	}
+	if opt.Intake.Background {
+		s.notify = make(chan struct{}, 1)
+		s.done = make(chan struct{})
+		s.mergerWG.Add(1)
+		go s.mergerLoop()
+	}
+	return s
+}
+
+// consume stages one batch. The encoded size is measured here (outside
+// every lock) so Stats reports real wire bytes.
+func (s *Server) consume(rank int, frags []trace.Fragment) {
+	s.consumeSized(rank, frags, trace.BatchWireSize(rank, frags))
+}
+
+// consumeSized stages a batch whose encoded size is already known (the
+// wire server measured the payload it decoded).
+func (s *Server) consumeSized(rank int, frags []trace.Fragment, bytes int) {
+	cp := make([]trace.Fragment, len(frags))
+	copy(cp, frags)
+	sh := &s.shards[uint(rank)%uint(len(s.shards))]
+	sh.mu.Lock()
+	sh.batches = append(sh.batches, stagedBatch{seq: s.seq.Add(1), bytes: bytes, frags: cp})
+	sh.mu.Unlock()
+	n := s.staged.Add(1)
+
+	if s.notify != nil {
+		select {
+		case s.notify <- struct{}{}:
+		default:
+		}
+		if int(n) >= s.opt.Intake.MaxStaged {
+			s.drain() // backpressure: the merger fell behind
+		}
+		return
+	}
+	if int(n) >= s.opt.Intake.MaxStaged {
+		s.drain()
+		return
+	}
+	// Opportunistic merge: whoever gets the graph lock without waiting
+	// merges everyone's staged batches; contenders just stage and leave.
+	if s.mu.TryLock() {
+		s.drainLocked()
+		s.mu.Unlock()
+	}
+}
+
+func (s *Server) drain() {
+	s.mu.Lock()
+	s.drainLocked()
+	s.mu.Unlock()
+}
+
+// drainLocked merges every staged batch into the graph in arrival
+// order. Caller holds s.mu.
+func (s *Server) drainLocked() {
+	var all []stagedBatch
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if len(sh.batches) > 0 {
+			all = append(all, sh.batches...)
+			sh.batches = sh.batches[:0]
+		}
+		sh.mu.Unlock()
+	}
+	if len(all) == 0 {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	for i := range all {
+		s.graph.AddBatch(all[i].frags)
+		s.bytesIn += int64(all[i].bytes)
+		s.batches++
+	}
+	s.staged.Add(int64(-len(all)))
+}
+
+func (s *Server) mergerLoop() {
+	defer s.mergerWG.Done()
+	for {
+		select {
+		case <-s.notify:
+			s.drain()
+		case <-s.done:
+			s.drain()
+			return
+		}
+	}
+}
+
+// close stops the background merger (if any) and drains what it left.
+func (s *Server) close() {
+	s.closeOnce.Do(func() {
+		if s.done != nil {
+			close(s.done)
+			s.mergerWG.Wait()
+		}
+		s.drain()
+	})
+}

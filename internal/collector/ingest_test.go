@@ -1,0 +1,288 @@
+package collector
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"vapro/internal/detect"
+	"vapro/internal/sim"
+	"vapro/internal/stg"
+	"vapro/internal/trace"
+)
+
+// referenceWindowResults is the pre-intake-rework implementation: merge
+// every server graph from scratch, scan every fragment for the span,
+// guard each window with a full-graph overlap scan, analyze with a
+// fresh analyzer. The staged/sharded/incremental path must reproduce
+// its output bit for bit under sequential feeding.
+func referenceWindowResults(p *Pool) []*WindowResult {
+	p.drainAll()
+	g := stg.New()
+	for _, s := range p.servers {
+		s.mu.Lock()
+		g.Merge(s.graph)
+		s.mu.Unlock()
+	}
+	var maxEnd int64
+	collect := func(frags []trace.Fragment) {
+		for i := range frags {
+			if e := frags[i].Start + frags[i].Elapsed; e > maxEnd {
+				maxEnd = e
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		collect(e.Fragments)
+	}
+	for _, v := range g.Vertices() {
+		collect(v.Fragments)
+	}
+	if maxEnd == 0 {
+		return nil
+	}
+	stride := int64(p.opt.Period - p.opt.Overlap)
+	if stride <= 0 {
+		stride = int64(p.opt.Period)
+	}
+	overlapsAny := func(start, end int64) bool {
+		keep := func(f *trace.Fragment) bool {
+			return f.Start < end && f.Start+f.Elapsed > start
+		}
+		for _, e := range g.Edges() {
+			for i := range e.Fragments {
+				if keep(&e.Fragments[i]) {
+					return true
+				}
+			}
+		}
+		for _, v := range g.Vertices() {
+			for i := range v.Fragments {
+				if keep(&v.Fragments[i]) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	an := detect.NewAnalyzer()
+	var out []*WindowResult
+	for start := int64(0); start < maxEnd; start += stride {
+		end := start + int64(p.opt.Period)
+		if !overlapsAny(start, end) {
+			continue
+		}
+		res := an.RunWindow(g, p.ranks, p.opt.Detect, start, end)
+		out = append(out, &WindowResult{Start: sim.Time(start), End: sim.Time(end), Result: res})
+	}
+	return out
+}
+
+func sameDetectResult(t *testing.T, i int, a, b *detect.Result) {
+	t.Helper()
+	if a.FixedClusters != b.FixedClusters || a.SmallClusters != b.SmallClusters {
+		t.Fatalf("window %d: cluster counts (%d,%d) vs (%d,%d)", i,
+			a.FixedClusters, a.SmallClusters, b.FixedClusters, b.SmallClusters)
+	}
+	if math.Float64bits(a.OverallCoverage) != math.Float64bits(b.OverallCoverage) ||
+		!reflect.DeepEqual(a.Coverage, b.Coverage) {
+		t.Fatalf("window %d: coverage differs", i)
+	}
+	if !reflect.DeepEqual(a.Samples, b.Samples) {
+		t.Fatalf("window %d: samples differ", i)
+	}
+	if !reflect.DeepEqual(a.Regions, b.Regions) {
+		t.Fatalf("window %d: regions differ (%d vs %d)", i, len(a.Regions), len(b.Regions))
+	}
+	if len(a.Maps) != len(b.Maps) {
+		t.Fatalf("window %d: map count %d vs %d", i, len(a.Maps), len(b.Maps))
+	}
+	for class, ha := range a.Maps {
+		hb := b.Maps[class]
+		if hb == nil || ha.Ranks != hb.Ranks || ha.Windows != hb.Windows || ha.Origin != hb.Origin {
+			t.Fatalf("window %d class %v: heat map shape differs", i, class)
+		}
+		for c := range ha.Cells {
+			if math.Float64bits(ha.Cells[c]) != math.Float64bits(hb.Cells[c]) {
+				t.Fatalf("window %d class %v cell %d: %v vs %v", i, class, c, ha.Cells[c], hb.Cells[c])
+			}
+		}
+	}
+}
+
+func sameWindowResults(t *testing.T, mode string, got, want []*WindowResult) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d windows, want %d", mode, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Start != want[i].Start || got[i].End != want[i].End {
+			t.Fatalf("%s window %d: [%v,%v) vs [%v,%v)", mode, i,
+				got[i].Start, got[i].End, want[i].Start, want[i].End)
+		}
+		sameDetectResult(t, i, got[i].Result, want[i].Result)
+	}
+}
+
+func equivOptions() Options {
+	opt := DefaultOptions()
+	opt.Servers = 3
+	opt.Period = 10 * sim.Millisecond
+	opt.Overlap = 5 * sim.Millisecond
+	opt.Detect.Window = sim.Millisecond
+	opt.Detect.Cluster.MinFragments = 4
+	return opt
+}
+
+// feedEquivWorkload pushes a deterministic mixed workload: dense comp
+// edges with a variance region, mixed-kind vertices, a long quiet gap
+// (windows with no fragments), and a trailing burst.
+func feedEquivWorkload(p *Pool, ranks int) {
+	rng := sim.NewRNG(11)
+	for rank := 0; rank < ranks; rank++ {
+		var batch []trace.Fragment
+		for i := 0; i < 120; i++ {
+			el := int64(400_000 + rng.Intn(2000))
+			if rank == 1 && i >= 40 && i < 60 {
+				el *= 3
+			}
+			start := int64(i) * 500_000
+			if i >= 80 {
+				start += 40_000_000 // quiet gap, then a late burst
+			}
+			batch = append(batch, trace.Fragment{
+				Rank: rank, Kind: trace.Comp,
+				From: uint64(1 + i%3), State: uint64(2 + i%3),
+				Start: start, Elapsed: el,
+				Counters: trace.CountersView{TotIns: uint64(1_000_000 + rng.Intn(500))},
+			})
+			if i%5 == 0 {
+				k := trace.Comm
+				if i%10 == 0 {
+					k = trace.IO
+				}
+				batch = append(batch, trace.Fragment{
+					Rank: rank, Kind: k, State: uint64(2 + i%3),
+					Start: start + el, Elapsed: int64(100_000 + rng.Intn(1000)),
+					Args: trace.Args{Op: "Allreduce", Bytes: 4096},
+				})
+			}
+			if len(batch) >= 16 {
+				p.Consume(rank, batch)
+				batch = batch[:0]
+			}
+		}
+		if len(batch) > 0 {
+			p.Consume(rank, batch)
+		}
+	}
+}
+
+// TestWindowResultsEquivalence pins the rebuilt ingestion plane to the
+// pre-rework semantics: for every intake mode, sequential feeding must
+// produce WindowResults bit-identical to the old merge-and-rescan
+// implementation.
+func TestWindowResultsEquivalence(t *testing.T) {
+	const ranks = 6
+	ref := NewPool(ranks, equivOptions())
+	feedEquivWorkload(ref, ranks)
+	want := referenceWindowResults(ref)
+	if len(want) < 3 {
+		t.Fatalf("fixture too small: %d windows", len(want))
+	}
+
+	modes := []struct {
+		name   string
+		intake IntakeOptions
+	}{
+		{"sequential", IntakeOptions{Shards: 1}},
+		{"sharded", IntakeOptions{Shards: 8}},
+		{"tiny-backlog", IntakeOptions{Shards: 2, MaxStaged: 1}},
+		{"background", IntakeOptions{Shards: 8, Background: true}},
+	}
+	for _, m := range modes {
+		opt := equivOptions()
+		opt.Intake = m.intake
+		p := NewPool(ranks, opt)
+		feedEquivWorkload(p, ranks)
+		got := p.WindowResults()
+		sameWindowResults(t, m.name, got, want)
+		// A second call over an unchanged pool (the all-warm path) must
+		// return the same thing again.
+		sameWindowResults(t, m.name+"/warm", p.WindowResults(), want)
+		// And after more data arrives, the incremental refresh must
+		// match a reference pool fed the same total stream.
+		feedEquivWorkload(p, ranks)
+		feedEquivWorkload(ref, ranks)
+		sameWindowResults(t, m.name+"/grown", p.WindowResults(), referenceWindowResults(ref))
+		p.Close()
+
+		ref = NewPool(ranks, equivOptions())
+		feedEquivWorkload(ref, ranks)
+	}
+}
+
+// TestConcurrentConsume hammers one pool from 8 goroutines while the
+// analysis side reads, then checks nothing was lost. Run under -race
+// via `make race`.
+func TestConcurrentConsume(t *testing.T) {
+	for _, intake := range []IntakeOptions{
+		{Shards: 8},
+		{Shards: 8, Background: true},
+		{Shards: 2, MaxStaged: 4},
+	} {
+		opt := equivOptions()
+		opt.Intake = intake
+		const ranks, perRank = 8, 500
+		p := NewPool(ranks, opt)
+		var wg sync.WaitGroup
+		for rank := 0; rank < ranks; rank++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				for i := 0; i < perRank; i++ {
+					p.Consume(rank, []trace.Fragment{frag(rank, int64(i)*100_000, 50_000)})
+				}
+			}(rank)
+		}
+		// Concurrent readers exercise drain-vs-stage races.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				p.FragmentCount()
+				p.WindowResults()
+			}
+		}()
+		wg.Wait()
+		p.Close()
+		if n := p.FragmentCount(); n != ranks*perRank {
+			t.Fatalf("intake %+v: %d fragments, want %d", intake, n, ranks*perRank)
+		}
+		if st := p.Stats(sim.Second); st.Batches != ranks*perRank {
+			t.Fatalf("intake %+v: %d batches", intake, st.Batches)
+		}
+		if len(p.WindowResults()) == 0 {
+			t.Fatalf("intake %+v: no windows", intake)
+		}
+	}
+}
+
+// TestIntakeBackpressure: a tiny backlog bound forces synchronous
+// drains; nothing may be lost or double-counted.
+func TestIntakeBackpressure(t *testing.T) {
+	opt := equivOptions()
+	opt.Servers = 1
+	opt.Intake = IntakeOptions{Shards: 4, MaxStaged: 2}
+	p := NewPool(4, opt)
+	for i := 0; i < 100; i++ {
+		p.Consume(i%4, []trace.Fragment{frag(i%4, int64(i)*1000, 500)})
+	}
+	if staged := p.servers[0].staged.Load(); staged > 2 {
+		t.Fatalf("backlog exceeded bound: %d staged", staged)
+	}
+	if n := p.FragmentCount(); n != 100 {
+		t.Fatalf("fragments: %d", n)
+	}
+}

@@ -1,7 +1,9 @@
 package collector
 
 import (
-	"encoding/gob"
+	"bufio"
+	"encoding/binary"
+	"fmt"
 	"io"
 	"net"
 	"sync"
@@ -11,12 +13,20 @@ import (
 
 // Wire transport: in the real deployment the client library ships
 // fragment batches to the server processes over the management network.
-// This file implements that path with gob over net.Conn so the
-// client/server split can run across real processes; the in-process Pool
-// remains the default because the simulation runs everything in one
-// address space.
+// This file implements that path over net.Conn so the client/server
+// split can run across real processes; the in-process Pool remains the
+// default because the simulation runs everything in one address space.
+//
+// The stream is a sequence of frames: a uvarint payload length followed
+// by one trace.AppendBatch-encoded batch. The compact encoding is what
+// the §6.2 storage accounting measures, so the transport ships exactly
+// those bytes.
 
-// Batch is the wire unit: one client's buffered fragments.
+// maxFramePayload rejects absurd frame lengths before allocating (a
+// corrupt or hostile stream must not OOM the server).
+const maxFramePayload = 1 << 30
+
+// Batch is the transport unit: one client's buffered fragments.
 type Batch struct {
 	Rank      int
 	Fragments []trace.Fragment
@@ -27,31 +37,16 @@ type Batch struct {
 // server. Safe for use by one rank; open one client per rank (as the
 // real library does) or guard externally.
 type WireClient struct {
-	mu   sync.Mutex
-	conn io.WriteCloser
-	enc  *gob.Encoder
-	err  error
-	// n counts encoded payload bytes (via a counting writer).
-	n countingWriter
-}
-
-type countingWriter struct {
-	w io.Writer
-	n int64
-}
-
-func (c *countingWriter) Write(p []byte) (int, error) {
-	n, err := c.w.Write(p)
-	c.n += int64(n)
-	return n, err
+	mu      sync.Mutex
+	conn    io.WriteCloser
+	err     error
+	scratch []byte
+	n       int64
 }
 
 // NewWireClient wraps conn.
 func NewWireClient(conn io.WriteCloser) *WireClient {
-	c := &WireClient{conn: conn}
-	c.n.w = conn
-	c.enc = gob.NewEncoder(&c.n)
-	return c
+	return &WireClient{conn: conn}
 }
 
 // Consume implements interpose.Sink by encoding the batch onto the wire.
@@ -64,7 +59,19 @@ func (c *WireClient) Consume(rank int, frags []trace.Fragment) {
 	if c.err != nil {
 		return
 	}
-	c.err = c.enc.Encode(Batch{Rank: rank, Fragments: frags})
+	// Build the whole frame in one buffer so short writes can't
+	// interleave with another frame.
+	c.scratch = c.scratch[:0]
+	c.scratch = append(c.scratch, make([]byte, binary.MaxVarintLen64)...)
+	c.scratch = trace.AppendBatch(c.scratch, rank, frags)
+	payload := len(c.scratch) - binary.MaxVarintLen64
+	var hdr [binary.MaxVarintLen64]byte
+	hn := binary.PutUvarint(hdr[:], uint64(payload))
+	frame := c.scratch[binary.MaxVarintLen64-hn:]
+	copy(frame, hdr[:hn])
+	n, err := c.conn.Write(frame)
+	c.n += int64(n)
+	c.err = err
 }
 
 // Err returns the first transport error, if any.
@@ -74,11 +81,11 @@ func (c *WireClient) Err() error {
 	return c.err
 }
 
-// BytesOut returns the total encoded bytes written.
+// BytesOut returns the total bytes written (payload plus frame headers).
 func (c *WireClient) BytesOut() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.n.n
+	return c.n
 }
 
 // Close flushes and closes the connection.
@@ -128,22 +135,40 @@ func (s *WireServer) acceptLoop() {
 	}
 }
 
+func (s *WireServer) setErr(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
 func (s *WireServer) serveConn(conn net.Conn) {
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
+	br := bufio.NewReaderSize(conn, 64<<10)
 	for {
-		var b Batch
-		if err := dec.Decode(&b); err != nil {
+		size, err := binary.ReadUvarint(br)
+		if err != nil {
 			if err != io.EOF {
-				s.mu.Lock()
-				if s.err == nil {
-					s.err = err
-				}
-				s.mu.Unlock()
+				s.setErr(err)
 			}
 			return
 		}
-		s.sink.Consume(b.Rank, b.Fragments)
+		if size > maxFramePayload {
+			s.setErr(fmt.Errorf("collector: frame of %d bytes exceeds limit", size))
+			return
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			s.setErr(err)
+			return
+		}
+		rank, frags, err := trace.DecodeBatch(payload)
+		if err != nil {
+			s.setErr(err)
+			return
+		}
+		s.sink.Consume(rank, frags)
 		s.mu.Lock()
 		s.batches++
 		s.mu.Unlock()

@@ -174,10 +174,19 @@ type Result struct {
 // actually changed (tracked by the elements' version stamps).
 type Analyzer struct {
 	cache *cluster.Cache
+
+	// preps memoizes each element's window-independent analysis (its
+	// normalized samples and time indexes) keyed like the clustering
+	// cache, so overlapped windows slice precomputed samples instead of
+	// re-walking every cluster member per window.
+	mu    sync.Mutex
+	preps map[cluster.Key]*prepElem
 }
 
 // NewAnalyzer returns an Analyzer with an empty clustering cache.
-func NewAnalyzer() *Analyzer { return &Analyzer{cache: cluster.NewCache()} }
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{cache: cluster.NewCache(), preps: make(map[cluster.Key]*prepElem)}
+}
 
 // Cache exposes the memoized clustering layer so sibling passes (the
 // diagnosis drill-down in core, the monitor's event diagnosis) reuse
@@ -212,8 +221,36 @@ func (a *Analyzer) RunWindow(g *stg.Graph, ranks int, opt Options, start, end in
 
 // elemOut is the per-element partial result of the cluster+normalize
 // stage; partials merge deterministically in element order, which makes
-// the parallel pass bit-identical to the sequential one.
+// the parallel pass bit-identical to the sequential one. Samples are
+// referenced, not materialized: either the element's whole canonical
+// list (all=true) or a selection of indices into it, copied exactly
+// once into the right-sized merged slice.
 type elemOut struct {
+	prep          *prepElem
+	whole         [numClasses]bool
+	sel           [numClasses][]int32
+	total, fixed  [numClasses]int64
+	fixedClusters int
+	smallClusters int
+}
+
+// sampleCount returns how many samples the element contributes to class
+// c under its selection.
+func (o *elemOut) sampleCount(c int) int {
+	if o.prep == nil {
+		return 0
+	}
+	if o.whole[c] {
+		return len(o.prep.samples[c])
+	}
+	return len(o.sel[c])
+}
+
+// elemDirect is the materialized form of an element's window
+// contribution, produced by normalizeElement. The production path uses
+// elemOut's referenced samples instead; this form exists for the
+// equivalence tests that pin the two paths bit-identical.
+type elemDirect struct {
 	samples       [numClasses][]Sample
 	total, fixed  [numClasses]int64
 	fixedClusters int
@@ -243,29 +280,56 @@ func (a *Analyzer) run(g *stg.Graph, ranks int, opt Options, start, end, origin 
 	forEach(len(outs), opt.Parallelism, func(i int) {
 		if i < len(edges) {
 			e := edges[i]
-			cl := a.cache.Run(cluster.EdgeKey(e.Key), e.Version, e.Fragments, opt.Cluster)
-			outs[i] = normalizeElement(e.Fragments, cl, ClusterRef{IsEdge: true, Edge: e.Key}, opt, start, end)
+			p := a.prepFor(cluster.EdgeKey(e.Key), e.Version, e.Fragments, opt, ClusterRef{IsEdge: true, Edge: e.Key})
+			p.window(start, end, &outs[i])
 		} else {
 			v := verts[i-len(edges)]
-			cl := a.cache.Run(cluster.VertexKey(v.Key), v.Version, v.Fragments, opt.Cluster)
-			outs[i] = normalizeElement(v.Fragments, cl, ClusterRef{Vertex: v.Key}, opt, start, end)
+			p := a.prepFor(cluster.VertexKey(v.Key), v.Version, v.Fragments, opt, ClusterRef{Vertex: v.Key})
+			p.window(start, end, &outs[i])
 		}
 	})
 
 	// Deterministic merge: element order (edges then vertices, both
 	// key-sorted) fixes the sample concatenation order regardless of
-	// which worker finished first.
+	// which worker finished first. Counts are summed first so each
+	// class's merged slice is allocated once at its exact size — the
+	// per-window copy cost is one pass over the selected samples, with
+	// no append regrowth.
 	var total, fixed [numClasses]int64
+	var counts [numClasses]int
 	for i := range outs {
 		o := &outs[i]
 		res.FixedClusters += o.fixedClusters
 		res.SmallClusters += o.smallClusters
 		for c := 0; c < numClasses; c++ {
-			if len(o.samples[c]) > 0 {
-				res.Samples[Class(c)] = append(res.Samples[Class(c)], o.samples[c]...)
-			}
+			counts[c] += o.sampleCount(c)
 			total[c] += o.total[c]
 			fixed[c] += o.fixed[c]
+		}
+	}
+	for c := 0; c < numClasses; c++ {
+		if counts[c] > 0 {
+			res.Samples[Class(c)] = make([]Sample, 0, counts[c])
+		}
+	}
+	for i := range outs {
+		o := &outs[i]
+		if o.prep == nil {
+			continue
+		}
+		for c := 0; c < numClasses; c++ {
+			if o.whole[c] {
+				if len(o.prep.samples[c]) > 0 {
+					res.Samples[Class(c)] = append(res.Samples[Class(c)], o.prep.samples[c]...)
+				}
+			} else if len(o.sel[c]) > 0 {
+				buf := res.Samples[Class(c)]
+				src := o.prep.samples[c]
+				for _, idx := range o.sel[c] {
+					buf = append(buf, src[idx])
+				}
+				res.Samples[Class(c)] = buf
+			}
 		}
 	}
 
@@ -316,7 +380,12 @@ func (a *Analyzer) run(g *stg.Graph, ranks int, opt Options, start, end, origin 
 // [start, end). Each fragment is classed by its own kind — a vertex
 // carrying mixed fragment kinds contributes to several classes rather
 // than being classed wholesale by its first fragment.
-func normalizeElement(frags []trace.Fragment, cl cluster.Result, ref ClusterRef, opt Options, start, end int64) (out elemOut) {
+//
+// The hot path no longer calls this per window — prepElem.window slices
+// the same outputs from a memoized full-population pass — but this
+// direct form remains the semantic reference: the equivalence tests pin
+// the sliced path bit-identical to it.
+func normalizeElement(frags []trace.Fragment, cl cluster.Result, ref ClusterRef, opt Options, start, end int64) (out elemDirect) {
 	minFrag := opt.Cluster.MinFragments
 	if minFrag <= 0 {
 		minFrag = 5

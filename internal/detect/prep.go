@@ -1,0 +1,268 @@
+package detect
+
+import (
+	"math"
+	"slices"
+	"sort"
+
+	"vapro/internal/cluster"
+	"vapro/internal/trace"
+)
+
+// prepElem is the window-independent part of one STG element's analysis,
+// memoized per element version alongside the clustering cache. The
+// normalized samples of an element depend only on its full fragment
+// population (clustering and the per-cluster fastest member never look
+// at the analysis window — the window just filters which samples feed
+// the heat map), so they are computed once per element version and every
+// overlapped window slices them by binary search instead of re-walking
+// every cluster member. Sample emission order is preserved exactly
+// (cluster-major, member-index order), which keeps windowed results
+// bit-identical to the direct computation.
+type prepElem struct {
+	version uint64
+	nfrags  int
+	copt    cluster.Options
+
+	fixedClusters int
+	smallClusters int
+
+	// samples holds the full-population sample lists per class, in
+	// canonical emission order. Shared read-only with full-range runs.
+	samples [numClasses][]Sample
+	// sampleIdx slices samples by time window.
+	sampleIdx [numClasses]spanIndex
+	// fixedAll is the covered (fixed-workload) time per class over the
+	// whole population — the full-range fast path for elemOut.fixed.
+	fixedAll [numClasses]int64
+	// fragIdx indexes every fragment's span per class for the coverage
+	// denominator (elemOut.total sums all fragments, not just cluster
+	// members).
+	fragIdx  [numClasses]spanIndex
+	totalAll [numClasses]int64
+}
+
+// spanIndex answers "which spans overlap [start, end)" over a fixed set
+// of (start, elapsed) spans in O(log n + candidates): starts are sorted,
+// and a span overlaps only if its start lies in (start-maxElapsed, end).
+type spanIndex struct {
+	order      []int32 // original positions, sorted by start
+	starts     []int64 // starts[i] = start of span order[i] (sorted)
+	elapsed    []int64 // elapsed[i] = elapsed of span order[i]
+	covered    []bool  // optional: covered flag of span order[i]
+	maxElapsed int64
+}
+
+func buildSpanIndex(starts, elapsed []int64, covered []bool) spanIndex {
+	n := len(starts)
+	ix := spanIndex{
+		order:   make([]int32, n),
+		starts:  make([]int64, n),
+		elapsed: make([]int64, n),
+	}
+	for i := range ix.order {
+		ix.order[i] = int32(i)
+	}
+	sort.Slice(ix.order, func(a, b int) bool {
+		sa, sb := starts[ix.order[a]], starts[ix.order[b]]
+		if sa != sb {
+			return sa < sb
+		}
+		return ix.order[a] < ix.order[b]
+	})
+	for i, o := range ix.order {
+		ix.starts[i] = starts[o]
+		ix.elapsed[i] = elapsed[o]
+		if e := elapsed[o]; e > ix.maxElapsed {
+			ix.maxElapsed = e
+		}
+	}
+	if covered != nil {
+		ix.covered = make([]bool, n)
+		for i, o := range ix.order {
+			ix.covered[i] = covered[o]
+		}
+	}
+	return ix
+}
+
+// candidates returns the [lo, hi) range of sorted positions whose spans
+// can overlap [start, end); each candidate still needs the exact
+// start+elapsed > start check.
+func (ix *spanIndex) candidates(start, end int64) (lo, hi int) {
+	// A span [s, s+e) overlaps iff s < end && s+e > start, which needs
+	// s > start-maxElapsed (saturating: start near MinInt64 would wrap).
+	thresh := start - ix.maxElapsed
+	if ix.maxElapsed > 0 && thresh > start {
+		thresh = math.MinInt64
+	}
+	lo = sort.Search(len(ix.starts), func(i int) bool { return ix.starts[i] > thresh })
+	hi = sort.Search(len(ix.starts), func(i int) bool { return ix.starts[i] >= end })
+	return lo, hi
+}
+
+// sumOverlapping totals elapsed over spans overlapping [start, end).
+func (ix *spanIndex) sumOverlapping(start, end int64) int64 {
+	lo, hi := ix.candidates(start, end)
+	var sum int64
+	for i := lo; i < hi; i++ {
+		if ix.starts[i]+ix.elapsed[i] > start {
+			sum += ix.elapsed[i]
+		}
+	}
+	return sum
+}
+
+// selectOverlapping returns the original positions of spans overlapping
+// [start, end) in original (canonical) order, plus the covered elapsed
+// sum over the selection. The positions are distinct, so sorting them
+// ascending reproduces the canonical emission order exactly regardless
+// of sort algorithm.
+func (ix *spanIndex) selectOverlapping(start, end int64) (sel []int32, fixed int64) {
+	lo, hi := ix.candidates(start, end)
+	if lo >= hi {
+		return nil, 0
+	}
+	sel = make([]int32, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		if ix.starts[i]+ix.elapsed[i] > start {
+			sel = append(sel, ix.order[i])
+			if ix.covered != nil && ix.covered[i] {
+				fixed += ix.elapsed[i]
+			}
+		}
+	}
+	slices.Sort(sel)
+	return sel, fixed
+}
+
+// prepFor returns the memoized window-independent analysis of one
+// element, rebuilding it when the element's version moved. The
+// clustering cache is consulted unconditionally so its hit/miss
+// accounting keeps meaning "analysis passes that reused a clustering",
+// warm prep or not.
+func (a *Analyzer) prepFor(key cluster.Key, version uint64, frags []trace.Fragment, opt Options, ref ClusterRef) *prepElem {
+	cl := a.cache.Run(key, version, frags, opt.Cluster)
+	a.mu.Lock()
+	p := a.preps[key]
+	a.mu.Unlock()
+	if p != nil && p.version == version && p.nfrags == len(frags) && p.copt == opt.Cluster {
+		return p
+	}
+	p = buildPrep(frags, cl, ref, opt, version)
+	a.mu.Lock()
+	a.preps[key] = p
+	a.mu.Unlock()
+	return p
+}
+
+// buildPrep runs the full-population normalization once (the same walk
+// normalizeElement does with an unbounded window) and indexes the
+// outputs for window slicing.
+func buildPrep(frags []trace.Fragment, cl cluster.Result, ref ClusterRef, opt Options, version uint64) *prepElem {
+	p := &prepElem{version: version, nfrags: len(frags), copt: opt.Cluster}
+	minFrag := opt.Cluster.MinFragments
+	if minFrag <= 0 {
+		minFrag = 5
+	}
+	for ci := range cl.Clusters {
+		c := &cl.Clusters[ci]
+		if c.Fixed {
+			p.fixedClusters++
+		} else {
+			p.smallClusters++
+			continue
+		}
+		best := int64(math.MaxInt64)
+		perRank := make(map[int]int)
+		for _, m := range c.Members {
+			perRank[frags[m].Rank]++
+			if e := frags[m].Elapsed; e > 0 && e < best {
+				best = e
+			}
+		}
+		if best == math.MaxInt64 {
+			continue
+		}
+		for _, m := range c.Members {
+			f := &frags[m]
+			class := ClassOf(f.Kind)
+			covered := perRank[f.Rank] >= minFrag
+			if covered {
+				p.fixedAll[class] += f.Elapsed
+			}
+			perf := 1.0
+			if f.Elapsed > 0 {
+				perf = float64(best) / float64(f.Elapsed)
+			}
+			ref := ref
+			ref.Cluster = ci
+			p.samples[class] = append(p.samples[class], Sample{
+				Rank:       f.Rank,
+				Start:      f.Start,
+				Elapsed:    f.Elapsed,
+				Perf:       perf,
+				Covered:    covered,
+				ClusterRef: ref,
+				FragIndex:  m,
+			})
+		}
+	}
+	for c := 0; c < numClasses; c++ {
+		n := len(p.samples[c])
+		starts := make([]int64, n)
+		elapsed := make([]int64, n)
+		covered := make([]bool, n)
+		for i := range p.samples[c] {
+			s := &p.samples[c][i]
+			starts[i], elapsed[i], covered[i] = s.Start, s.Elapsed, s.Covered
+		}
+		p.sampleIdx[c] = buildSpanIndex(starts, elapsed, covered)
+	}
+	var fragStarts, fragElapsed [numClasses][]int64
+	for i := range frags {
+		f := &frags[i]
+		class := ClassOf(f.Kind)
+		fragStarts[class] = append(fragStarts[class], f.Start)
+		fragElapsed[class] = append(fragElapsed[class], f.Elapsed)
+		p.totalAll[class] += f.Elapsed
+	}
+	for c := 0; c < numClasses; c++ {
+		p.fragIdx[c] = buildSpanIndex(fragStarts[c], fragElapsed[c], nil)
+	}
+	return p
+}
+
+// window fills out with the element's contribution to one analysis
+// window — exactly what normalizeElement(frags, cl, ref, opt, start,
+// end) computes, but as references into the memoized full-population
+// prep: whole[c] shares the canonical slice, sel[c] names the selected
+// positions. The merge step copies each selected sample exactly once
+// into the final right-sized result slice.
+func (p *prepElem) window(start, end int64, out *elemOut) {
+	out.prep = p
+	out.fixedClusters = p.fixedClusters
+	out.smallClusters = p.smallClusters
+	if start == math.MinInt64 && end == math.MaxInt64 {
+		// Whole-run pass: everything is in range.
+		for c := 0; c < numClasses; c++ {
+			out.whole[c] = true
+		}
+		out.fixed = p.fixedAll
+		out.total = p.totalAll
+		return
+	}
+	for c := 0; c < numClasses; c++ {
+		sel, fixed := p.sampleIdx[c].selectOverlapping(start, end)
+		if len(sel) == len(p.samples[c]) {
+			out.whole[c] = true
+			out.fixed[c] = p.fixedAll[c]
+		} else {
+			out.sel[c] = sel
+			out.fixed[c] = fixed
+		}
+		if len(p.fragIdx[c].starts) > 0 {
+			out.total[c] = p.fragIdx[c].sumOverlapping(start, end)
+		}
+	}
+}

@@ -370,18 +370,20 @@ func (t *Traced) emit(f trace.Fragment) {
 		return
 	}
 	t.batch = append(t.batch, f)
-	t.BytesOut += 96 // approximate wire size of one record
 	if len(t.batch) >= t.opt.FlushEvery {
 		t.Flush()
 	}
 }
 
 // Flush pushes buffered fragments to the sink. Called automatically
-// when the buffer fills and must be called once at rank exit.
+// when the buffer fills and must be called once at rank exit. BytesOut
+// grows by the batch's measured wire encoding — the bytes this rank
+// would put on the management network, not a per-record estimate.
 func (t *Traced) Flush() {
 	if t.sink == nil || len(t.batch) == 0 {
 		return
 	}
+	t.BytesOut += int64(trace.BatchWireSize(t.r.ID(), t.batch))
 	t.sink.Consume(t.r.ID(), t.batch)
 	t.batch = nil
 }

@@ -24,6 +24,10 @@ type Vertex struct {
 	// Downstream memoization (cluster.Cache) keys cached clusterings on
 	// it, so repeated analyses re-cluster only elements that grew.
 	Version uint64
+	// MinStart/MaxEnd bound the time spans of the attached fragments
+	// ([MinStart, MaxEnd)), maintained on append so window overlap
+	// checks can reject whole elements without scanning fragments.
+	MinStart, MaxEnd int64
 }
 
 // Edge is one state transition with the computation fragments observed
@@ -34,6 +38,9 @@ type Edge struct {
 	// Version is a monotonic stamp bumped on every fragment append (see
 	// Vertex.Version).
 	Version uint64
+	// MinStart/MaxEnd bound the attached fragment spans (see
+	// Vertex.MinStart).
+	MinStart, MaxEnd int64
 }
 
 // Graph is a State Transition Graph built from a fragment stream. The
@@ -67,6 +74,14 @@ func setName(m map[uint64]string, key uint64, name string) map[uint64]string {
 	return m
 }
 
+// EachName calls fn for every recorded state name (iteration order is
+// unspecified).
+func (g *Graph) EachName(fn func(key uint64, name string)) {
+	for k, n := range g.names {
+		fn(k, n)
+	}
+}
+
 // Name returns the recorded name of a state key.
 func (g *Graph) Name(key uint64) string {
 	if n, ok := g.names[key]; ok {
@@ -86,20 +101,129 @@ func (g *Graph) Add(f trace.Fragment) {
 		k := f.Edge()
 		e, ok := g.edges[k]
 		if !ok {
-			e = &Edge{Key: k}
+			e = &Edge{Key: k, MinStart: f.Start, MaxEnd: f.End()}
 			g.edges[k] = e
 		}
 		e.Fragments = append(e.Fragments, f)
 		e.Version++
+		e.MinStart = min(e.MinStart, f.Start)
+		e.MaxEnd = max(e.MaxEnd, f.End())
 		return
 	}
 	v, ok := g.vertices[f.State]
 	if !ok {
-		v = &Vertex{Key: f.State, Kind: f.Kind}
+		v = &Vertex{Key: f.State, Kind: f.Kind, MinStart: f.Start, MaxEnd: f.End()}
 		g.vertices[f.State] = v
 	}
 	v.Fragments = append(v.Fragments, f)
 	v.Version++
+	v.MinStart = min(v.MinStart, f.Start)
+	v.MaxEnd = max(v.MaxEnd, f.End())
+}
+
+// fragBounds computes the [min Start, max End) envelope of a fragment
+// slice. Empty slices report (0, 0).
+func fragBounds(frags []trace.Fragment) (minStart, maxEnd int64) {
+	if len(frags) == 0 {
+		return 0, 0
+	}
+	minStart, maxEnd = frags[0].Start, frags[0].End()
+	for i := 1; i < len(frags); i++ {
+		minStart = min(minStart, frags[i].Start)
+		maxEnd = max(maxEnd, frags[i].End())
+	}
+	return minStart, maxEnd
+}
+
+// PutVertex wholesale-replaces (or creates) a vertex. The incremental
+// merged view in the collector uses this to refresh only the elements
+// that grew since the last refresh: version must be the sum of appends
+// that produced frags, so it matches the Version an equivalent Add-built
+// graph would carry and downstream memoization keys stay aligned. The
+// graph takes ownership of frags; kind is (re)assigned on every call —
+// a replaced element's dominant kind can change when its sources do.
+func (g *Graph) PutVertex(key uint64, kind trace.Kind, frags []trace.Fragment, version uint64) {
+	v, ok := g.vertices[key]
+	if !ok {
+		v = &Vertex{Key: key}
+		g.vertices[key] = v
+	}
+	v.Kind = kind
+	g.frags += len(frags) - len(v.Fragments)
+	v.Fragments = frags
+	v.Version = version
+	v.MinStart, v.MaxEnd = fragBounds(frags)
+}
+
+// PutEdge wholesale-replaces (or creates) an edge (see PutVertex).
+func (g *Graph) PutEdge(key trace.EdgeKey, frags []trace.Fragment, version uint64) {
+	e, ok := g.edges[key]
+	if !ok {
+		e = &Edge{Key: key}
+		g.edges[key] = e
+	}
+	g.frags += len(frags) - len(e.Fragments)
+	e.Fragments = frags
+	e.Version = version
+	e.MinStart, e.MaxEnd = fragBounds(frags)
+}
+
+// Bounds returns the [min Start, max End) envelope over every fragment
+// in the graph, or ok=false when the graph holds no fragments.
+func (g *Graph) Bounds() (minStart, maxEnd int64, ok bool) {
+	for _, e := range g.edges {
+		if len(e.Fragments) == 0 {
+			continue
+		}
+		if !ok {
+			minStart, maxEnd, ok = e.MinStart, e.MaxEnd, true
+		} else {
+			minStart = min(minStart, e.MinStart)
+			maxEnd = max(maxEnd, e.MaxEnd)
+		}
+	}
+	for _, v := range g.vertices {
+		if len(v.Fragments) == 0 {
+			continue
+		}
+		if !ok {
+			minStart, maxEnd, ok = v.MinStart, v.MaxEnd, true
+		} else {
+			minStart = min(minStart, v.MinStart)
+			maxEnd = max(maxEnd, v.MaxEnd)
+		}
+	}
+	return minStart, maxEnd, ok
+}
+
+// Overlaps reports whether any fragment overlaps [start, end). Element
+// bounds reject non-overlapping elements in O(1); only elements whose
+// envelope intersects the window are scanned, because an envelope hit
+// does not prove a fragment hit (spans can straddle a gap).
+func (g *Graph) Overlaps(start, end int64) bool {
+	for _, e := range g.edges {
+		if overlapsElement(e.Fragments, e.MinStart, e.MaxEnd, start, end) {
+			return true
+		}
+	}
+	for _, v := range g.vertices {
+		if overlapsElement(v.Fragments, v.MinStart, v.MaxEnd, start, end) {
+			return true
+		}
+	}
+	return false
+}
+
+func overlapsElement(frags []trace.Fragment, minStart, maxEnd, start, end int64) bool {
+	if len(frags) == 0 || minStart >= end || maxEnd <= start {
+		return false
+	}
+	for i := range frags {
+		if frags[i].Start < end && frags[i].End() > start {
+			return true
+		}
+	}
+	return false
 }
 
 // AddBatch attaches a batch of fragments.

@@ -91,6 +91,82 @@ func TestFragmentConservation(t *testing.T) {
 	}
 }
 
+func TestBoundsMaintainedOnAdd(t *testing.T) {
+	g := New()
+	if _, _, ok := g.Bounds(); ok {
+		t.Fatal("empty graph reported bounds")
+	}
+	g.Add(fragComp(0, 1, 2, 100, 50)) // [100, 150)
+	g.Add(fragComp(0, 1, 2, 20, 10))  // [20, 30)
+	g.Add(fragComm(0, 2, 400, 25))    // [400, 425)
+	e := g.Edge(trace.EdgeKey{From: 1, To: 2})
+	if e.MinStart != 20 || e.MaxEnd != 150 {
+		t.Fatalf("edge bounds [%d, %d)", e.MinStart, e.MaxEnd)
+	}
+	v := g.Vertex(2)
+	if v.MinStart != 400 || v.MaxEnd != 425 {
+		t.Fatalf("vertex bounds [%d, %d)", v.MinStart, v.MaxEnd)
+	}
+	lo, hi, ok := g.Bounds()
+	if !ok || lo != 20 || hi != 425 {
+		t.Fatalf("graph bounds [%d, %d) ok=%v", lo, hi, ok)
+	}
+}
+
+// TestOverlapsExactOnGaps: element envelopes can cover a window that no
+// fragment touches; Overlaps must confirm per fragment, not per bound.
+func TestOverlapsExactOnGaps(t *testing.T) {
+	g := New()
+	g.Add(fragComp(0, 1, 2, 0, 10))   // [0, 10)
+	g.Add(fragComp(0, 1, 2, 200, 10)) // [200, 210)
+	if !g.Overlaps(0, 5) || !g.Overlaps(205, 300) {
+		t.Fatal("missed real overlap")
+	}
+	if g.Overlaps(50, 150) {
+		t.Fatal("bounds-gap window reported as overlapping")
+	}
+	if g.Overlaps(10, 200) {
+		t.Fatal("half-open boundary treated as overlap")
+	}
+}
+
+func TestPutMatchesAdd(t *testing.T) {
+	added, put := New(), New()
+	frags := []trace.Fragment{
+		fragComp(0, 1, 2, 50, 10),
+		fragComp(1, 1, 2, 5, 10),
+	}
+	vfrags := []trace.Fragment{fragComm(0, 9, 70, 5)}
+	for _, f := range frags {
+		added.Add(f)
+	}
+	for _, f := range vfrags {
+		added.Add(f)
+	}
+	put.PutEdge(trace.EdgeKey{From: 1, To: 2}, frags, uint64(len(frags)))
+	put.PutVertex(9, trace.Comm, vfrags, uint64(len(vfrags)))
+	if put.NumFragments() != added.NumFragments() {
+		t.Fatalf("frag count %d, want %d", put.NumFragments(), added.NumFragments())
+	}
+	ea, ep := added.Edge(trace.EdgeKey{From: 1, To: 2}), put.Edge(trace.EdgeKey{From: 1, To: 2})
+	if ep.Version != ea.Version || ep.MinStart != ea.MinStart || ep.MaxEnd != ea.MaxEnd {
+		t.Fatalf("edge meta: put %+v, add %+v", ep, ea)
+	}
+	va, vp := added.Vertex(9), put.Vertex(9)
+	if vp.Version != va.Version || vp.MinStart != va.MinStart || vp.MaxEnd != va.MaxEnd || vp.Kind != va.Kind {
+		t.Fatalf("vertex meta: put %+v, add %+v", vp, va)
+	}
+	// Replacing with a grown slice adjusts the count and bounds.
+	grown := append(append([]trace.Fragment{}, frags...), fragComp(2, 1, 2, 500, 10))
+	put.PutEdge(trace.EdgeKey{From: 1, To: 2}, grown, uint64(len(grown)))
+	if put.NumFragments() != 4 {
+		t.Fatalf("frag count after regrow: %d", put.NumFragments())
+	}
+	if ep := put.Edge(trace.EdgeKey{From: 1, To: 2}); ep.MaxEnd != 510 || ep.Version != 3 {
+		t.Fatalf("edge meta after regrow: %+v", ep)
+	}
+}
+
 func TestStats(t *testing.T) {
 	g := New()
 	g.Add(fragComp(0, 1, 2, 0, 100))

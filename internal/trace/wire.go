@@ -1,0 +1,389 @@
+// Fragment wire format: the compact binary encoding the client library
+// uses to ship fragment batches to the analysis servers (§5). The §6.2
+// storage rates (12.8–47.4 KB/s per rank) are measured over this
+// encoding, so it is deliberately byte-frugal:
+//
+//   - state keys are dictionary-coded per batch (a batch revisits the
+//     same few call-sites over and over, so each fragment stores a 1-2
+//     byte index instead of an 8-byte hash),
+//   - timestamps are zigzag-varint deltas against the previous fragment
+//     (client buffers are near time-ordered, so deltas are small, but
+//     out-of-order and negative values still round-trip),
+//   - counters and invocation arguments are change-coded: a bitmap
+//     marks the fields that differ from the previous fragment, and only
+//     those are stored, as wrapping zigzag deltas (repeated identical
+//     snapshots cost one bitmap byte; zero fields cost nothing).
+//
+// The format is self-contained per batch: a decoder needs no state
+// beyond the batch bytes.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// wireVersion is bumped on incompatible format changes.
+const wireVersion = 1
+
+// wireMagic is the first byte of every encoded batch.
+const wireMagic = 'V'
+
+// numCounterLanes is the number of fields in CountersView.
+const numCounterLanes = 21
+
+// Fragment flags byte layout.
+const (
+	flagKindMask   = 0x07 // bits 0-2: Kind (7 = escape, raw byte follows)
+	flagKindEscape = 0x07
+	flagStatic     = 1 << 3
+	flagTruth      = 1 << 4
+	flagArgs       = 1 << 5 // Args differ from previous fragment's
+	flagCounters   = 1 << 6 // Counters differ from previous fragment's
+	flagRank       = 1 << 7 // Rank differs from the batch rank
+)
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// counterLanes flattens a CountersView into uint64 lanes in field order
+// (SuspensionNS is reinterpreted; wrapping deltas preserve it exactly).
+func counterLanes(c *CountersView) [numCounterLanes]uint64 {
+	return [numCounterLanes]uint64{
+		c.TotIns, c.Cycles,
+		c.SlotsFrontend, c.SlotsBadSpec, c.SlotsRetiring, c.SlotsBackend,
+		c.SlotsCore, c.SlotsMemory,
+		c.SlotsL1, c.SlotsL2, c.SlotsL3, c.SlotsDRAM,
+		uint64(c.SuspensionNS),
+		c.SoftPF, c.HardPF, c.VolCS, c.InvolCS, c.Signals,
+		c.LoadStores, c.CacheMisses, c.L2MissStall,
+	}
+}
+
+// setCounterLanes is the inverse of counterLanes.
+func setCounterLanes(c *CountersView, l [numCounterLanes]uint64) {
+	c.TotIns, c.Cycles = l[0], l[1]
+	c.SlotsFrontend, c.SlotsBadSpec, c.SlotsRetiring, c.SlotsBackend = l[2], l[3], l[4], l[5]
+	c.SlotsCore, c.SlotsMemory = l[6], l[7]
+	c.SlotsL1, c.SlotsL2, c.SlotsL3, c.SlotsDRAM = l[8], l[9], l[10], l[11]
+	c.SuspensionNS = int64(l[12])
+	c.SoftPF, c.HardPF, c.VolCS, c.InvolCS, c.Signals = l[13], l[14], l[15], l[16], l[17]
+	c.LoadStores, c.CacheMisses, c.L2MissStall = l[18], l[19], l[20]
+}
+
+// AppendBatch encodes one client batch onto dst and returns the
+// extended slice. The encoding is decoded by DecodeBatch.
+func AppendBatch(dst []byte, rank int, frags []Fragment) []byte {
+	dst = append(dst, wireMagic, wireVersion)
+	dst = binary.AppendUvarint(dst, uint64(rank))
+	dst = binary.AppendUvarint(dst, uint64(len(frags)))
+
+	// State-key dictionary, first-seen order (From then State per
+	// fragment). Entry fragments share key 0 with real states rarely, so
+	// the dictionary stays tiny relative to 8-byte raw hashes.
+	keyIdx := make(map[uint64]int, 16)
+	var keys []uint64
+	intern := func(k uint64) int {
+		if i, ok := keyIdx[k]; ok {
+			return i
+		}
+		i := len(keys)
+		keyIdx[k] = i
+		keys = append(keys, k)
+		return i
+	}
+	for i := range frags {
+		intern(frags[i].From)
+		intern(frags[i].State)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		dst = binary.LittleEndian.AppendUint64(dst, k)
+	}
+
+	var prevStart, prevElapsed int64
+	var prevCounters [numCounterLanes]uint64
+	var prevArgs Args
+	for i := range frags {
+		f := &frags[i]
+		lanes := counterLanes(&f.Counters)
+
+		flags := byte(0)
+		if f.Kind < flagKindEscape {
+			flags = byte(f.Kind)
+		} else {
+			flags = flagKindEscape
+		}
+		if f.Static {
+			flags |= flagStatic
+		}
+		if f.Truth != 0 {
+			flags |= flagTruth
+		}
+		if f.Args != prevArgs {
+			flags |= flagArgs
+		}
+		if lanes != prevCounters {
+			flags |= flagCounters
+		}
+		if f.Rank != rank {
+			flags |= flagRank
+		}
+		dst = append(dst, flags)
+		if flags&flagKindMask == flagKindEscape {
+			dst = append(dst, byte(f.Kind))
+		}
+		if flags&flagRank != 0 {
+			dst = binary.AppendUvarint(dst, zigzag(int64(f.Rank)-int64(rank)))
+		}
+		dst = binary.AppendUvarint(dst, uint64(keyIdx[f.From]))
+		dst = binary.AppendUvarint(dst, uint64(keyIdx[f.State]))
+		dst = binary.AppendUvarint(dst, zigzag(f.Start-prevStart))
+		dst = binary.AppendUvarint(dst, zigzag(f.Elapsed-prevElapsed))
+		prevStart, prevElapsed = f.Start, f.Elapsed
+
+		if flags&flagCounters != 0 {
+			var bitmap uint64
+			for l := 0; l < numCounterLanes; l++ {
+				if lanes[l] != prevCounters[l] {
+					bitmap |= 1 << l
+				}
+			}
+			dst = binary.AppendUvarint(dst, bitmap)
+			for l := 0; l < numCounterLanes; l++ {
+				if bitmap&(1<<l) != 0 {
+					// Wrapping delta: exact for every uint64 value.
+					dst = binary.AppendUvarint(dst, zigzag(int64(lanes[l]-prevCounters[l])))
+				}
+			}
+			prevCounters = lanes
+		}
+		if flags&flagArgs != 0 {
+			var bitmap uint64
+			if f.Args.Op != prevArgs.Op {
+				bitmap |= 1 << 0
+			}
+			if f.Args.Bytes != prevArgs.Bytes {
+				bitmap |= 1 << 1
+			}
+			if f.Args.Peer != prevArgs.Peer {
+				bitmap |= 1 << 2
+			}
+			if f.Args.Tag != prevArgs.Tag {
+				bitmap |= 1 << 3
+			}
+			if f.Args.FD != prevArgs.FD {
+				bitmap |= 1 << 4
+			}
+			if f.Args.Mode != prevArgs.Mode {
+				bitmap |= 1 << 5
+			}
+			dst = binary.AppendUvarint(dst, bitmap)
+			if bitmap&(1<<0) != 0 {
+				dst = binary.AppendUvarint(dst, uint64(len(f.Args.Op)))
+				dst = append(dst, f.Args.Op...)
+			}
+			if bitmap&(1<<1) != 0 {
+				dst = binary.AppendUvarint(dst, zigzag(int64(f.Args.Bytes)))
+			}
+			if bitmap&(1<<2) != 0 {
+				dst = binary.AppendUvarint(dst, zigzag(int64(f.Args.Peer)))
+			}
+			if bitmap&(1<<3) != 0 {
+				dst = binary.AppendUvarint(dst, zigzag(int64(f.Args.Tag)))
+			}
+			if bitmap&(1<<4) != 0 {
+				dst = binary.AppendUvarint(dst, zigzag(int64(f.Args.FD)))
+			}
+			if bitmap&(1<<5) != 0 {
+				dst = binary.AppendUvarint(dst, zigzag(int64(f.Args.Mode)))
+			}
+			prevArgs = f.Args
+		}
+		if flags&flagTruth != 0 {
+			dst = binary.AppendUvarint(dst, f.Truth)
+		}
+	}
+	return dst
+}
+
+// wireReader walks an encoded batch with bounds checking.
+type wireReader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *wireReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("trace: corrupt batch: "+format, args...)
+	}
+}
+
+func (r *wireReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos >= len(r.data) {
+		r.fail("truncated at %d", r.pos)
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *wireReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		r.fail("bad varint at %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *wireReader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.pos+n > len(r.data) {
+		r.fail("truncated run of %d at %d", n, r.pos)
+		return make([]byte, max(n, 0))
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+// DecodeBatch decodes a batch produced by AppendBatch. The whole input
+// must be consumed (the transport frames batches with explicit lengths).
+func DecodeBatch(data []byte) (rank int, frags []Fragment, err error) {
+	r := &wireReader{data: data}
+	if m := r.byte(); r.err == nil && m != wireMagic {
+		return 0, nil, fmt.Errorf("trace: bad batch magic %#x", m)
+	}
+	if v := r.byte(); r.err == nil && v != wireVersion {
+		return 0, nil, fmt.Errorf("trace: batch version %d, want %d", v, wireVersion)
+	}
+	rank = int(r.uvarint())
+	count := r.uvarint()
+	if count > uint64(len(data)) {
+		// A fragment takes ≥ 5 bytes; this bound rejects absurd counts
+		// before allocating.
+		return 0, nil, fmt.Errorf("trace: batch claims %d fragments in %d bytes", count, len(data))
+	}
+	nkeys := r.uvarint()
+	if nkeys*8 > uint64(len(data)) {
+		return 0, nil, fmt.Errorf("trace: batch claims %d keys in %d bytes", nkeys, len(data))
+	}
+	keys := make([]uint64, nkeys)
+	for i := range keys {
+		keys[i] = binary.LittleEndian.Uint64(r.bytes(8))
+		if r.err != nil {
+			return 0, nil, r.err
+		}
+	}
+	key := func(idx uint64) uint64 {
+		if idx >= uint64(len(keys)) {
+			r.fail("key index %d of %d", idx, len(keys))
+			return 0
+		}
+		return keys[idx]
+	}
+
+	frags = make([]Fragment, 0, count)
+	var prevStart, prevElapsed int64
+	var prevCounters [numCounterLanes]uint64
+	var prevArgs Args
+	for i := uint64(0); i < count && r.err == nil; i++ {
+		var f Fragment
+		flags := r.byte()
+		if flags&flagKindMask == flagKindEscape {
+			f.Kind = Kind(r.byte())
+		} else {
+			f.Kind = Kind(flags & flagKindMask)
+		}
+		f.Static = flags&flagStatic != 0
+		f.Rank = rank
+		if flags&flagRank != 0 {
+			f.Rank = rank + int(unzigzag(r.uvarint()))
+		}
+		f.From = key(r.uvarint())
+		f.State = key(r.uvarint())
+		f.Start = prevStart + unzigzag(r.uvarint())
+		f.Elapsed = prevElapsed + unzigzag(r.uvarint())
+		prevStart, prevElapsed = f.Start, f.Elapsed
+
+		if flags&flagCounters != 0 {
+			bitmap := r.uvarint()
+			if bitmap >= 1<<numCounterLanes {
+				r.fail("counter bitmap %#x", bitmap)
+				break
+			}
+			for l := 0; l < numCounterLanes; l++ {
+				if bitmap&(1<<l) != 0 {
+					prevCounters[l] += uint64(unzigzag(r.uvarint()))
+				}
+			}
+		}
+		setCounterLanes(&f.Counters, prevCounters)
+		if flags&flagArgs != 0 {
+			bitmap := r.uvarint()
+			if bitmap >= 1<<6 {
+				r.fail("args bitmap %#x", bitmap)
+				break
+			}
+			if bitmap&(1<<0) != 0 {
+				prevArgs.Op = string(r.bytes(int(r.uvarint())))
+			}
+			if bitmap&(1<<1) != 0 {
+				prevArgs.Bytes = int(unzigzag(r.uvarint()))
+			}
+			if bitmap&(1<<2) != 0 {
+				prevArgs.Peer = int(unzigzag(r.uvarint()))
+			}
+			if bitmap&(1<<3) != 0 {
+				prevArgs.Tag = int(unzigzag(r.uvarint()))
+			}
+			if bitmap&(1<<4) != 0 {
+				prevArgs.FD = int(unzigzag(r.uvarint()))
+			}
+			if bitmap&(1<<5) != 0 {
+				prevArgs.Mode = int(unzigzag(r.uvarint()))
+			}
+		}
+		f.Args = prevArgs
+		if flags&flagTruth != 0 {
+			f.Truth = r.uvarint()
+		}
+		frags = append(frags, f)
+	}
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	if r.pos != len(data) {
+		return 0, nil, fmt.Errorf("trace: %d trailing bytes after batch", len(data)-r.pos)
+	}
+	return rank, frags, nil
+}
+
+// sizeBufs recycles the scratch buffer BatchWireSize encodes into, so
+// the per-batch byte accounting on the ingestion hot path allocates
+// nothing in steady state.
+var sizeBufs = sync.Pool{New: func() any { b := make([]byte, 0, 16<<10); return &b }}
+
+// BatchWireSize returns the encoded size of a batch in bytes — the
+// measured transport volume the §6.2 storage accounting reports.
+func BatchWireSize(rank int, frags []Fragment) int {
+	bp := sizeBufs.Get().(*[]byte)
+	b := AppendBatch((*bp)[:0], rank, frags)
+	n := len(b)
+	*bp = b[:0]
+	sizeBufs.Put(bp)
+	return n
+}

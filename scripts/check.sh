@@ -1,0 +1,15 @@
+#!/bin/sh
+# Minimal CI entry point: everything a PR must pass, in the order a
+# failure is cheapest to report. Mirrors `make check`; exists so CI
+# systems without make (and pre-push hooks) run the identical gauntlet.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test ./...
+go test -race ./internal/mpi ./internal/collector ./internal/core \
+	./internal/interpose ./internal/detect ./internal/cluster
+# Bench smoke: one iteration, correctness only — no timing is recorded.
+go test -run xxx -bench 'BenchmarkPoolIngest$|BenchmarkWindowResults' -benchtime 1x .
