@@ -107,6 +107,14 @@ func (p *Pool) Consume(rank int, frags []trace.Fragment) {
 	s.consume(rank, frags)
 }
 
+// ConsumeSized routes a batch whose encoded wire size was already
+// measured (the wire server passes the payload length it just decoded),
+// so the batch is not re-encoded merely for the byte accounting.
+func (p *Pool) ConsumeSized(rank int, frags []trace.Fragment, bytes int) {
+	s := p.servers[rank%len(p.servers)]
+	s.consumeSized(rank, frags, bytes)
+}
+
 // Close stops background mergers and drains any staged batches. Pools
 // without background intake need no Close; calling it is always safe.
 func (p *Pool) Close() {

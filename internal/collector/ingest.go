@@ -54,7 +54,9 @@ type stagedBatch struct {
 type intakeShard struct {
 	mu      sync.Mutex
 	batches []stagedBatch
-	_       [24]byte // keep neighbouring stripe locks off one cache line
+	// Pad to a full 64 bytes (8-byte mutex + 24-byte slice header + 32)
+	// so neighbouring stripe locks never share a cache line.
+	_ [32]byte
 }
 
 // Server is one analysis server process.

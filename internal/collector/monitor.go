@@ -123,7 +123,20 @@ func NewMonitor(pool *Pool, opt MonitorOptions) *Monitor {
 // window every rank has passed.
 func (m *Monitor) Consume(rank int, frags []trace.Fragment) {
 	m.pool.Consume(rank, frags)
+	m.observe(rank, frags)
+}
 
+// ConsumeSized mirrors Consume for the wire path: the pool books the
+// payload size the wire server measured instead of re-encoding the
+// batch.
+func (m *Monitor) ConsumeSized(rank int, frags []trace.Fragment, bytes int) {
+	m.pool.ConsumeSized(rank, frags, bytes)
+	m.observe(rank, frags)
+}
+
+// observe is the monitor's own half of consumption: merge, advance the
+// watermark, analyze completed windows.
+func (m *Monitor) observe(rank int, frags []trace.Fragment) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.graph.AddBatch(frags)

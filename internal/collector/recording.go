@@ -95,14 +95,29 @@ func NewRecordingSink(next interface {
 
 // Consume implements interpose.Sink.
 func (s *RecordingSink) Consume(rank int, frags []trace.Fragment) {
+	s.record(rank, frags)
+	if s.next != nil {
+		s.next.Consume(rank, frags)
+	}
+}
+
+// ConsumeSized mirrors Consume for the wire path, forwarding the
+// measured encoded size when the wrapped sink can book it directly.
+func (s *RecordingSink) ConsumeSized(rank int, frags []trace.Fragment, bytes int) {
+	s.record(rank, frags)
+	if ss, ok := s.next.(sizedSink); ok {
+		ss.ConsumeSized(rank, frags, bytes)
+	} else if s.next != nil {
+		s.next.Consume(rank, frags)
+	}
+}
+
+func (s *RecordingSink) record(rank int, frags []trace.Fragment) {
 	cp := make([]trace.Fragment, len(frags))
 	copy(cp, frags)
 	s.mu.Lock()
 	s.batches = append(s.batches, Batch{Rank: rank, Fragments: cp})
 	s.mu.Unlock()
-	if s.next != nil {
-		s.next.Consume(rank, frags)
-	}
 }
 
 // Recording assembles the persisted form.

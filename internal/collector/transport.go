@@ -22,9 +22,15 @@ import (
 // the §6.2 storage accounting measures, so the transport ships exactly
 // those bytes.
 
-// maxFramePayload rejects absurd frame lengths before allocating (a
-// corrupt or hostile stream must not OOM the server).
-const maxFramePayload = 1 << 30
+// maxFramePayload rejects absurd frame lengths (a corrupt or hostile
+// stream must not OOM the server). 64 MiB is orders of magnitude above
+// any real client batch at the measured ~10-30 bytes/fragment.
+const maxFramePayload = 64 << 20
+
+// frameReadChunk bounds how much serveConn grows its payload buffer per
+// read, so allocation tracks bytes actually received rather than the
+// claimed frame length.
+const frameReadChunk = 1 << 20
 
 // Batch is the transport unit: one client's buffered fragments.
 type Batch struct {
@@ -95,6 +101,14 @@ func (c *WireClient) Close() error {
 	return c.conn.Close()
 }
 
+// sizedSink is implemented by sinks (Pool, Monitor) that can book an
+// already-measured encoded size, so the wire server's decoded payload
+// length feeds the §6.2 byte accounting directly instead of the sink
+// re-encoding the batch just to measure it.
+type sizedSink interface {
+	ConsumeSized(rank int, frags []trace.Fragment, bytes int)
+}
+
 // WireServer accepts connections and feeds decoded batches into a sink
 // (normally a Pool or Monitor).
 type WireServer struct {
@@ -102,7 +116,8 @@ type WireServer struct {
 	sink interface {
 		Consume(rank int, frags []trace.Fragment)
 	}
-	wg sync.WaitGroup
+	sized sizedSink // non-nil when sink implements sizedSink
+	wg    sync.WaitGroup
 
 	mu      sync.Mutex
 	batches int
@@ -115,6 +130,7 @@ func ServeWire(ln net.Listener, sink interface {
 	Consume(rank int, frags []trace.Fragment)
 }) *WireServer {
 	s := &WireServer{ln: ln, sink: sink}
+	s.sized, _ = sink.(sizedSink)
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -145,7 +161,15 @@ func (s *WireServer) setErr(err error) {
 
 func (s *WireServer) serveConn(conn net.Conn) {
 	defer conn.Close()
+	// Defense in depth: a decoder bug on a hostile frame must take down
+	// this connection, not the whole server process.
+	defer func() {
+		if p := recover(); p != nil {
+			s.setErr(fmt.Errorf("collector: panic serving connection: %v", p))
+		}
+	}()
 	br := bufio.NewReaderSize(conn, 64<<10)
+	var payload []byte // reused across frames, grown only as bytes arrive
 	for {
 		size, err := binary.ReadUvarint(br)
 		if err != nil {
@@ -158,8 +182,8 @@ func (s *WireServer) serveConn(conn net.Conn) {
 			s.setErr(fmt.Errorf("collector: frame of %d bytes exceeds limit", size))
 			return
 		}
-		payload := make([]byte, size)
-		if _, err := io.ReadFull(br, payload); err != nil {
+		payload, err = readPayload(br, payload[:0], int(size))
+		if err != nil {
 			s.setErr(err)
 			return
 		}
@@ -168,11 +192,33 @@ func (s *WireServer) serveConn(conn net.Conn) {
 			s.setErr(err)
 			return
 		}
-		s.sink.Consume(rank, frags)
+		if s.sized != nil {
+			s.sized.ConsumeSized(rank, frags, len(payload))
+		} else {
+			s.sink.Consume(rank, frags)
+		}
 		s.mu.Lock()
 		s.batches++
 		s.mu.Unlock()
 	}
+}
+
+// readPayload appends exactly size bytes from br onto buf in bounded
+// chunks: a 5-byte header claiming a huge frame cannot make the server
+// allocate that much before any payload actually arrives.
+func readPayload(br *bufio.Reader, buf []byte, size int) ([]byte, error) {
+	for len(buf) < size {
+		n := size - len(buf)
+		if n > frameReadChunk {
+			n = frameReadChunk
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, n)...)
+		if _, err := io.ReadFull(br, buf[start:]); err != nil {
+			return buf, err
+		}
+	}
+	return buf, nil
 }
 
 // Close stops accepting and waits for in-flight connections.

@@ -1,10 +1,12 @@
 package collector
 
 import (
+	"encoding/binary"
 	"net"
 	"testing"
 	"time"
 
+	"vapro/internal/sim"
 	"vapro/internal/trace"
 )
 
@@ -17,6 +19,7 @@ func TestWireTransportRoundTrip(t *testing.T) {
 	srv := ServeWire(ln, pool)
 
 	// Four clients, one per rank, like the real library.
+	wantBytes := int64(0)
 	for rank := 0; rank < 4; rank++ {
 		conn, err := net.Dial("tcp", ln.Addr().String())
 		if err != nil {
@@ -24,7 +27,9 @@ func TestWireTransportRoundTrip(t *testing.T) {
 		}
 		c := NewWireClient(conn)
 		for i := 0; i < 5; i++ {
-			c.Consume(rank, []trace.Fragment{frag(rank, int64(i)*1000, 500)})
+			batch := []trace.Fragment{frag(rank, int64(i)*1000, 500)}
+			wantBytes += int64(trace.BatchWireSize(rank, batch))
+			c.Consume(rank, batch)
 		}
 		if c.Err() != nil {
 			t.Fatal(c.Err())
@@ -50,6 +55,82 @@ func TestWireTransportRoundTrip(t *testing.T) {
 	}
 	if srv.Err() != nil {
 		t.Fatalf("server error: %v", srv.Err())
+	}
+	// The wire path books the measured payload bytes (via ConsumeSized),
+	// which must match what the clients encoded.
+	if got := pool.Stats(sim.Second).BytesIn; got != wantBytes {
+		t.Fatalf("BytesIn = %d, want %d (measured payload bytes)", got, wantBytes)
+	}
+}
+
+// TestWireServerHostileFrame feeds the regression frame from the
+// DecodeBatch overflow (a ~13-byte payload claiming 2^61+1 keys) plus
+// an oversized frame header to a live server: both must surface as
+// connection errors, never crash the process, and the server must keep
+// serving well-formed clients afterwards.
+func TestWireServerHostileFrame(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(1, DefaultOptions())
+	srv := ServeWire(ln, pool)
+
+	// Hand-rolled hostile payload: magic 'V', version 1, rank 0,
+	// count 0, nkeys 2^61+1.
+	payload := []byte{'V', 1}
+	payload = binary.AppendUvarint(payload, 0)
+	payload = binary.AppendUvarint(payload, 0)
+	payload = binary.AppendUvarint(payload, (1<<61)+1)
+	frame := binary.AppendUvarint(nil, uint64(len(payload)))
+	frame = append(frame, payload...)
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Err() == nil && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if srv.Err() == nil {
+		t.Fatal("hostile frame not rejected")
+	}
+	if got := pool.FragmentCount(); got != 0 {
+		t.Fatalf("hostile frame delivered %d fragments", got)
+	}
+
+	// A frame header claiming more than maxFramePayload is cut off
+	// before any allocation.
+	conn2, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := binary.AppendUvarint(nil, maxFramePayload+1)
+	if _, err := conn2.Write(hdr); err != nil {
+		t.Fatal(err)
+	}
+	conn2.Close()
+
+	// The server process survives: a well-formed client still lands.
+	conn3, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewWireClient(conn3)
+	c.Consume(0, []trace.Fragment{frag(0, 0, 500)})
+	c.Close()
+	for pool.FragmentCount() < 1 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	srv.Close()
+	if got := pool.FragmentCount(); got != 1 {
+		t.Fatalf("server stopped serving after hostile frames: %d fragments", got)
 	}
 }
 

@@ -33,6 +33,11 @@ const wireMagic = 'V'
 // numCounterLanes is the number of fields in CountersView.
 const numCounterLanes = 21
 
+// minFragmentWire is the smallest possible encoded fragment: one flags
+// byte plus one-byte varints for the From index, State index, Start
+// delta, and Elapsed delta.
+const minFragmentWire = 5
+
 // Fragment flags byte layout.
 const (
 	flagKindMask   = 0x07 // bits 0-2: Kind (7 = escape, raw byte follows)
@@ -272,13 +277,14 @@ func DecodeBatch(data []byte) (rank int, frags []Fragment, err error) {
 	}
 	rank = int(r.uvarint())
 	count := r.uvarint()
-	if count > uint64(len(data)) {
-		// A fragment takes ≥ 5 bytes; this bound rejects absurd counts
-		// before allocating.
+	// A fragment takes ≥ minFragmentWire bytes; this bound rejects absurd
+	// counts before allocating. Division (not count*minFragmentWire) so a
+	// hostile count near 2^64 cannot wrap the comparison.
+	if count > uint64(len(data))/minFragmentWire {
 		return 0, nil, fmt.Errorf("trace: batch claims %d fragments in %d bytes", count, len(data))
 	}
 	nkeys := r.uvarint()
-	if nkeys*8 > uint64(len(data)) {
+	if nkeys > uint64(len(data))/8 {
 		return 0, nil, fmt.Errorf("trace: batch claims %d keys in %d bytes", nkeys, len(data))
 	}
 	keys := make([]uint64, nkeys)
@@ -296,7 +302,15 @@ func DecodeBatch(data []byte) (rank int, frags []Fragment, err error) {
 		return keys[idx]
 	}
 
-	frags = make([]Fragment, 0, count)
+	// Pre-size for the claimed count, but cap the up-front allocation: a
+	// hostile count within the byte bound could still demand ~50× the
+	// payload in Fragment memory before the parse loop hits an error.
+	// Honest large batches just regrow geometrically.
+	preAlloc := count
+	if preAlloc > 4096 {
+		preAlloc = 4096
+	}
+	frags = make([]Fragment, 0, preAlloc)
 	var prevStart, prevElapsed int64
 	var prevCounters [numCounterLanes]uint64
 	var prevArgs Args

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"encoding/binary"
 	"math"
 	"math/rand"
 	"reflect"
@@ -197,6 +198,35 @@ func TestWireCompactness(t *testing.T) {
 	n := BatchWireSize(9, frags)
 	if per := float64(n) / float64(len(frags)); per >= 32 {
 		t.Fatalf("%.1f bytes/fragment; want < 32 (old accounting fabricated 96)", per)
+	}
+}
+
+// TestWireHostileCounts pins the overflow hardening: a tiny frame
+// claiming astronomically many keys or fragments must be rejected by
+// the bounds checks, not die in (or bloat) the allocations they guard.
+// nkeys = 2^61+1 is the regression case: multiplied by 8 it wraps a
+// naive `nkeys*8 > len(data)` comparison and previously panicked in
+// make([]uint64, nkeys).
+func TestWireHostileCounts(t *testing.T) {
+	header := func(count, nkeys uint64) []byte {
+		b := []byte{wireMagic, wireVersion}
+		b = binary.AppendUvarint(b, 0) // rank
+		b = binary.AppendUvarint(b, count)
+		b = binary.AppendUvarint(b, nkeys)
+		return b
+	}
+	hostile := map[string][]byte{
+		"overflowing key count":  header(0, (1<<61)+1),
+		"max key count":          header(0, math.MaxUint64),
+		"max fragment count":     header(math.MaxUint64, 0),
+		"overflowing frag count": header((1<<63)+1, 0),
+		"count over byte bound":  header(1<<20, 0),
+		"keys over byte bound":   header(0, 1<<20),
+	}
+	for name, frame := range hostile {
+		if _, _, err := DecodeBatch(frame); err == nil {
+			t.Errorf("%s decoded cleanly", name)
+		}
 	}
 }
 
