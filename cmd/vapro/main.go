@@ -8,6 +8,11 @@
 //	vapro -app CG -ranks 64 -cpu-noise node=0,start=0.5,end=1.5,share=0.5 -diagnose
 //	vapro -app PageRank -mem-noise node=0,start=0.05,end=0.12,slow=3 -diagnose
 //	vapro -list
+//
+// Subcommands:
+//
+//	vapro serve  -listen 127.0.0.1:0 -metrics 127.0.0.1:0   start a collector
+//	vapro status -addr HOST:PORT                            render its live metrics
 package main
 
 import (
@@ -38,6 +43,16 @@ func parseKVs(spec string) map[string]float64 {
 }
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			serveMain(os.Args[2:])
+			return
+		case "status":
+			statusMain(os.Args[2:])
+			return
+		}
+	}
 	appName := flag.String("app", "CG", "application skeleton to run (see -list)")
 	ranks := flag.Int("ranks", 0, "process/thread count (0 = app default)")
 	seed := flag.Uint64("seed", 1, "random seed")

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"vapro/internal/collector"
+)
+
+// serveMain starts a standalone collector: a wire server accepting
+// framed fragment batches, backed by a server pool with an online
+// monitor, plus the metrics HTTP endpoint `vapro status` reads. It
+// prints the actual bound addresses (so -listen/-metrics may use port
+// 0) and runs until interrupted.
+func serveMain(args []string) {
+	fs := flag.NewFlagSet("vapro serve", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:0", "address for the fragment wire listener")
+	metrics := fs.String("metrics", "127.0.0.1:0", "address for the metrics HTTP endpoint (empty disables)")
+	ranks := fs.Int("ranks", 256, "client ranks the pool is provisioned for")
+	_ = fs.Parse(args)
+
+	opt := collector.DefaultOptions()
+	pool := collector.NewPool(*ranks, opt)
+	mon := collector.NewMonitor(pool, collector.DefaultMonitorOptions(*ranks))
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vapro serve:", err)
+		os.Exit(1)
+	}
+	srv := collector.ServeWire(ln, mon)
+	fmt.Printf("wire=%s\n", ln.Addr())
+	if *metrics != "" {
+		mln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vapro serve:", err)
+			os.Exit(1)
+		}
+		srv.ServeMetrics(mln)
+		fmt.Printf("metrics=%s\n", mln.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	_ = srv.Close()
+	pool.Close()
+}

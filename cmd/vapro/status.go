@@ -1,0 +1,164 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"vapro/internal/obs"
+)
+
+// statusMain fetches a collector's metrics endpoint and renders a live
+// status snapshot: intake depth, throughput, window analysis latency,
+// cache hit rate, and the §6.2 storage rate. With -raw it dumps the
+// endpoint's body instead (prom or json), which is what scripted
+// consumers grep.
+func statusMain(args []string) {
+	fs := flag.NewFlagSet("vapro status", flag.ExitOnError)
+	addr := fs.String("addr", "", "metrics address (host:port) of a running collector")
+	raw := fs.String("raw", "", "dump the raw endpoint body in this format (prom|json) instead of rendering")
+	timeout := fs.Duration("timeout", 5*time.Second, "fetch timeout")
+	_ = fs.Parse(args)
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "vapro status: -addr is required")
+		os.Exit(2)
+	}
+
+	format := "json"
+	if *raw == "prom" {
+		format = "prom"
+	}
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Get(fmt.Sprintf("http://%s/metrics?format=%s", *addr, format))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vapro status:", err)
+		os.Exit(1)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vapro status:", err)
+		os.Exit(1)
+	}
+	if *raw != "" {
+		os.Stdout.Write(body)
+		return
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		fmt.Fprintln(os.Stderr, "vapro status: bad JSON from endpoint:", err)
+		os.Exit(1)
+	}
+	fmt.Print(renderStatus(&snap))
+}
+
+// val returns a metric's scalar value, 0 when absent.
+func val(s *obs.Snapshot, name string) float64 {
+	if m := s.Get(name); m != nil {
+		return m.Value
+	}
+	return 0
+}
+
+// hist returns a metric's histogram snapshot, nil when absent.
+func hist(s *obs.Snapshot, name string) *obs.HistSnapshot {
+	if m := s.Get(name); m != nil {
+		return m.Hist
+	}
+	return nil
+}
+
+// renderStatus formats the snapshot as the `vapro status` panel.
+func renderStatus(s *obs.Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "vapro collector — up %s, %.0f server(s), %.0f rank(s)\n",
+		humanSeconds(s.UptimeSeconds), val(s, "vapro_servers"), val(s, "vapro_ranks"))
+
+	fmt.Fprintf(&b, "intake    staged %.0f (peak %.0f)   batches %.0f   fragments %.0f   stalls %.0f\n",
+		val(s, "vapro_intake_staged"), val(s, "vapro_intake_staged_peak"),
+		val(s, "vapro_intake_batches_total"), val(s, "vapro_intake_fragments_total"),
+		val(s, "vapro_intake_stalls_total"))
+	fmt.Fprintf(&b, "          bytes in %s   storage rate %s/rank/s\n",
+		humanBytes(val(s, "vapro_intake_bytes_total")),
+		humanBytes(val(s, "vapro_storage_bytes_per_rank_second")))
+
+	fmt.Fprintf(&b, "wire      conns %.0f   frames %.0f (rejected %.0f, decode errors %.0f, panics %.0f)   bytes %s\n",
+		val(s, "vapro_wire_conns_total"), val(s, "vapro_wire_frames_total"),
+		val(s, "vapro_wire_frames_rejected_total"), val(s, "vapro_wire_decode_errors_total"),
+		val(s, "vapro_wire_panics_total"), humanBytes(val(s, "vapro_wire_bytes_total")))
+
+	windows := val(s, "vapro_detect_windows_total")
+	rate := 0.0
+	if s.UptimeSeconds > 0 {
+		rate = windows / s.UptimeSeconds
+	}
+	fmt.Fprintf(&b, "detect    windows %.0f (%.2f/s)", windows, rate)
+	if h := hist(s, "vapro_detect_window_ns"); h != nil && h.Total > 0 {
+		fmt.Fprintf(&b, "   latency p50 %s p99 %s", humanNS(h.P50), humanNS(h.P99))
+	}
+	b.WriteString("\n")
+	var stages []string
+	for _, st := range []string{"prep", "cluster", "normalize", "merge", "map"} {
+		if h := hist(s, "vapro_detect_stage_"+st+"_ns"); h != nil && h.Total > 0 {
+			stages = append(stages, fmt.Sprintf("%s p50 %s", st, humanNS(h.P50)))
+		}
+	}
+	if len(stages) > 0 {
+		fmt.Fprintf(&b, "          stages: %s\n", strings.Join(stages, " · "))
+	}
+
+	hits, misses := val(s, "vapro_cluster_cache_hits"), val(s, "vapro_cluster_cache_misses")
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = 100 * hits / (hits + misses)
+	}
+	fmt.Fprintf(&b, "cluster   cache %.1f%% hit (%.0f hits, %.0f misses, %.0f evictions, %.0f entries)\n",
+		hitRate, hits, misses, val(s, "vapro_cluster_cache_evictions"), val(s, "vapro_cluster_cache_entries"))
+
+	fmt.Fprintf(&b, "client    interceptions %.0f   dropped %.0f   bytes out %s   flushes %.0f\n",
+		val(s, "vapro_client_interceptions_total"), val(s, "vapro_client_dropped_total"),
+		humanBytes(val(s, "vapro_client_bytes_out_total")), val(s, "vapro_client_flushes_total"))
+	return b.String()
+}
+
+func humanSeconds(s float64) string {
+	switch {
+	case s >= 3600:
+		return fmt.Sprintf("%.1fh", s/3600)
+	case s >= 60:
+		return fmt.Sprintf("%.1fm", s/60)
+	default:
+		return fmt.Sprintf("%.1fs", s)
+	}
+}
+
+func humanBytes(v float64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", v/(1<<10))
+	default:
+		return fmt.Sprintf("%.0f B", v)
+	}
+}
+
+func humanNS(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}

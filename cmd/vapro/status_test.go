@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"vapro/internal/collector"
+	"vapro/internal/obs"
+	"vapro/internal/sim"
+	"vapro/internal/trace"
+)
+
+// renderStatus must produce the live panel from a real pool's snapshot,
+// fetched over the same HTTP surface `vapro status` uses.
+func TestStatusRenderFromLivePool(t *testing.T) {
+	opt := collector.DefaultOptions()
+	opt.Period = 10 * sim.Millisecond
+	opt.Overlap = 5 * sim.Millisecond
+	opt.Detect.Window = sim.Millisecond
+	pool := collector.NewPool(2, opt)
+	for rank := 0; rank < 2; rank++ {
+		for i := 0; i < 30; i++ {
+			pool.Consume(rank, []trace.Fragment{{
+				Rank: rank, Kind: trace.Comp, From: 1, State: 2,
+				Start: int64(i) * 1_000_000, Elapsed: 900_000,
+				Counters: trace.CountersView{TotIns: 1000, Cycles: 500},
+			}})
+		}
+	}
+	if len(pool.WindowResults()) == 0 {
+		t.Fatal("no windows analyzed")
+	}
+
+	mln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: pool.Handler()}
+	go srv.Serve(mln)
+	defer srv.Close()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + mln.Addr().String() + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	out := renderStatus(&snap)
+	for _, want := range []string{
+		"vapro collector",
+		"intake    staged 0",
+		"batches 60",
+		"fragments 60",
+		"detect    windows",
+		"latency p50",
+		"cluster",
+		"client    interceptions",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("status panel missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHumanUnits(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{humanBytes(512), "512 B"},
+		{humanBytes(2048), "2.0 KiB"},
+		{humanBytes(3 << 20), "3.0 MiB"},
+		{humanNS(500), "500ns"},
+		{humanNS(1500), "1.5µs"},
+		{humanNS(2_500_000), "2.5ms"},
+		{humanNS(3_000_000_000), "3.00s"},
+		{humanSeconds(30), "30.0s"},
+		{humanSeconds(90), "1.5m"},
+		{humanSeconds(7200), "2.0h"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Fatalf("got %q, want %q", c.got, c.want)
+		}
+	}
+}

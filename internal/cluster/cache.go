@@ -40,7 +40,7 @@ type Cache struct {
 	mu      sync.RWMutex
 	entries map[Key]entry
 
-	hits, misses atomic.Uint64
+	hits, misses, evictions atomic.Uint64
 }
 
 // NewCache returns an empty cache.
@@ -66,6 +66,9 @@ func (c *Cache) Run(key Key, version uint64, frags []trace.Fragment, opt Options
 	c.misses.Add(1)
 	res := Run(frags, opt)
 	c.mu.Lock()
+	if _, had := c.entries[key]; had {
+		c.evictions.Add(1) // stale entry replaced by a fresher clustering
+	}
 	c.entries[key] = entry{version: version, nfrags: len(frags), opt: opt, res: res}
 	c.mu.Unlock()
 	return res
@@ -74,6 +77,9 @@ func (c *Cache) Run(key Key, version uint64, frags []trace.Fragment, opt Options
 // Invalidate drops the cached clustering of one element.
 func (c *Cache) Invalidate(key Key) {
 	c.mu.Lock()
+	if _, had := c.entries[key]; had {
+		c.evictions.Add(1)
+	}
 	delete(c.entries, key)
 	c.mu.Unlock()
 }
@@ -88,4 +94,10 @@ func (c *Cache) Len() int {
 // Stats returns the hit/miss counters accumulated so far.
 func (c *Cache) Stats() (hits, misses uint64) {
 	return c.hits.Load(), c.misses.Load()
+}
+
+// Evictions returns how many cached clusterings were discarded — stale
+// entries overwritten on recompute plus explicit invalidations.
+func (c *Cache) Evictions() uint64 {
+	return c.evictions.Load()
 }

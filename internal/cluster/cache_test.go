@@ -84,6 +84,34 @@ func TestCacheInvalidate(t *testing.T) {
 	}
 }
 
+// Evictions count discarded clusterings: stale entries overwritten on
+// recompute and explicit invalidations of present entries — never cold
+// misses or invalidations of absent keys.
+func TestCacheEvictions(t *testing.T) {
+	c := cluster.NewCache()
+	frags := []trace.Fragment{cacheFrag(100)}
+	key := cluster.VertexKey(1)
+	opt := cluster.DefaultOptions()
+
+	c.Run(key, 1, frags, opt) // cold miss: nothing evicted
+	if got := c.Evictions(); got != 0 {
+		t.Fatalf("evictions after cold miss: %d", got)
+	}
+	grown := append(frags, cacheFrag(101))
+	c.Run(key, 2, grown, opt) // stale overwrite
+	if got := c.Evictions(); got != 1 {
+		t.Fatalf("evictions after stale overwrite: %d, want 1", got)
+	}
+	c.Invalidate(key)
+	if got := c.Evictions(); got != 2 {
+		t.Fatalf("evictions after invalidate: %d, want 2", got)
+	}
+	c.Invalidate(key) // absent: no entry was discarded
+	if got := c.Evictions(); got != 2 {
+		t.Fatalf("evicting an absent key counted: %d", got)
+	}
+}
+
 // Appending fragments to one STG edge bumps its version and invalidates
 // only that element's cached clustering: the untouched vertex keeps
 // hitting.

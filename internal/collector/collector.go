@@ -63,6 +63,10 @@ type Pool struct {
 	amu  sync.Mutex
 	view *mergedView
 	an   *detect.Analyzer
+
+	// met is the pool's always-on observability surface; servers share
+	// its handles, so ingestion never branches on "metrics enabled".
+	met *Metrics
 }
 
 // NewPool builds the server pool for the given number of client ranks.
@@ -90,10 +94,13 @@ func NewPool(ranks int, opt Options) *Pool {
 		Armed: interpose.NewArmed(sim.GroupBase | sim.GroupTopdownL1 | sim.GroupOS),
 		view:  newMergedView(),
 		an:    detect.NewAnalyzer(),
+		met:   NewMetrics(),
 	}
+	p.an.SetMetrics(p.met.Detect)
 	for i := 0; i < n; i++ {
-		p.servers = append(p.servers, newServer(i, opt))
+		p.servers = append(p.servers, newServer(i, opt, p.met))
 	}
+	p.registerDerived()
 	return p
 }
 
@@ -296,6 +303,14 @@ type Stats struct {
 	// BytesPerRankSecond is the storage rate per client (§6.2 reports
 	// 12.8-47.4 KB/s), measured over the encoded wire format.
 	BytesPerRankSecond float64
+	// IntakeStalls counts consumers that found the staged backlog at
+	// its MaxStaged bound and had to drain synchronously (backpressure).
+	IntakeStalls uint64
+	// MaxStagedDepth is the high-water mark of batches staged at once.
+	MaxStagedDepth int64
+	// FramesRejected counts wire frames that terminated their
+	// connection (oversized, torn, or undecodable payloads).
+	FramesRejected uint64
 }
 
 // Stats returns transport statistics given the run's virtual makespan.
@@ -312,5 +327,8 @@ func (p *Pool) Stats(makespan sim.Duration) Stats {
 	if sec := makespan.Seconds(); sec > 0 && p.ranks > 0 {
 		st.BytesPerRankSecond = float64(st.BytesIn) / sec / float64(p.ranks)
 	}
+	st.IntakeStalls = p.met.IntakeStalls.Load()
+	st.MaxStagedDepth = p.met.IntakeStagedPeak.Load()
+	st.FramesRejected = p.met.WireFramesRejected.Load()
 	return st
 }

@@ -136,6 +136,18 @@ func TestStats(t *testing.T) {
 	if st.BytesPerRankSecond != 19 {
 		t.Fatalf("rate: %v", st.BytesPerRankSecond)
 	}
+	// Sequential consumes stage one batch and immediately drain it via
+	// the uncontended TryLock, so the backlog never exceeds one and no
+	// backpressure fires; nothing arrived over the wire to be rejected.
+	if st.IntakeStalls != 0 {
+		t.Fatalf("stalls: %d, want 0", st.IntakeStalls)
+	}
+	if st.MaxStagedDepth != 1 {
+		t.Fatalf("max staged depth: %d, want 1", st.MaxStagedDepth)
+	}
+	if st.FramesRejected != 0 {
+		t.Fatalf("frames rejected: %d, want 0", st.FramesRejected)
+	}
 }
 
 func TestArmedHandleShared(t *testing.T) {

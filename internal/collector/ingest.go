@@ -63,6 +63,7 @@ type intakeShard struct {
 type Server struct {
 	id  int
 	opt Options
+	met *Metrics
 
 	seq    atomic.Uint64
 	staged atomic.Int64
@@ -81,11 +82,15 @@ type Server struct {
 	batches int
 }
 
-func newServer(id int, opt Options) *Server {
+func newServer(id int, opt Options, met *Metrics) *Server {
 	opt.Intake = opt.Intake.normalized()
+	if met == nil {
+		met = NewMetrics() // standalone servers still count into something
+	}
 	s := &Server{
 		id:     id,
 		opt:    opt,
+		met:    met,
 		shards: make([]intakeShard, opt.Intake.Shards),
 		graph:  stg.New(),
 	}
@@ -114,6 +119,10 @@ func (s *Server) consumeSized(rank int, frags []trace.Fragment, bytes int) {
 	sh.batches = append(sh.batches, stagedBatch{seq: s.seq.Add(1), bytes: bytes, frags: cp})
 	sh.mu.Unlock()
 	n := s.staged.Add(1)
+	s.met.IntakeBatches.Inc()
+	s.met.IntakeFragments.Add(uint64(len(cp)))
+	s.met.IntakeBytes.Add(uint64(bytes))
+	s.met.IntakeStagedPeak.SetMax(n)
 
 	if s.notify != nil {
 		select {
@@ -121,11 +130,14 @@ func (s *Server) consumeSized(rank int, frags []trace.Fragment, bytes int) {
 		default:
 		}
 		if int(n) >= s.opt.Intake.MaxStaged {
+			s.met.IntakeStalls.Inc()
+			s.met.IntakeSyncDrains.Inc()
 			s.drain() // backpressure: the merger fell behind
 		}
 		return
 	}
 	if int(n) >= s.opt.Intake.MaxStaged {
+		s.met.IntakeStalls.Inc()
 		s.drain()
 		return
 	}
@@ -166,6 +178,8 @@ func (s *Server) drainLocked() {
 		s.batches++
 	}
 	s.staged.Add(int64(-len(all)))
+	s.met.IntakeDrains.Inc()
+	s.met.DrainBatches.Observe(int64(len(all)))
 }
 
 func (s *Server) mergerLoop() {

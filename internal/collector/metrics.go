@@ -1,0 +1,172 @@
+package collector
+
+import (
+	"net/http"
+
+	"vapro/internal/detect"
+	"vapro/internal/interpose"
+	"vapro/internal/obs"
+)
+
+// Metrics is the collector's self-observability surface: one registry
+// per pool, threaded through every layer a fragment crosses — the
+// client shim, the wire transport, the staged intake, the per-window
+// analysis and its clustering cache. Handles are plain atomics; the hot
+// paths never touch the registry. §6.2's self-overhead accounting
+// (storage rate, analysis latency, interception cost) is exactly what
+// this surface makes continuously visible.
+type Metrics struct {
+	Registry *obs.Registry
+
+	// Intake (staged shards → graph merge).
+	IntakeBatches    *obs.Counter
+	IntakeFragments  *obs.Counter
+	IntakeBytes      *obs.Counter
+	IntakeStalls     *obs.Counter // consumers that hit the MaxStaged bound
+	IntakeSyncDrains *obs.Counter // background mode's synchronous-drain fallbacks
+	IntakeDrains     *obs.Counter // drain sweeps that merged at least one batch
+	IntakeStagedPeak *obs.Gauge   // high-water mark of the staged backlog
+	DrainBatches     *obs.Histogram
+
+	// Wire transport (framed TCP ingestion).
+	WireConns          *obs.Counter
+	WireFrames         *obs.Counter
+	WireBytes          *obs.Counter
+	WireFramesRejected *obs.Counter // any frame that killed its connection
+	WireDecodeErrors   *obs.Counter // subset: payloads DecodeBatch refused
+	WirePanics         *obs.Counter // subset: decoder panics caught by recover
+
+	// Detect is the per-window analysis surface (latency, stage spans).
+	Detect *detect.Metrics
+	// Client is the interposition-layer surface shared by traced ranks.
+	Client *interpose.Metrics
+}
+
+// NewMetrics builds a registry with every collector metric registered.
+func NewMetrics() *Metrics {
+	reg := obs.NewRegistry()
+	m := &Metrics{
+		Registry: reg,
+		IntakeBatches: reg.Counter("vapro_intake_batches_total", "intake",
+			"client batches staged by servers"),
+		IntakeFragments: reg.Counter("vapro_intake_fragments_total", "intake",
+			"fragments staged by servers"),
+		IntakeBytes: reg.Counter("vapro_intake_bytes_total", "intake",
+			"wire-encoded bytes received (the §6.2 storage volume)"),
+		IntakeStalls: reg.Counter("vapro_intake_stalls_total", "intake",
+			"consumers that found the staged backlog at its MaxStaged bound"),
+		IntakeSyncDrains: reg.Counter("vapro_intake_sync_drains_total", "intake",
+			"synchronous drains forced on producers while a background merger lagged"),
+		IntakeDrains: reg.Counter("vapro_intake_drains_total", "intake",
+			"drain sweeps that merged at least one staged batch"),
+		IntakeStagedPeak: reg.Gauge("vapro_intake_staged_peak", "intake",
+			"high-water mark of batches staged at once across servers"),
+		DrainBatches: reg.Histogram("vapro_intake_drain_batches", "intake",
+			"batches merged per drain sweep", obs.CountBounds()),
+		WireConns: reg.Counter("vapro_wire_conns_total", "wire",
+			"client connections accepted"),
+		WireFrames: reg.Counter("vapro_wire_frames_total", "wire",
+			"frames decoded and consumed"),
+		WireBytes: reg.Counter("vapro_wire_bytes_total", "wire",
+			"payload bytes of accepted frames"),
+		WireFramesRejected: reg.Counter("vapro_wire_frames_rejected_total", "wire",
+			"frames that terminated their connection (oversized, torn, undecodable)"),
+		WireDecodeErrors: reg.Counter("vapro_wire_decode_errors_total", "wire",
+			"payloads DecodeBatch refused"),
+		WirePanics: reg.Counter("vapro_wire_panics_total", "wire",
+			"per-connection panics contained by recover"),
+		Detect:  detect.NewMetrics(reg),
+		Client:  interpose.NewMetrics(reg),
+	}
+	return m
+}
+
+// Metrics returns the pool's observability surface.
+func (p *Pool) Metrics() *Metrics { return p.met }
+
+// Handler serves the pool's registry over HTTP (Prometheus text or
+// JSON; see obs.Registry.Handler).
+func (p *Pool) Handler() http.Handler { return p.met.Registry.Handler() }
+
+// stagedNow sums the servers' current staged backlogs.
+func (p *Pool) stagedNow() int64 {
+	var n int64
+	for _, s := range p.servers {
+		n += s.staged.Load()
+	}
+	return n
+}
+
+// registerDerived adds the pool-shaped Func metrics: values owned by
+// other layers as live atomics (staged depth, cache counters) or
+// derived from counters already registered (the §6.2 storage rate),
+// computed at snapshot time so nothing is double-accounted.
+func (p *Pool) registerDerived() {
+	reg := p.met.Registry
+	reg.Func("vapro_intake_staged", "intake",
+		"batches currently staged across servers", func() float64 {
+			return float64(p.stagedNow())
+		})
+	reg.Func("vapro_servers", "intake",
+		"server processes in the pool", func() float64 {
+			return float64(len(p.servers))
+		})
+	reg.Func("vapro_ranks", "intake",
+		"client ranks the pool was provisioned for", func() float64 {
+			return float64(p.ranks)
+		})
+	reg.Func("vapro_storage_bytes_per_rank_second", "intake",
+		"received bytes per rank per wall second (§6.2 storage rate)", func() float64 {
+			sec := p.met.Registry.Uptime().Seconds()
+			if sec <= 0 || p.ranks == 0 {
+				return 0
+			}
+			return float64(p.met.IntakeBytes.Load()) / sec / float64(p.ranks)
+		})
+	cache := p.an.Cache()
+	reg.Func("vapro_cluster_cache_hits", "cluster",
+		"analysis passes that reused a memoized clustering", func() float64 {
+			h, _ := cache.Stats()
+			return float64(h)
+		})
+	reg.Func("vapro_cluster_cache_misses", "cluster",
+		"analysis passes that had to recluster an element", func() float64 {
+			_, mi := cache.Stats()
+			return float64(mi)
+		})
+	reg.Func("vapro_cluster_cache_evictions", "cluster",
+		"memoized clusterings discarded (stale overwrites and invalidations)", func() float64 {
+			return float64(cache.Evictions())
+		})
+	reg.Func("vapro_cluster_cache_entries", "cluster",
+		"elements currently memoized", func() float64 {
+			return float64(cache.Len())
+		})
+}
+
+// registerMonitorDerived points the cluster-cache Func metrics at the
+// monitor's analyzer instead of the pool's: with a Monitor in front,
+// window analyses run on the monitor's cache and the pool's stays cold.
+// Re-registration replaces the pool's entries (last writer wins).
+func (m *Monitor) registerMonitorDerived() {
+	reg := m.pool.met.Registry
+	cache := m.analyzer.Cache()
+	reg.Func("vapro_cluster_cache_hits", "cluster",
+		"analysis passes that reused a memoized clustering", func() float64 {
+			h, _ := cache.Stats()
+			return float64(h)
+		})
+	reg.Func("vapro_cluster_cache_misses", "cluster",
+		"analysis passes that had to recluster an element", func() float64 {
+			_, mi := cache.Stats()
+			return float64(mi)
+		})
+	reg.Func("vapro_cluster_cache_evictions", "cluster",
+		"memoized clusterings discarded (stale overwrites and invalidations)", func() float64 {
+			return float64(cache.Evictions())
+		})
+	reg.Func("vapro_cluster_cache_entries", "cluster",
+		"elements currently memoized", func() float64 {
+			return float64(cache.Len())
+		})
+}

@@ -108,7 +108,7 @@ func NewMonitor(pool *Pool, opt MonitorOptions) *Monitor {
 	if opt.MaxStage <= 0 {
 		opt.MaxStage = 3
 	}
-	return &Monitor{
+	m := &Monitor{
 		pool:     pool,
 		opt:      opt,
 		graph:    stg.New(),
@@ -116,7 +116,17 @@ func NewMonitor(pool *Pool, opt MonitorOptions) *Monitor {
 		rankHigh: make(map[int]sim.Time),
 		stage:    1,
 	}
+	// The monitor's analyzer is where windows actually run with a
+	// monitor in front: point the detect instrumentation and the
+	// cache-derived metrics at it (replacing the pool's registrations).
+	m.analyzer.SetMetrics(pool.met.Detect)
+	m.registerMonitorDerived()
+	return m
 }
+
+// Metrics returns the observability surface shared with the wrapped
+// pool; the wire server counts into it when a Monitor is the sink.
+func (m *Monitor) Metrics() *Metrics { return m.pool.met }
 
 // Consume implements interpose.Sink: forward to the pool, append to the
 // monitor's merged graph, advance the rank watermark, and analyze any

@@ -112,6 +112,16 @@ func (s *RecordingSink) ConsumeSized(rank int, frags []trace.Fragment, bytes int
 	}
 }
 
+// Metrics forwards the wrapped sink's observability surface, if any, so
+// a wire server serving a recording sink still counts into the live
+// pool's registry. Returns nil when nothing downstream provides one.
+func (s *RecordingSink) Metrics() *Metrics {
+	if mp, ok := s.next.(metricsProvider); ok {
+		return mp.Metrics()
+	}
+	return nil
+}
+
 func (s *RecordingSink) record(rank int, frags []trace.Fragment) {
 	cp := make([]trace.Fragment, len(frags))
 	copy(cp, frags)

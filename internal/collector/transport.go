@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"sync"
 
 	"vapro/internal/trace"
@@ -109,6 +110,14 @@ type sizedSink interface {
 	ConsumeSized(rank int, frags []trace.Fragment, bytes int)
 }
 
+// metricsProvider is implemented by sinks (Pool, Monitor,
+// RecordingSink wrapping either) that expose a collector metrics
+// surface; the wire server counts frames into it so transport failures
+// that are swallowed as connection kills still leave a visible trace.
+type metricsProvider interface {
+	Metrics() *Metrics
+}
+
 // WireServer accepts connections and feeds decoded batches into a sink
 // (normally a Pool or Monitor).
 type WireServer struct {
@@ -117,6 +126,8 @@ type WireServer struct {
 		Consume(rank int, frags []trace.Fragment)
 	}
 	sized sizedSink // non-nil when sink implements sizedSink
+	met   *Metrics
+	mln   net.Listener // metrics HTTP listener, if serving
 	wg    sync.WaitGroup
 
 	mu      sync.Mutex
@@ -131,9 +142,33 @@ func ServeWire(ln net.Listener, sink interface {
 }) *WireServer {
 	s := &WireServer{ln: ln, sink: sink}
 	s.sized, _ = sink.(sizedSink)
+	if mp, ok := sink.(metricsProvider); ok {
+		s.met = mp.Metrics()
+	}
+	if s.met == nil {
+		s.met = NewMetrics() // standalone counting surface
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
+}
+
+// Metrics returns the surface the server counts into — the sink's own
+// when the sink provides one, otherwise a private registry.
+func (s *WireServer) Metrics() *Metrics { return s.met }
+
+// ServeMetrics serves the metrics registry (Prometheus text / JSON)
+// over HTTP on mln until the wire server is closed.
+func (s *WireServer) ServeMetrics(mln net.Listener) {
+	s.mu.Lock()
+	s.mln = mln
+	s.mu.Unlock()
+	srv := &http.Server{Handler: s.met.Registry.Handler()}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		_ = srv.Serve(mln) // returns when mln closes
+	}()
 }
 
 func (s *WireServer) acceptLoop() {
@@ -161,10 +196,14 @@ func (s *WireServer) setErr(err error) {
 
 func (s *WireServer) serveConn(conn net.Conn) {
 	defer conn.Close()
+	s.met.WireConns.Inc()
 	// Defense in depth: a decoder bug on a hostile frame must take down
-	// this connection, not the whole server process.
+	// this connection, not the whole server process. The kill is counted
+	// — a swallowed failure must still be visible from outside.
 	defer func() {
 		if p := recover(); p != nil {
+			s.met.WirePanics.Inc()
+			s.met.WireFramesRejected.Inc()
 			s.setErr(fmt.Errorf("collector: panic serving connection: %v", p))
 		}
 	}()
@@ -179,16 +218,20 @@ func (s *WireServer) serveConn(conn net.Conn) {
 			return
 		}
 		if size > maxFramePayload {
+			s.met.WireFramesRejected.Inc()
 			s.setErr(fmt.Errorf("collector: frame of %d bytes exceeds limit", size))
 			return
 		}
 		payload, err = readPayload(br, payload[:0], int(size))
 		if err != nil {
+			s.met.WireFramesRejected.Inc() // torn frame
 			s.setErr(err)
 			return
 		}
 		rank, frags, err := trace.DecodeBatch(payload)
 		if err != nil {
+			s.met.WireDecodeErrors.Inc()
+			s.met.WireFramesRejected.Inc()
 			s.setErr(err)
 			return
 		}
@@ -197,6 +240,8 @@ func (s *WireServer) serveConn(conn net.Conn) {
 		} else {
 			s.sink.Consume(rank, frags)
 		}
+		s.met.WireFrames.Inc()
+		s.met.WireBytes.Add(uint64(len(payload)))
 		s.mu.Lock()
 		s.batches++
 		s.mu.Unlock()
@@ -221,9 +266,16 @@ func readPayload(br *bufio.Reader, buf []byte, size int) ([]byte, error) {
 	return buf, nil
 }
 
-// Close stops accepting and waits for in-flight connections.
+// Close stops accepting (wire and metrics listeners) and waits for
+// in-flight connections.
 func (s *WireServer) Close() error {
 	err := s.ln.Close()
+	s.mu.Lock()
+	mln := s.mln
+	s.mu.Unlock()
+	if mln != nil {
+		_ = mln.Close()
+	}
 	s.wg.Wait()
 	return err
 }
@@ -234,6 +286,19 @@ func (s *WireServer) Batches() int {
 	defer s.mu.Unlock()
 	return s.batches
 }
+
+// FramesRejected counts frames that terminated their connection:
+// oversized headers, torn payloads, undecodable batches, and decoder
+// panics contained by recover. These failures are swallowed on the
+// serving path by design (a hostile client must not take the server
+// down) — the counter is how they stay visible.
+func (s *WireServer) FramesRejected() uint64 { return s.met.WireFramesRejected.Load() }
+
+// DecodeErrors counts payloads trace.DecodeBatch refused.
+func (s *WireServer) DecodeErrors() uint64 { return s.met.WireDecodeErrors.Load() }
+
+// Panics counts per-connection panics contained by recover.
+func (s *WireServer) Panics() uint64 { return s.met.WirePanics.Load() }
 
 // Err returns the first decode error (io.EOF excluded).
 func (s *WireServer) Err() error {

@@ -132,6 +132,30 @@ func TestWireServerHostileFrame(t *testing.T) {
 	if got := pool.FragmentCount(); got != 1 {
 		t.Fatalf("server stopped serving after hostile frames: %d fragments", got)
 	}
+
+	// The rejections are swallowed as connection kills by design, but
+	// they must be counted: one undecodable payload, one oversized
+	// header, no contained panics.
+	if got := srv.FramesRejected(); got != 2 {
+		t.Fatalf("frames rejected: %d, want 2", got)
+	}
+	if got := srv.DecodeErrors(); got != 1 {
+		t.Fatalf("decode errors: %d, want 1", got)
+	}
+	if got := srv.Panics(); got != 0 {
+		t.Fatalf("panics: %d, want 0", got)
+	}
+	// The server counts into the sink's own surface, so the pool's
+	// Stats see the wire rejections too.
+	if srv.Metrics() != pool.Metrics() {
+		t.Fatal("wire server must share the pool's metrics surface")
+	}
+	if got := pool.Stats(sim.Second).FramesRejected; got != 2 {
+		t.Fatalf("pool stats FramesRejected: %d, want 2", got)
+	}
+	if got := srv.Metrics().WireFrames.Load(); got != 1 {
+		t.Fatalf("accepted frames: %d, want 1", got)
+	}
 }
 
 func TestWireClientStickyError(t *testing.T) {

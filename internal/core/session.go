@@ -175,6 +175,7 @@ func RunTraced(app apps.App, opt Options) *Result {
 
 	times := world.Run(func(r *mpi.Rank) {
 		tr := interpose.NewTraced(r, cfg, opt.Interpose, sink, pool.Armed)
+		tr.SetMetrics(pool.Metrics().Client)
 		app.Run(tr)
 		tr.Flush()
 		stats[r.ID()] = rankStats{
@@ -281,6 +282,7 @@ func RunOnline(app apps.App, opt Options) *OnlineResult {
 	var mu sync.Mutex
 	times := world.Run(func(r *mpi.Rank) {
 		tr := interpose.NewTraced(r, cfg, opt.Interpose, mon, pool.Armed)
+		tr.SetMetrics(pool.Metrics().Client)
 		app.Run(tr)
 		tr.Flush()
 		mu.Lock()

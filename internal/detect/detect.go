@@ -13,6 +13,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vapro/internal/cluster"
 	"vapro/internal/sim"
@@ -181,6 +182,11 @@ type Analyzer struct {
 	// re-walking every cluster member per window.
 	mu    sync.Mutex
 	preps map[cluster.Key]*prepElem
+
+	// met, when set via SetMetrics, receives per-pass latency and
+	// per-stage span observations; clock is its worker-side scratch.
+	met   *Metrics
+	clock stageClock
 }
 
 // NewAnalyzer returns an Analyzer with an empty clustering cache.
@@ -271,6 +277,12 @@ func (a *Analyzer) run(g *stg.Graph, ranks int, opt Options, start, end, origin 
 		Samples:  make(map[Class][]Sample),
 		Coverage: make(map[Class]float64),
 	}
+	met := a.met
+	var t0 time.Time
+	if met != nil {
+		t0 = time.Now()
+		a.clock.reset()
+	}
 
 	// Stage 1: per-element cluster+normalize, sharded across workers.
 	// Elements are independent; outputs land in a slot per element.
@@ -288,6 +300,14 @@ func (a *Analyzer) run(g *stg.Graph, ranks int, opt Options, start, end, origin 
 			p.window(start, end, &outs[i])
 		}
 	})
+
+	var tMerge time.Time
+	if met != nil {
+		met.Spans.RecordNS(StagePrep, since(t0))
+		met.Spans.RecordNS(StageCluster, a.clock.clusterNS.Load())
+		met.Spans.RecordNS(StageNormalize, a.clock.normNS.Load())
+		tMerge = time.Now()
+	}
 
 	// Deterministic merge: element order (edges then vertices, both
 	// key-sorted) fixes the sample concatenation order regardless of
@@ -345,6 +365,12 @@ func (a *Analyzer) run(g *stg.Graph, ranks int, opt Options, start, end, origin 
 		res.OverallCoverage = float64(allFixed) / float64(allTotal)
 	}
 
+	var tMap time.Time
+	if met != nil {
+		met.Spans.RecordNS(StageMerge, since(tMerge))
+		tMap = time.Now()
+	}
+
 	// Stage 2: the per-class heat-map and region-growing passes are
 	// fully independent — run them concurrently, then concatenate the
 	// regions in fixed class order.
@@ -372,6 +398,11 @@ func (a *Analyzer) run(g *stg.Graph, ranks int, opt Options, start, end, origin 
 	// Most impactful regions first (§3.5: reported by performance
 	// impact).
 	sort.Slice(res.Regions, func(i, j int) bool { return res.Regions[i].LossNS > res.Regions[j].LossNS })
+	if met != nil {
+		met.Spans.RecordNS(StageMap, since(tMap))
+		met.WindowNS.Observe(since(t0))
+		met.Windows.Inc()
+	}
 	return res
 }
 

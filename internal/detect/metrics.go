@@ -1,0 +1,66 @@
+package detect
+
+import (
+	"sync/atomic"
+	"time"
+
+	"vapro/internal/obs"
+)
+
+// Pipeline stages traced per analysis window. StagePrep is the whole
+// per-element fan-out wall time; StageCluster and StageNormalize are the
+// CPU time summed across workers inside it (cache-miss clustering and
+// prep rebuilds — near zero on warm windows); StageMerge is the
+// deterministic sample merge; StageMap is the heat-map + region-growing
+// pass.
+const (
+	StagePrep = iota
+	StageCluster
+	StageNormalize
+	StageMerge
+	StageMap
+)
+
+// Metrics is the detection layer's observability surface.
+type Metrics struct {
+	// Windows counts completed analysis passes (whole-run or windowed).
+	Windows *obs.Counter
+	// WindowNS is the end-to-end latency distribution of one pass.
+	WindowNS *obs.Histogram
+	// Spans traces the per-stage latencies (see the Stage constants).
+	Spans *obs.Spans
+}
+
+// NewMetrics registers the detection metrics into reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Windows: reg.Counter("vapro_detect_windows_total", "detect",
+			"completed detection passes (whole-run and per-window)"),
+		WindowNS: reg.Histogram("vapro_detect_window_ns", "detect",
+			"end-to-end latency of one detection pass (ns)", obs.LatencyBounds()),
+		Spans: obs.NewSpans(reg, "vapro_detect_stage", "detect",
+			"prep", "cluster", "normalize", "merge", "map"),
+	}
+}
+
+// SetMetrics attaches m to the analyzer; nil detaches. Instrumentation
+// is observational only — results are bit-identical with or without it.
+func (a *Analyzer) SetMetrics(m *Metrics) { a.met = m }
+
+// stageClock accumulates worker CPU time for the sub-stages that run
+// inside the stage-1 fan-out. Workers add concurrently; run() drains the
+// totals into span records once per pass. Passes themselves are
+// serialized by the callers (the pool's analysis mutex, the monitor's
+// lock, the sequential core paths), so drain-and-reset is safe.
+type stageClock struct {
+	clusterNS atomic.Int64
+	normNS    atomic.Int64
+}
+
+func (sc *stageClock) reset() {
+	sc.clusterNS.Store(0)
+	sc.normNS.Store(0)
+}
+
+// since is a tiny helper for the instrumentation sites.
+func since(t0 time.Time) int64 { return time.Since(t0).Nanoseconds() }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"slices"
 	"sort"
+	"time"
 
 	"vapro/internal/cluster"
 	"vapro/internal/trace"
@@ -142,14 +143,28 @@ func (ix *spanIndex) selectOverlapping(start, end int64) (sel []int32, fixed int
 // accounting keeps meaning "analysis passes that reused a clustering",
 // warm prep or not.
 func (a *Analyzer) prepFor(key cluster.Key, version uint64, frags []trace.Fragment, opt Options, ref ClusterRef) *prepElem {
+	met := a.met
+	var t0 time.Time
+	if met != nil {
+		t0 = time.Now()
+	}
 	cl := a.cache.Run(key, version, frags, opt.Cluster)
+	if met != nil {
+		a.clock.clusterNS.Add(since(t0))
+	}
 	a.mu.Lock()
 	p := a.preps[key]
 	a.mu.Unlock()
 	if p != nil && p.version == version && p.nfrags == len(frags) && p.copt == opt.Cluster {
 		return p
 	}
+	if met != nil {
+		t0 = time.Now()
+	}
 	p = buildPrep(frags, cl, ref, opt, version)
+	if met != nil {
+		a.clock.normNS.Add(since(t0))
+	}
 	a.mu.Lock()
 	a.preps[key] = p
 	a.mu.Unlock()

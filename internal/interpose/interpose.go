@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 
 	"vapro/internal/mpi"
+	"vapro/internal/obs"
 	"vapro/internal/rt"
 	"vapro/internal/sim"
 	"vapro/internal/trace"
@@ -148,7 +149,51 @@ type Traced struct {
 	Events   int
 	Dropped  int
 	BytesOut int64
+
+	// met, when set, receives deltas of the stats above at each Flush;
+	// pushed are the previously unreported amounts, so shared counters
+	// are touched once per batch instead of once per interception.
+	met          *Metrics
+	pushedEvents int
+	pushedDrops  int
+	pushedBytes  int64
 }
+
+// Metrics is the client layer's shared observability surface — one set
+// of counters aggregated across every traced rank feeding a collector.
+type Metrics struct {
+	// Interceptions counts recorded external invocations (Events).
+	Interceptions *obs.Counter
+	// Fragments counts fragments shipped to the sink.
+	Fragments *obs.Counter
+	// Dropped counts invocations sampled out by short-op backoff.
+	Dropped *obs.Counter
+	// BytesOut counts wire-encoded bytes pushed toward the collector.
+	BytesOut *obs.Counter
+	// Flushes counts client batch flushes.
+	Flushes *obs.Counter
+}
+
+// NewMetrics registers the client-layer metrics into reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Interceptions: reg.Counter("vapro_client_interceptions_total", "client",
+			"recorded external invocations across all traced ranks"),
+		Fragments: reg.Counter("vapro_client_fragments_total", "client",
+			"fragments shipped by traced ranks"),
+		Dropped: reg.Counter("vapro_client_dropped_total", "client",
+			"invocations sampled out by short-op backoff"),
+		BytesOut: reg.Counter("vapro_client_bytes_out_total", "client",
+			"wire-encoded bytes pushed toward the collector"),
+		Flushes: reg.Counter("vapro_client_flushes_total", "client",
+			"client batch flushes"),
+	}
+}
+
+// SetMetrics attaches the shared client metrics to this rank; nil
+// detaches. Deltas accumulated before attachment are reported at the
+// next Flush.
+func (t *Traced) SetMetrics(m *Metrics) { t.met = m }
 
 type backoffState struct {
 	stride int
@@ -383,9 +428,26 @@ func (t *Traced) Flush() {
 	if t.sink == nil || len(t.batch) == 0 {
 		return
 	}
+	n := len(t.batch)
 	t.BytesOut += int64(trace.BatchWireSize(t.r.ID(), t.batch))
 	t.sink.Consume(t.r.ID(), t.batch)
 	t.batch = nil
+	if t.met != nil {
+		t.met.Flushes.Inc()
+		t.met.Fragments.Add(uint64(n))
+		if d := t.Events - t.pushedEvents; d > 0 {
+			t.met.Interceptions.Add(uint64(d))
+			t.pushedEvents = t.Events
+		}
+		if d := t.Dropped - t.pushedDrops; d > 0 {
+			t.met.Dropped.Add(uint64(d))
+			t.pushedDrops = t.Dropped
+		}
+		if d := t.BytesOut - t.pushedBytes; d > 0 {
+			t.met.BytesOut.Add(uint64(d))
+			t.pushedBytes = t.BytesOut
+		}
+	}
 }
 
 // SiteNames returns the state-key → human-readable-site mapping this

@@ -10,6 +10,38 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race ./internal/mpi ./internal/collector ./internal/core \
-	./internal/interpose ./internal/detect ./internal/cluster
+	./internal/interpose ./internal/detect ./internal/cluster \
+	./internal/obs
 # Bench smoke: one iteration, correctness only — no timing is recorded.
-go test -run xxx -bench 'BenchmarkPoolIngest$|BenchmarkWindowResults' -benchtime 1x .
+# Output is kept for the CI artifact upload.
+go test -run xxx -bench 'BenchmarkPoolIngest$|BenchmarkWindowResults' \
+	-benchtime 1x . | tee bench-smoke.out
+
+# Observability smoke: boot a real collector, scrape its metrics
+# endpoint with `vapro status`, and assert the cross-layer metric names
+# are exposed.
+go build -o /tmp/vapro-check ./cmd/vapro
+/tmp/vapro-check serve -listen 127.0.0.1:0 -metrics 127.0.0.1:0 \
+	>/tmp/vapro-serve.out 2>&1 &
+SERVE_PID=$!
+trap 'kill $SERVE_PID 2>/dev/null || true' EXIT
+# Wait for the server to print its bound metrics address.
+i=0
+while ! grep -q '^metrics=' /tmp/vapro-serve.out; do
+	i=$((i + 1))
+	[ "$i" -gt 100 ] && { echo "vapro serve never came up"; cat /tmp/vapro-serve.out; exit 1; }
+	sleep 0.1
+done
+METRICS_ADDR=$(sed -n 's/^metrics=//p' /tmp/vapro-serve.out)
+/tmp/vapro-check status -addr "$METRICS_ADDR" -raw prom >/tmp/vapro-metrics.out
+for name in vapro_uptime_seconds vapro_intake_staged vapro_intake_batches_total \
+	vapro_wire_frames_total vapro_wire_frames_rejected_total \
+	vapro_detect_window_ns vapro_cluster_cache_hits \
+	vapro_storage_bytes_per_rank_second; do
+	grep -q "$name" /tmp/vapro-metrics.out || {
+		echo "metrics endpoint missing $name"; exit 1; }
+done
+# The rendered panel must come up on the same endpoint.
+/tmp/vapro-check status -addr "$METRICS_ADDR" | grep -q 'vapro collector'
+kill $SERVE_PID
+trap - EXIT
