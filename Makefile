@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build check test vet race cover bench bench-smoke experiments full clean
+.PHONY: all build check test vet race chaos cover bench bench-smoke experiments full clean
 
 all: build vet test
 
-# Everything CI needs: compile, vet, full test suite, race pass, and a
-# single-iteration pass over the ingestion benchmarks (catches crashes
-# and gross regressions without benchmarking for real).
-check: build vet test race bench-smoke
+# Everything CI needs: compile, vet, full test suite, race pass, the
+# chaos soak, and a single-iteration pass over the ingestion benchmarks
+# (catches crashes and gross regressions without benchmarking for real).
+check: build vet test race chaos bench-smoke
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,12 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/mpi ./internal/collector ./internal/core ./internal/interpose ./internal/detect ./internal/cluster ./internal/obs
+	$(GO) test -race ./internal/mpi ./internal/collector ./internal/core ./internal/interpose ./internal/detect ./internal/cluster ./internal/obs ./internal/faults
+
+# The fault-tolerance soak: kill/restart the wire server 5x under
+# multi-rank load and hold the exact loss-accounting invariant.
+chaos:
+	$(GO) test -race -count=2 -timeout 60s -run 'TestChaosSoakServerRestarts' ./internal/collector
 
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/... .

@@ -7,6 +7,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"vapro/internal/collector"
 )
@@ -21,6 +22,7 @@ func serveMain(args []string) {
 	listen := fs.String("listen", "127.0.0.1:0", "address for the fragment wire listener")
 	metrics := fs.String("metrics", "127.0.0.1:0", "address for the metrics HTTP endpoint (empty disables)")
 	ranks := fs.Int("ranks", 256, "client ranks the pool is provisioned for")
+	drain := fs.Duration("drain", 5*time.Second, "how long shutdown waits for in-flight connections before force-closing them")
 	_ = fs.Parse(args)
 
 	opt := collector.DefaultOptions()
@@ -33,6 +35,7 @@ func serveMain(args []string) {
 		os.Exit(1)
 	}
 	srv := collector.ServeWire(ln, mon)
+	srv.SetDrainTimeout(*drain)
 	fmt.Printf("wire=%s\n", ln.Addr())
 	if *metrics != "" {
 		mln, err := net.Listen("tcp", *metrics)

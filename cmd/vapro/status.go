@@ -91,6 +91,17 @@ func renderStatus(s *obs.Snapshot) string {
 		val(s, "vapro_wire_conns_total"), val(s, "vapro_wire_frames_total"),
 		val(s, "vapro_wire_frames_rejected_total"), val(s, "vapro_wire_decode_errors_total"),
 		val(s, "vapro_wire_panics_total"), humanBytes(val(s, "vapro_wire_bytes_total")))
+	fmt.Fprintf(&b, "          seq gaps %.0f (lost batches)   dups %.0f   client drops %.0f\n",
+		val(s, "vapro_wire_seq_gaps_total"), val(s, "vapro_wire_dups_total"),
+		val(s, "vapro_wire_client_drops_total"))
+
+	if dials := val(s, "vapro_net_dials_total"); dials > 0 {
+		fmt.Fprintf(&b, "net       dials %.0f (connects %.0f, reconnects %.0f)   sent %.0f   lost %.0f   write timeouts %.0f   spill %.0f (peak %.0f)\n",
+			dials, val(s, "vapro_net_connects_total"), val(s, "vapro_net_reconnects_total"),
+			val(s, "vapro_net_batches_sent_total"), val(s, "vapro_net_batches_lost_total"),
+			val(s, "vapro_net_write_timeouts_total"),
+			val(s, "vapro_net_spill_depth"), val(s, "vapro_net_spill_peak"))
+	}
 
 	windows := val(s, "vapro_detect_windows_total")
 	rate := 0.0

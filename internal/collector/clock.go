@@ -1,0 +1,19 @@
+package collector
+
+import "time"
+
+// Clock abstracts wall time for the resilient transport so every
+// backoff, write deadline and drain timeout is driven by an injectable
+// source: tests replace it with faults.FakeClock (which satisfies this
+// interface structurally) and replay exact retry schedules with no real
+// sleeps.
+type Clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+// realClock is the production clock.
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }

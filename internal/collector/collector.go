@@ -67,6 +67,11 @@ type Pool struct {
 	// met is the pool's always-on observability surface; servers share
 	// its handles, so ingestion never branches on "metrics enabled".
 	met *Metrics
+
+	// seq is the per-rank sequence tracker. It lives on the pool rather
+	// than the wire server so gap accounting survives server restarts —
+	// exactly the window where batches get lost.
+	seq *SeqTracker
 }
 
 // NewPool builds the server pool for the given number of client ranks.
@@ -95,6 +100,7 @@ func NewPool(ranks int, opt Options) *Pool {
 		view:  newMergedView(),
 		an:    detect.NewAnalyzer(),
 		met:   NewMetrics(),
+		seq:   NewSeqTracker(),
 	}
 	p.an.SetMetrics(p.met.Detect)
 	for i := 0; i < n; i++ {
@@ -106,6 +112,10 @@ func NewPool(ranks int, opt Options) *Pool {
 
 // Servers returns the number of server processes.
 func (p *Pool) Servers() int { return len(p.servers) }
+
+// SeqState returns the pool's sequence tracker; wire servers feed it so
+// per-rank gap accounting accumulates across server restarts.
+func (p *Pool) SeqState() *SeqTracker { return p.seq }
 
 // Consume implements interpose.Sink: route the batch to the client's
 // shard.
@@ -278,7 +288,11 @@ func (p *Pool) WindowResults() []*WindowResult {
 		if !g.Overlaps(start, end) {
 			continue
 		}
-		res := p.an.RunWindow(g, p.ranks, p.opt.Detect, start, end)
+		// Windows covering a loss interval mark the rank stale there
+		// instead of mistaking its silence for speed.
+		dopt := p.opt.Detect
+		dopt.Outages = p.seq.Outages()
+		res := p.an.RunWindow(g, p.ranks, dopt, start, end)
 		out = append(out, &WindowResult{
 			Start:  sim.Time(start),
 			End:    sim.Time(end),
@@ -311,6 +325,13 @@ type Stats struct {
 	// FramesRejected counts wire frames that terminated their
 	// connection (oversized, torn, or undecodable payloads).
 	FramesRejected uint64
+	// SeqGaps counts batches inferred lost from per-rank sequence gaps
+	// (client-side spill evictions and frames that died with a
+	// connection), DupFrames the suppressed retransmit duplicates, and
+	// Outages the recorded per-rank loss intervals in virtual time.
+	SeqGaps   uint64
+	DupFrames uint64
+	Outages   int
 }
 
 // Stats returns transport statistics given the run's virtual makespan.
@@ -330,5 +351,8 @@ func (p *Pool) Stats(makespan sim.Duration) Stats {
 	st.IntakeStalls = p.met.IntakeStalls.Load()
 	st.MaxStagedDepth = p.met.IntakeStagedPeak.Load()
 	st.FramesRejected = p.met.WireFramesRejected.Load()
+	st.SeqGaps = p.seq.GapFrames()
+	st.DupFrames = p.seq.Dups()
+	st.Outages = len(p.seq.Outages())
 	return st
 }

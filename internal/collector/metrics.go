@@ -35,6 +35,20 @@ type Metrics struct {
 	WireFramesRejected *obs.Counter // any frame that killed its connection
 	WireDecodeErrors   *obs.Counter // subset: payloads DecodeBatch refused
 	WirePanics         *obs.Counter // subset: decoder panics caught by recover
+	WireSeqGaps        *obs.Counter // batches inferred lost from sequence gaps
+	WireDups           *obs.Counter // duplicate batches suppressed (retransmits)
+	WireClientDrops    *obs.Counter // batches a legacy WireClient discarded after its sticky error
+
+	// Net is the resilient client's surface: connection churn and the
+	// fate of every batch that could not be shipped immediately.
+	NetDials         *obs.Counter // dial attempts (including failures)
+	NetConnects      *obs.Counter // dials that produced a connection
+	NetReconnects    *obs.Counter // connections established after the first
+	NetBatchesSent   *obs.Counter // frames written to a live connection
+	NetBatchesLost   *obs.Counter // batches evicted from the spill queue
+	NetWriteTimeouts *obs.Counter // writes that exceeded the deadline
+	NetSpillDepth    *obs.Gauge   // batches currently spilled awaiting a connection
+	NetSpillPeak     *obs.Gauge   // high-water mark of the spill queue
 
 	// Detect is the per-window analysis surface (latency, stage spans).
 	Detect *detect.Metrics
@@ -75,8 +89,30 @@ func NewMetrics() *Metrics {
 			"payloads DecodeBatch refused"),
 		WirePanics: reg.Counter("vapro_wire_panics_total", "wire",
 			"per-connection panics contained by recover"),
-		Detect:  detect.NewMetrics(reg),
-		Client:  interpose.NewMetrics(reg),
+		WireSeqGaps: reg.Counter("vapro_wire_seq_gaps_total", "wire",
+			"batches inferred lost from per-rank sequence gaps"),
+		WireDups: reg.Counter("vapro_wire_dups_total", "wire",
+			"duplicate batches suppressed by sequence tracking"),
+		WireClientDrops: reg.Counter("vapro_wire_client_drops_total", "wire",
+			"batches a legacy WireClient discarded after its sticky error"),
+		NetDials: reg.Counter("vapro_net_dials_total", "net",
+			"dial attempts by the resilient client (including failures)"),
+		NetConnects: reg.Counter("vapro_net_connects_total", "net",
+			"dials that produced a live connection"),
+		NetReconnects: reg.Counter("vapro_net_reconnects_total", "net",
+			"connections re-established after the first"),
+		NetBatchesSent: reg.Counter("vapro_net_batches_sent_total", "net",
+			"frames written to a live connection"),
+		NetBatchesLost: reg.Counter("vapro_net_batches_lost_total", "net",
+			"batches evicted from the bounded spill queue"),
+		NetWriteTimeouts: reg.Counter("vapro_net_write_timeouts_total", "net",
+			"writes abandoned after exceeding the write deadline"),
+		NetSpillDepth: reg.Gauge("vapro_net_spill_depth", "net",
+			"batches currently spilled awaiting a connection"),
+		NetSpillPeak: reg.Gauge("vapro_net_spill_peak", "net",
+			"high-water mark of the spill queue"),
+		Detect: detect.NewMetrics(reg),
+		Client: interpose.NewMetrics(reg),
 	}
 	return m
 }

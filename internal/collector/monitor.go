@@ -128,6 +128,10 @@ func NewMonitor(pool *Pool, opt MonitorOptions) *Monitor {
 // pool; the wire server counts into it when a Monitor is the sink.
 func (m *Monitor) Metrics() *Metrics { return m.pool.met }
 
+// SeqState forwards the pool's sequence tracker so a wire server with a
+// Monitor sink still accumulates gap accounting across restarts.
+func (m *Monitor) SeqState() *SeqTracker { return m.pool.seq }
+
 // Consume implements interpose.Sink: forward to the pool, append to the
 // monitor's merged graph, advance the rank watermark, and analyze any
 // window every rank has passed.
@@ -195,7 +199,9 @@ func (m *Monitor) analyzeWindowLocked(start, end sim.Time) {
 	// per-window reference performance is the best fragment seen so
 	// far, not just the window's best); the window only filters which
 	// samples feed the heat map.
-	res := m.analyzer.RunWindow(m.graph, m.opt.Ranks, m.opt.Detect, int64(start), int64(end))
+	dopt := m.opt.Detect
+	dopt.Outages = m.pool.seq.Outages()
+	res := m.analyzer.RunWindow(m.graph, m.opt.Ranks, dopt, int64(start), int64(end))
 	classOK := func(c detect.Class) bool {
 		if len(m.opt.Classes) == 0 {
 			return true

@@ -122,6 +122,15 @@ func (s *RecordingSink) Metrics() *Metrics {
 	return nil
 }
 
+// SeqState forwards the wrapped sink's sequence tracker, if any, so a
+// wire server serving a recording sink keeps exact gap accounting.
+func (s *RecordingSink) SeqState() *SeqTracker {
+	if ss, ok := s.next.(seqStater); ok {
+		return ss.SeqState()
+	}
+	return nil
+}
+
 func (s *RecordingSink) record(rank int, frags []trace.Fragment) {
 	cp := make([]trace.Fragment, len(frags))
 	copy(cp, frags)

@@ -1,0 +1,412 @@
+package collector
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"vapro/internal/trace"
+)
+
+// Dialer produces a fresh connection to the collector. ResilientClient
+// owns the full connection lifecycle through it: the first dial, every
+// redial after a failure, and the backoff between attempts.
+type Dialer func() (net.Conn, error)
+
+// ResilientOptions tunes the fault-tolerant client.
+type ResilientOptions struct {
+	// BackoffBase is the delay before the second dial attempt; each
+	// failure doubles it up to BackoffMax.
+	BackoffBase time.Duration
+	// BackoffMax caps the backoff delay.
+	BackoffMax time.Duration
+	// Jitter spreads each delay by ±Jitter (0.2 → ±20%) so a fleet of
+	// ranks does not redial a restarted collector in lockstep.
+	Jitter float64
+	// MaxSpill bounds the disconnected-side queue in batches. When
+	// full, the oldest batch not currently being written is evicted and
+	// counted lost; the eviction surfaces server-side as a sequence gap.
+	MaxSpill int
+	// WriteTimeout bounds each frame write so a stalled (accept-then-
+	// hang) collector never blocks the application's flush path. Zero
+	// disables the deadline. Deadlines are kernel-socket real time and
+	// are not routed through Clock.
+	WriteTimeout time.Duration
+	// Clock drives backoff waits; tests inject a fake to replay exact
+	// retry schedules with no real sleeps. Nil means wall clock.
+	Clock Clock
+	// Rand supplies jitter in [0,1); nil means math/rand. A constant
+	// 0.5 makes the schedule deterministic.
+	Rand func() float64
+}
+
+// DefaultResilientOptions returns the production tuning.
+func DefaultResilientOptions() ResilientOptions {
+	return ResilientOptions{
+		BackoffBase:  50 * time.Millisecond,
+		BackoffMax:   5 * time.Second,
+		Jitter:       0.2,
+		MaxSpill:     1024,
+		WriteTimeout: 5 * time.Second,
+	}
+}
+
+// spillEntry is one encoded frame awaiting delivery.
+type spillEntry struct {
+	rank int
+	buf  []byte
+}
+
+// ResilientStats is a point-in-time snapshot of the client's loss
+// accounting. The core invariant, checked by the chaos soak: every
+// consumed batch is either written to a connection (Sent), evicted or
+// rejected by the bounded spill queue (Lost), or still queued/discarded
+// at Close (Abandoned) — Consumed == Sent + Lost + Abandoned + queued.
+type ResilientStats struct {
+	Consumed      uint64
+	Sent          uint64
+	Lost          uint64
+	Abandoned     uint64
+	Dials         uint64
+	Connects      uint64
+	Reconnects    uint64
+	WriteTimeouts uint64
+	SpillDepth    int
+	SpillPeak     int
+	LostByRank    map[int]uint64
+}
+
+// ResilientClient is the fault-tolerant wire client: it implements
+// interpose.Sink like WireClient, but owns dialing through a Dialer,
+// reconnects with jittered exponential backoff, and absorbs outages in
+// a bounded spill queue so Consume never blocks and never errors. Every
+// frame carries a per-rank sequence number (wire format v2), which is
+// what turns silent loss — spill evictions, frames torn by a dying
+// connection — into exact server-side gap accounting.
+//
+// Unlike WireClient it is safe for any number of ranks: one client per
+// traced process, shared by its ranks.
+type ResilientClient struct {
+	dial    Dialer
+	opt     ResilientOptions
+	clock   Clock
+	rand    func() float64
+	closeCh chan struct{}
+	done    chan struct{}
+
+	mu            sync.Mutex
+	cond          *sync.Cond
+	queue         []spillEntry
+	inFlight      bool // queue[0] is being written; eviction must skip it
+	conn          net.Conn
+	closed        bool
+	everConnected bool
+	met           *Metrics
+
+	seqs       map[int]uint64
+	consumed   uint64
+	sent       uint64
+	lost       uint64
+	abandoned  uint64
+	dials      uint64
+	connects   uint64
+	reconnects uint64
+	timeouts   uint64
+	spillPeak  int
+	lostByRank map[int]uint64
+}
+
+// NewResilientClient starts a client that ships batches through
+// connections obtained from dial. The single writer goroutine runs
+// until Close.
+func NewResilientClient(dial Dialer, opt ResilientOptions) *ResilientClient {
+	def := DefaultResilientOptions()
+	if opt.BackoffBase <= 0 {
+		opt.BackoffBase = def.BackoffBase
+	}
+	if opt.BackoffMax <= 0 {
+		opt.BackoffMax = def.BackoffMax
+	}
+	if opt.MaxSpill <= 0 {
+		opt.MaxSpill = def.MaxSpill
+	}
+	c := &ResilientClient{
+		dial:       dial,
+		opt:        opt,
+		clock:      opt.Clock,
+		rand:       opt.Rand,
+		closeCh:    make(chan struct{}),
+		done:       make(chan struct{}),
+		seqs:       make(map[int]uint64),
+		lostByRank: make(map[int]uint64),
+	}
+	if c.clock == nil {
+		c.clock = realClock{}
+	}
+	if c.rand == nil {
+		c.rand = rand.Float64
+	}
+	c.cond = sync.NewCond(&c.mu)
+	go c.writeLoop()
+	return c
+}
+
+// SetMetrics mirrors the client's counters into a collector metrics
+// surface (layer "net"). Call before traffic for exact mirrors.
+func (c *ResilientClient) SetMetrics(m *Metrics) {
+	c.mu.Lock()
+	c.met = m
+	c.mu.Unlock()
+}
+
+// Consume implements interpose.Sink: it stamps the batch with the
+// rank's next sequence number, encodes it, and enqueues it for the
+// writer. It never blocks on the network. If the spill queue is full
+// the oldest batch not in flight is evicted (or, when that is the only
+// entry, the new batch is rejected) and counted lost.
+func (c *ResilientClient) Consume(rank int, frags []trace.Fragment) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seq := c.seqs[rank]
+	c.seqs[rank] = seq + 1
+	c.consumed++
+	if c.closed {
+		c.abandoned++
+		return
+	}
+	if len(c.queue) >= c.opt.MaxSpill {
+		if c.inFlight && len(c.queue) == 1 {
+			// The only queued batch is mid-write; reject the newcomer.
+			// Its sequence number is already burned, so the server will
+			// see this loss as a gap like any eviction.
+			c.loseLocked(rank)
+			return
+		}
+		victim := 0
+		if c.inFlight {
+			victim = 1
+		}
+		c.loseLocked(c.queue[victim].rank)
+		c.queue = append(c.queue[:victim], c.queue[victim+1:]...)
+	}
+	c.queue = append(c.queue, spillEntry{rank: rank, buf: encodeFrame(rank, seq, frags)})
+	c.noteDepthLocked()
+	c.cond.Signal()
+}
+
+// loseLocked books one lost batch for rank. Caller holds mu.
+func (c *ResilientClient) loseLocked(rank int) {
+	c.lost++
+	c.lostByRank[rank]++
+	if c.met != nil {
+		c.met.NetBatchesLost.Inc()
+	}
+}
+
+// noteDepthLocked refreshes the spill gauges. Caller holds mu.
+func (c *ResilientClient) noteDepthLocked() {
+	d := len(c.queue)
+	if d > c.spillPeak {
+		c.spillPeak = d
+	}
+	if c.met != nil {
+		c.met.NetSpillDepth.Set(int64(d))
+		c.met.NetSpillPeak.Set(int64(c.spillPeak))
+	}
+}
+
+// encodeFrame builds a length-prefixed wire frame around a sequenced
+// batch encoding.
+func encodeFrame(rank int, seq uint64, frags []trace.Fragment) []byte {
+	buf := make([]byte, binary.MaxVarintLen64, binary.MaxVarintLen64+64+len(frags)*32)
+	buf = trace.AppendBatchSeq(buf, rank, seq, frags)
+	payload := len(buf) - binary.MaxVarintLen64
+	var hdr [binary.MaxVarintLen64]byte
+	hn := binary.PutUvarint(hdr[:], uint64(payload))
+	frame := buf[binary.MaxVarintLen64-hn:]
+	copy(frame, hdr[:hn])
+	return frame
+}
+
+// writeLoop is the single writer: it drains the spill queue in order,
+// (re)connecting as needed. A frame is popped only after its write
+// fully succeeds, so a connection that dies mid-frame retransmits the
+// same frame on the next connection — safe, because the server rejects
+// the torn copy, and duplicate-safe for timeout retries because the
+// server dedups by sequence number.
+func (c *ResilientClient) writeLoop() {
+	defer close(c.done)
+	for {
+		c.mu.Lock()
+		for len(c.queue) == 0 && !c.closed {
+			c.cond.Wait()
+		}
+		if c.closed {
+			c.abandoned += uint64(len(c.queue))
+			c.queue = nil
+			c.noteDepthLocked()
+			c.mu.Unlock()
+			return
+		}
+		c.inFlight = true
+		frame := c.queue[0].buf
+		conn := c.conn
+		c.mu.Unlock()
+
+		if conn == nil {
+			if conn = c.connect(); conn == nil {
+				continue // closed during backoff; loop top abandons
+			}
+		}
+		if c.opt.WriteTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(c.opt.WriteTimeout))
+		}
+		_, err := conn.Write(frame)
+
+		c.mu.Lock()
+		c.inFlight = false
+		if err == nil {
+			c.queue = c.queue[1:]
+			c.sent++
+			if c.met != nil {
+				c.met.NetBatchesSent.Inc()
+			}
+			c.noteDepthLocked()
+			c.mu.Unlock()
+			continue
+		}
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			c.timeouts++
+			if c.met != nil {
+				c.met.NetWriteTimeouts.Inc()
+			}
+		}
+		c.conn = nil
+		c.mu.Unlock()
+		conn.Close()
+		// The head frame stays queued and is retried on a new connection.
+	}
+}
+
+// connect dials with jittered exponential backoff until it succeeds or
+// the client closes. It returns the new connection, or nil when closed.
+func (c *ResilientClient) connect() net.Conn {
+	delay := c.opt.BackoffBase
+	for {
+		select {
+		case <-c.closeCh:
+			return nil
+		default:
+		}
+		c.mu.Lock()
+		c.dials++
+		met := c.met
+		c.mu.Unlock()
+		if met != nil {
+			met.NetDials.Inc()
+		}
+		conn, err := c.dial()
+		if err == nil {
+			c.mu.Lock()
+			if c.closed {
+				c.mu.Unlock()
+				conn.Close()
+				return nil
+			}
+			c.conn = conn
+			c.connects++
+			again := c.everConnected
+			c.everConnected = true
+			if again {
+				c.reconnects++
+			}
+			c.mu.Unlock()
+			if met != nil {
+				met.NetConnects.Inc()
+				if again {
+					met.NetReconnects.Inc()
+				}
+			}
+			return conn
+		}
+		d := delay
+		if j := c.opt.Jitter; j > 0 {
+			d = time.Duration(float64(d) * (1 + j*(2*c.rand()-1)))
+		}
+		select {
+		case <-c.clock.After(d):
+		case <-c.closeCh:
+			return nil
+		}
+		delay *= 2
+		if delay > c.opt.BackoffMax {
+			delay = c.opt.BackoffMax
+		}
+	}
+}
+
+// Drain blocks until the spill queue is empty (every consumed batch
+// sent or already counted lost) or timeout elapses, reporting success.
+// Call before Close for a graceful shutdown with zero abandonment.
+func (c *ResilientClient) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		empty := len(c.queue) == 0 && !c.inFlight
+		c.mu.Unlock()
+		if empty {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Close stops the writer and closes any live connection. Batches still
+// queued are counted abandoned, not silently dropped; use Drain first
+// to deliver them.
+func (c *ResilientClient) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	close(c.closeCh)
+	conn := c.conn
+	c.conn = nil
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	if conn != nil {
+		conn.Close() // unblock an in-flight write
+	}
+	<-c.done
+	return nil
+}
+
+// Stats snapshots the loss accounting.
+func (c *ResilientClient) Stats() ResilientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	by := make(map[int]uint64, len(c.lostByRank))
+	for r, n := range c.lostByRank {
+		by[r] = n
+	}
+	return ResilientStats{
+		Consumed:      c.consumed,
+		Sent:          c.sent,
+		Lost:          c.lost,
+		Abandoned:     c.abandoned,
+		Dials:         c.dials,
+		Connects:      c.connects,
+		Reconnects:    c.reconnects,
+		WriteTimeouts: c.timeouts,
+		SpillDepth:    len(c.queue),
+		SpillPeak:     c.spillPeak,
+		LostByRank:    by,
+	}
+}

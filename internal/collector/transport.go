@@ -2,12 +2,16 @@ package collector
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
+	"log"
+	"math"
 	"net"
 	"net/http"
 	"sync"
+	"time"
 
 	"vapro/internal/trace"
 )
@@ -49,21 +53,42 @@ type WireClient struct {
 	err     error
 	scratch []byte
 	n       int64
+	dropped uint64
+	warned  bool
+	met     *Metrics
 }
 
-// NewWireClient wraps conn.
+// NewWireClient wraps conn. For connection ownership, reconnection and
+// bounded spill buffering, use ResilientClient instead.
 func NewWireClient(conn io.WriteCloser) *WireClient {
 	return &WireClient{conn: conn}
+}
+
+// SetMetrics mirrors the client's post-error drop count into a
+// collector metrics surface.
+func (c *WireClient) SetMetrics(m *Metrics) {
+	c.mu.Lock()
+	c.met = m
+	c.mu.Unlock()
 }
 
 // Consume implements interpose.Sink by encoding the batch onto the wire.
 // Transport errors are deliberately swallowed after the first (the
 // client library must never take the application down); Err reports the
-// sticky error.
+// sticky error, and every batch discarded after it is counted in
+// Dropped — silent loss was a bug, accounted loss is the contract.
 func (c *WireClient) Consume(rank int, frags []trace.Fragment) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.err != nil {
+		c.dropped++
+		if c.met != nil {
+			c.met.WireClientDrops.Inc()
+		}
+		if !c.warned {
+			c.warned = true
+			log.Printf("vapro: wire client disabled after error (%v); dropping batches", c.err)
+		}
 		return
 	}
 	// Build the whole frame in one buffer so short writes can't
@@ -86,6 +111,14 @@ func (c *WireClient) Err() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.err
+}
+
+// Dropped returns how many batches were discarded after the sticky
+// error disabled the client.
+func (c *WireClient) Dropped() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
 }
 
 // BytesOut returns the total bytes written (payload plus frame headers).
@@ -125,23 +158,32 @@ type WireServer struct {
 	sink interface {
 		Consume(rank int, frags []trace.Fragment)
 	}
-	sized sizedSink // non-nil when sink implements sizedSink
+	sized sizedSink   // non-nil when sink implements sizedSink
+	seq   *SeqTracker // non-nil when sink implements seqStater
 	met   *Metrics
 	mln   net.Listener // metrics HTTP listener, if serving
 	wg    sync.WaitGroup
 
 	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	drain   time.Duration
 	batches int
 	err     error
 }
 
+// defaultDrainTimeout bounds Close's wait for in-flight connections.
+const defaultDrainTimeout = 5 * time.Second
+
 // ServeWire starts accepting on ln and decoding into sink until ln is
-// closed. Call Wait to block until every connection drains.
+// closed. Call Close (or Shutdown) to stop and drain.
 func ServeWire(ln net.Listener, sink interface {
 	Consume(rank int, frags []trace.Fragment)
 }) *WireServer {
-	s := &WireServer{ln: ln, sink: sink}
+	s := &WireServer{ln: ln, sink: sink, conns: make(map[net.Conn]struct{}), drain: defaultDrainTimeout}
 	s.sized, _ = sink.(sizedSink)
+	if ss, ok := sink.(seqStater); ok {
+		s.seq = ss.SeqState()
+	}
 	if mp, ok := sink.(metricsProvider); ok {
 		s.met = mp.Metrics()
 	}
@@ -151,6 +193,14 @@ func ServeWire(ln net.Listener, sink interface {
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
+}
+
+// SetDrainTimeout bounds how long Close waits for in-flight
+// connections before force-closing them.
+func (s *WireServer) SetDrainTimeout(d time.Duration) {
+	s.mu.Lock()
+	s.drain = d
+	s.mu.Unlock()
 }
 
 // Metrics returns the surface the server counts into — the sink's own
@@ -178,10 +228,16 @@ func (s *WireServer) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
 		}()
 	}
 }
@@ -228,12 +284,36 @@ func (s *WireServer) serveConn(conn net.Conn) {
 			s.setErr(err)
 			return
 		}
-		rank, frags, err := trace.DecodeBatch(payload)
+		meta, frags, err := trace.DecodeBatchMeta(payload)
 		if err != nil {
 			s.met.WireDecodeErrors.Inc()
 			s.met.WireFramesRejected.Inc()
 			s.setErr(err)
 			return
+		}
+		rank := meta.Rank
+		if meta.HasSeq && s.seq != nil {
+			// Sequence accounting: gaps are batches that died with a
+			// connection or were evicted client-side; duplicates are
+			// retransmits whose original arrived (e.g. a write deadline
+			// fired on a live link) and must not be delivered twice.
+			minStart, maxEnd := int64(math.MaxInt64), int64(math.MinInt64)
+			for i := range frags {
+				if frags[i].Start < minStart {
+					minStart = frags[i].Start
+				}
+				if e := frags[i].Start + frags[i].Elapsed; e > maxEnd {
+					maxEnd = e
+				}
+			}
+			deliver, gap := s.seq.Observe(rank, meta.Seq, minStart, maxEnd)
+			if gap > 0 {
+				s.met.WireSeqGaps.Add(gap)
+			}
+			if !deliver {
+				s.met.WireDups.Inc()
+				continue
+			}
 		}
 		if s.sized != nil {
 			s.sized.ConsumeSized(rank, frags, len(payload))
@@ -266,9 +346,11 @@ func readPayload(br *bufio.Reader, buf []byte, size int) ([]byte, error) {
 	return buf, nil
 }
 
-// Close stops accepting (wire and metrics listeners) and waits for
-// in-flight connections.
-func (s *WireServer) Close() error {
+// Shutdown stops accepting (wire and metrics listeners) and waits for
+// in-flight connections to drain. When ctx expires first, remaining
+// connections are force-closed and the wait completes — a hung client
+// can no longer leak serveConn goroutines past Close.
+func (s *WireServer) Shutdown(ctx context.Context) error {
 	err := s.ln.Close()
 	s.mu.Lock()
 	mln := s.mln
@@ -276,9 +358,41 @@ func (s *WireServer) Close() error {
 	if mln != nil {
 		_ = mln.Close()
 	}
-	s.wg.Wait()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
 	return err
 }
+
+// Close is Shutdown bounded by the drain timeout (SetDrainTimeout).
+func (s *WireServer) Close() error {
+	s.mu.Lock()
+	d := s.drain
+	s.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
+
+// SeqGaps returns the batches inferred lost from sequence gaps, and
+// Dups the duplicates suppressed. Both count into the sink's tracker
+// when it has one, so the totals survive server restarts.
+func (s *WireServer) SeqGaps() uint64 { return s.met.WireSeqGaps.Load() }
+
+// Dups returns the duplicate batches suppressed by sequence tracking.
+func (s *WireServer) Dups() uint64 { return s.met.WireDups.Load() }
 
 // Batches returns how many batches were decoded.
 func (s *WireServer) Batches() int {

@@ -41,10 +41,7 @@ func TestWireTransportRoundTrip(t *testing.T) {
 	}
 
 	// Wait for the server to drain.
-	deadline := time.Now().Add(5 * time.Second)
-	for pool.FragmentCount() < 20 && time.Now().Before(deadline) {
-		time.Sleep(5 * time.Millisecond)
-	}
+	waitUntil(5*time.Second, func() bool { return pool.FragmentCount() >= 20 })
 	srv.Close()
 
 	if got := pool.FragmentCount(); got != 20 {
@@ -94,11 +91,7 @@ func TestWireServerHostileFrame(t *testing.T) {
 	}
 	conn.Close()
 
-	deadline := time.Now().Add(5 * time.Second)
-	for srv.Err() == nil && time.Now().Before(deadline) {
-		time.Sleep(2 * time.Millisecond)
-	}
-	if srv.Err() == nil {
+	if !waitUntil(5*time.Second, func() bool { return srv.Err() != nil }) {
 		t.Fatal("hostile frame not rejected")
 	}
 	if got := pool.FragmentCount(); got != 0 {
@@ -125,9 +118,7 @@ func TestWireServerHostileFrame(t *testing.T) {
 	c := NewWireClient(conn3)
 	c.Consume(0, []trace.Fragment{frag(0, 0, 500)})
 	c.Close()
-	for pool.FragmentCount() < 1 && time.Now().Before(deadline) {
-		time.Sleep(2 * time.Millisecond)
-	}
+	waitUntil(5*time.Second, func() bool { return pool.FragmentCount() >= 1 })
 	srv.Close()
 	if got := pool.FragmentCount(); got != 1 {
 		t.Fatalf("server stopped serving after hostile frames: %d fragments", got)
@@ -190,10 +181,7 @@ func TestWireFragmentFidelity(t *testing.T) {
 	c.Consume(0, []trace.Fragment{want})
 	c.Close()
 
-	deadline := time.Now().Add(5 * time.Second)
-	for pool.FragmentCount() < 1 && time.Now().Before(deadline) {
-		time.Sleep(5 * time.Millisecond)
-	}
+	waitUntil(5*time.Second, func() bool { return pool.FragmentCount() >= 1 })
 	srv.Close()
 
 	g := pool.Graph()

@@ -39,6 +39,19 @@ type Options struct {
 	// the sequential reference path. The result is identical at any
 	// setting (elements are sharded and merged in deterministic order).
 	Parallelism int
+	// Outages are known per-rank data-loss intervals (from the wire
+	// transport's sequence-gap accounting). Heat-map cells they cover
+	// are marked stale: a rank that went silent because its batches were
+	// lost must not be read as fast or slow there, and stale cells never
+	// seed or join variance regions.
+	Outages []Outage
+}
+
+// Outage is one rank's data-loss interval in virtual time: batches
+// covering [Start, End) ns were sent but never delivered.
+type Outage struct {
+	Rank       int
+	Start, End int64
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -122,10 +135,53 @@ type HeatMap struct {
 	Origin  sim.Time
 	// Cells is row-major: Cells[rank*Windows + win].
 	Cells []float64
+	// Stale marks cells covered by a known data-loss interval (nil when
+	// no outages were reported). Same row-major layout as Cells. A stale
+	// cell is neither fast nor slow — the rank's data for that span was
+	// lost in transit — so it is excluded from region growing and
+	// rendered distinctly.
+	Stale []bool
 }
 
 // At returns the cell value (NaN if empty).
 func (h *HeatMap) At(rank, win int) float64 { return h.Cells[rank*h.Windows+win] }
+
+// StaleAt reports whether the cell lies in a known data-loss interval.
+func (h *HeatMap) StaleAt(rank, win int) bool {
+	return h.Stale != nil && h.Stale[rank*h.Windows+win]
+}
+
+// markStale flags every cell an outage interval touches. Zero-length
+// outages (loss at a rank's high-water mark with no later data yet)
+// mark the single cell containing their start.
+func (h *HeatMap) markStale(outages []Outage) {
+	for _, o := range outages {
+		if o.Rank < 0 || o.Rank >= h.Ranks {
+			continue
+		}
+		end := o.End
+		if end <= o.Start {
+			end = o.Start + 1
+		}
+		w0 := int((o.Start - int64(h.Origin)) / int64(h.Window))
+		w1 := int((end - 1 - int64(h.Origin)) / int64(h.Window))
+		if w1 < 0 || w0 >= h.Windows {
+			continue
+		}
+		if w0 < 0 {
+			w0 = 0
+		}
+		if w1 >= h.Windows {
+			w1 = h.Windows - 1
+		}
+		if h.Stale == nil {
+			h.Stale = make([]bool, len(h.Cells))
+		}
+		for w := w0; w <= w1; w++ {
+			h.Stale[o.Rank*h.Windows+w] = true
+		}
+	}
+}
 
 // Region is a contiguous low-performance area found by region growing.
 type Region struct {
@@ -386,6 +442,7 @@ func (a *Analyzer) run(g *stg.Graph, ranks int, opt Options, start, end, origin 
 		if h == nil {
 			return
 		}
+		h.markStale(opt.Outages)
 		maps[c] = h
 		regions[c] = growRegions(h, samples, opt)
 	})
@@ -534,6 +591,7 @@ func MapAndRegions(class Class, samples []Sample, ranks int, opt Options) (*Heat
 	if h == nil {
 		return nil, nil
 	}
+	h.markStale(opt.Outages)
 	return h, growRegions(h, samples, opt)
 }
 
@@ -614,6 +672,9 @@ func buildHeatMap(class Class, samples []Sample, ranks int, window sim.Duration,
 // aggregates their bounding boxes and losses.
 func growRegions(h *HeatMap, samples []Sample, opt Options) []Region {
 	low := func(r, w int) bool {
+		if h.StaleAt(r, w) {
+			return false // lost data is neither fast nor slow
+		}
 		v := h.At(r, w)
 		return !math.IsNaN(v) && v < opt.Threshold
 	}

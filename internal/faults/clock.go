@@ -1,0 +1,135 @@
+// Package faults is the chaos harness for the collection plane: a
+// deterministic fake clock plus programmable failure injectors for the
+// wire transport (scripted connection resets, partial writes, injected
+// latency, byte corruption, accept-then-hang listeners, flaky dialers
+// and batch-dropping sinks). Production code never imports this
+// package; the resilient client and the soak tests drive their timing
+// and failure schedules through it so every retry/backoff path is
+// testable without wall-clock sleeps.
+package faults
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock is the injectable time source the resilient transport runs on.
+// It is structurally identical to collector.Clock so implementations
+// here satisfy it without an import cycle.
+type Clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real is the wall clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// waiter is one pending After call.
+type waiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// FakeClock is a deterministic, manually advanced clock. After
+// registers a waiter that fires when Advance moves the clock past its
+// deadline; waiters fire in deadline order, ties in registration order,
+// so a schedule replays identically every run.
+type FakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []waiter
+	reqs    []time.Duration
+}
+
+// NewFakeClock starts at a fixed epoch (2000-01-01 UTC); the absolute
+// value is irrelevant, only deltas matter.
+func NewFakeClock() *FakeClock {
+	return &FakeClock{now: time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After implements Clock. Non-positive durations fire immediately.
+// Every requested duration is logged (see Requested) so tests can pin
+// an exact backoff schedule without observing real time at all.
+func (c *FakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reqs = append(c.reqs, d)
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- c.now
+		return ch
+	}
+	c.waiters = append(c.waiters, waiter{at: c.now.Add(d), ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward and fires every waiter whose deadline
+// has passed, in deadline order.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	now := c.now
+	var due []waiter
+	rest := c.waiters[:0]
+	for _, w := range c.waiters {
+		if !w.at.After(now) {
+			due = append(due, w)
+		} else {
+			rest = append(rest, w)
+		}
+	}
+	c.waiters = rest
+	c.mu.Unlock()
+	sort.SliceStable(due, func(i, j int) bool { return due[i].at.Before(due[j].at) })
+	for _, w := range due {
+		w.ch <- now
+	}
+}
+
+// Waiters returns how many After calls are pending.
+func (c *FakeClock) Waiters() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.waiters)
+}
+
+// Requested returns a copy of every duration passed to After, in call
+// order — the observable backoff schedule.
+func (c *FakeClock) Requested() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]time.Duration, len(c.reqs))
+	copy(out, c.reqs)
+	return out
+}
+
+// BlockUntilWaiters polls (with short real sleeps) until at least n
+// waiters are pending or the real-time timeout elapses. It is the
+// test-side rendezvous with a goroutine that is about to sleep on the
+// fake clock.
+func (c *FakeClock) BlockUntilWaiters(n int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if c.Waiters() >= n {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

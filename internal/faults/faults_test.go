@@ -1,0 +1,240 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"vapro/internal/trace"
+)
+
+func TestFakeClockFiresInOrder(t *testing.T) {
+	c := NewFakeClock()
+	a := c.After(10 * time.Millisecond)
+	b := c.After(5 * time.Millisecond)
+	if c.Waiters() != 2 {
+		t.Fatalf("waiters = %d, want 2", c.Waiters())
+	}
+	c.Advance(5 * time.Millisecond)
+	select {
+	case <-b:
+	default:
+		t.Fatal("5ms waiter did not fire after 5ms advance")
+	}
+	select {
+	case <-a:
+		t.Fatal("10ms waiter fired early")
+	default:
+	}
+	c.Advance(5 * time.Millisecond)
+	select {
+	case <-a:
+	default:
+		t.Fatal("10ms waiter did not fire after 10ms total")
+	}
+	got := c.Requested()
+	if len(got) != 2 || got[0] != 10*time.Millisecond || got[1] != 5*time.Millisecond {
+		t.Fatalf("requested log = %v", got)
+	}
+}
+
+func TestFakeClockImmediateAndNow(t *testing.T) {
+	c := NewFakeClock()
+	start := c.Now()
+	select {
+	case <-c.After(0):
+	default:
+		t.Fatal("After(0) must fire immediately")
+	}
+	c.Advance(3 * time.Second)
+	if got := c.Now().Sub(start); got != 3*time.Second {
+		t.Fatalf("advanced %v, want 3s", got)
+	}
+}
+
+// pipeEnds returns a connected pipe pair.
+func pipeEnds() (net.Conn, net.Conn) { return net.Pipe() }
+
+// readAll drains n bytes from conn into a buffer on a goroutine.
+func readAll(t *testing.T, conn net.Conn, out *bytes.Buffer, done chan<- struct{}) {
+	t.Helper()
+	go func() {
+		defer close(done)
+		buf := make([]byte, 1024)
+		for {
+			n, err := conn.Read(buf)
+			out.Write(buf[:n])
+			if err != nil {
+				return
+			}
+		}
+	}()
+}
+
+func TestConnScriptPartialResetCorrupt(t *testing.T) {
+	cli, srv := pipeEnds()
+	var got bytes.Buffer
+	done := make(chan struct{})
+	readAll(t, srv, &got, done)
+
+	c := Wrap(cli, nil,
+		Reset(),                      // write 1: nothing through, ErrInjected
+		Partial(3),                   // write 2: 3 bytes through, then fail
+		WriteOp{Pass: -1, XOR: 0xFF}, // write 3: all through, corrupted
+	)
+	if n, err := c.Write([]byte("hello")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("reset write: n=%d err=%v", n, err)
+	}
+	if n, err := c.Write([]byte("world")); n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("partial write: n=%d err=%v", n, err)
+	}
+	if n, err := c.Write([]byte{0x0F}); n != 1 || err != nil {
+		t.Fatalf("corrupt write: n=%d err=%v", n, err)
+	}
+	// Script exhausted: passes through clean.
+	if n, err := c.Write([]byte("ok")); n != 2 || err != nil {
+		t.Fatalf("post-script write: n=%d err=%v", n, err)
+	}
+	c.Close()
+	srv.Close()
+	<-done
+	want := []byte{'w', 'o', 'r', 0xF0, 'o', 'k'}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("server saw %q, want %q", got.Bytes(), want)
+	}
+	if c.Writes() != 4 {
+		t.Fatalf("writes = %d, want 4", c.Writes())
+	}
+}
+
+func TestConnDelayWaitsOnClock(t *testing.T) {
+	clock := NewFakeClock()
+	cli, srv := pipeEnds()
+	var got bytes.Buffer
+	done := make(chan struct{})
+	readAll(t, srv, &got, done)
+
+	c := Wrap(cli, clock, WriteOp{Delay: 50 * time.Millisecond, Pass: -1})
+	wrote := make(chan error, 1)
+	go func() {
+		_, err := c.Write([]byte("x"))
+		wrote <- err
+	}()
+	if !clock.BlockUntilWaiters(1, 2*time.Second) {
+		t.Fatal("delayed write never waited on the clock")
+	}
+	select {
+	case err := <-wrote:
+		t.Fatalf("write completed before the clock advanced: %v", err)
+	default:
+	}
+	clock.Advance(50 * time.Millisecond)
+	if err := <-wrote; err != nil {
+		t.Fatalf("delayed write failed: %v", err)
+	}
+	c.Close()
+	srv.Close()
+	<-done
+}
+
+func TestConnHangUnblocksOnClose(t *testing.T) {
+	cli, srv := pipeEnds()
+	defer srv.Close()
+	c := Wrap(cli, nil, WriteOp{Hang: true})
+	wrote := make(chan error, 1)
+	go func() {
+		_, err := c.Write([]byte("x"))
+		wrote <- err
+	}()
+	select {
+	case err := <-wrote:
+		t.Fatalf("hung write returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	c.Close()
+	if err := <-wrote; !errors.Is(err, ErrInjected) {
+		t.Fatalf("hung write error = %v", err)
+	}
+}
+
+func TestHangConnAndListener(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := NewListener(ln, Hang)
+	defer fl.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := fl.Accept()
+		if err == nil {
+			accepted <- conn
+		}
+	}()
+	cli, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	srvConn := <-accepted
+	readDone := make(chan error, 1)
+	go func() {
+		_, err := srvConn.Read(make([]byte, 1))
+		readDone <- err
+	}()
+	if _, err := cli.Write([]byte("frame")); err != nil {
+		t.Fatal(err) // small write lands in kernel buffers even if hung
+	}
+	select {
+	case err := <-readDone:
+		t.Fatalf("hung conn read returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	srvConn.Close()
+	if err := <-readDone; !errors.Is(err, ErrInjected) {
+		t.Fatalf("hung read error = %v", err)
+	}
+}
+
+func TestFlakyDialer(t *testing.T) {
+	wantErr := errors.New("down")
+	dials := 0
+	d := FlakyDialer(2, wantErr, func() (net.Conn, error) {
+		dials++
+		c, _ := net.Pipe()
+		return c, nil
+	})
+	for i := 0; i < 2; i++ {
+		if _, err := d(); !errors.Is(err, wantErr) {
+			t.Fatalf("dial %d: err = %v, want %v", i, err, wantErr)
+		}
+	}
+	conn, err := d()
+	if err != nil || conn == nil {
+		t.Fatalf("third dial: %v", err)
+	}
+	conn.Close()
+	if dials != 1 {
+		t.Fatalf("next dialer called %d times, want 1", dials)
+	}
+}
+
+type countSink struct{ batches, frags int }
+
+func (s *countSink) Consume(rank int, frags []trace.Fragment) {
+	s.batches++
+	s.frags += len(frags)
+}
+
+func TestFlakySinkAccounting(t *testing.T) {
+	var next countSink
+	s := NewFlakySink(&next, func(i int) bool { return i%2 == 1 })
+	for i := 0; i < 10; i++ {
+		s.Consume(0, []trace.Fragment{{Rank: 0, Start: int64(i)}})
+	}
+	if next.batches != 5 || s.Dropped() != 5 {
+		t.Fatalf("delivered %d dropped %d, want 5/5", next.batches, s.Dropped())
+	}
+}

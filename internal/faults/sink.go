@@ -1,0 +1,54 @@
+package faults
+
+import (
+	"sync"
+
+	"vapro/internal/trace"
+)
+
+// Sink is the batch consumer shape shared with interpose.Sink, declared
+// locally so the harness stays import-light.
+type Sink interface {
+	Consume(rank int, frags []trace.Fragment)
+}
+
+// FlakySink wraps a Sink with a scripted drop pattern: batch i (0-based,
+// across all ranks) is dropped when Drop returns true for it. Dropped
+// batches are counted — the harness itself obeys the accounting rule it
+// exists to test.
+type FlakySink struct {
+	next Sink
+	drop func(i int) bool
+
+	mu      sync.Mutex
+	seen    int
+	dropped int
+}
+
+// NewFlakySink wraps next; drop decides per arrival index. A nil drop
+// passes everything.
+func NewFlakySink(next Sink, drop func(i int) bool) *FlakySink {
+	return &FlakySink{next: next, drop: drop}
+}
+
+// Consume implements Sink.
+func (s *FlakySink) Consume(rank int, frags []trace.Fragment) {
+	s.mu.Lock()
+	i := s.seen
+	s.seen++
+	dropping := s.drop != nil && s.drop(i)
+	if dropping {
+		s.dropped++
+	}
+	s.mu.Unlock()
+	if !dropping && s.next != nil {
+		s.next.Consume(rank, frags)
+	}
+}
+
+// Dropped returns how many batches the script swallowed.
+func (s *FlakySink) Dropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}

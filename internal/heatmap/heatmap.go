@@ -70,8 +70,13 @@ func Render(h *detect.HeatMap, opt Options) string {
 		fmt.Fprintf(&b, "%5d |", r0)
 		for c0 := 0; c0 < cols; c0 += cStep {
 			worst := math.NaN()
+			stale := false
 			for r := r0; r < r0+rStep && r < rows; r++ {
 				for c := c0; c < c0+cStep && c < cols; c++ {
+					if h.StaleAt(r, c) {
+						stale = true
+						continue
+					}
 					v := h.At(r, c)
 					if math.IsNaN(v) {
 						continue
@@ -81,7 +86,14 @@ func Render(h *detect.HeatMap, opt Options) string {
 					}
 				}
 			}
-			b.WriteRune(glyph(worst))
+			// Stale dominates: a block covering lost data is flagged even
+			// if neighboring cells in the block carried samples — the
+			// reader must know this area cannot be trusted either way.
+			if stale {
+				b.WriteRune('!')
+			} else {
+				b.WriteRune(glyph(worst))
+			}
 		}
 		b.WriteString("|\n")
 	}
@@ -90,7 +102,7 @@ func Render(h *detect.HeatMap, opt Options) string {
 		for i, g := range shades {
 			fmt.Fprintf(&b, "'%c'≈%.2f ", g, float64(i)/float64(len(shades)-1))
 		}
-		b.WriteString("'?'=no data\n")
+		b.WriteString("'?'=no data '!'=stale (data lost in transit)\n")
 	}
 	return b.String()
 }

@@ -85,3 +85,28 @@ func TestRenderRegions(t *testing.T) {
 		t.Fatalf("empty regions: %q", empty)
 	}
 }
+
+func TestRenderStaleCells(t *testing.T) {
+	// A stale cell renders '!' even when it carries a (untrustworthy)
+	// value, and staleness dominates a downsampled block.
+	h := grid(2, 4, 1.0)
+	h.Cells[1*4+2] = 0.3 // rank 1, window 2: slow-looking...
+	h.Stale = make([]bool, len(h.Cells))
+	h.Stale[1*4+2] = true // ...but the data there was lost in transit
+	out := Render(h, Options{MaxRows: 4, MaxCols: 8, ShowLegend: true})
+	rows := strings.Split(out, "\n")
+	body := rows[2]
+	body = body[strings.Index(body, "|")+1 : strings.LastIndex(body, "|")]
+	if body != "  ! " {
+		t.Fatalf("stale row rendered %q, want \"  ! \"", body)
+	}
+	if !strings.Contains(out, "'!'=stale") {
+		t.Fatalf("legend missing stale entry:\n%s", out)
+	}
+	// Rank 0 untouched.
+	top := rows[1]
+	top = top[strings.Index(top, "|")+1 : strings.LastIndex(top, "|")]
+	if strings.ContainsRune(top, '!') {
+		t.Fatalf("stale leaked to rank 0: %q", top)
+	}
+}

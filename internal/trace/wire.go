@@ -27,6 +27,13 @@ import (
 // wireVersion is bumped on incompatible format changes.
 const wireVersion = 1
 
+// wireVersionSeq is the sequenced variant: identical to version 1 plus
+// a per-rank batch sequence number after the rank, stamped by the
+// resilient client so the server can account for lost and duplicated
+// batches exactly (gaps in the sequence are batches that died with a
+// connection or were evicted from a client's spill queue).
+const wireVersionSeq = 2
+
 // wireMagic is the first byte of every encoded batch.
 const wireMagic = 'V'
 
@@ -82,6 +89,21 @@ func setCounterLanes(c *CountersView, l [numCounterLanes]uint64) {
 func AppendBatch(dst []byte, rank int, frags []Fragment) []byte {
 	dst = append(dst, wireMagic, wireVersion)
 	dst = binary.AppendUvarint(dst, uint64(rank))
+	return appendFrags(dst, rank, frags)
+}
+
+// AppendBatchSeq encodes a sequenced (version 2) batch: the same layout
+// as AppendBatch plus seq, the client's per-rank batch sequence number.
+func AppendBatchSeq(dst []byte, rank int, seq uint64, frags []Fragment) []byte {
+	dst = append(dst, wireMagic, wireVersionSeq)
+	dst = binary.AppendUvarint(dst, uint64(rank))
+	dst = binary.AppendUvarint(dst, seq)
+	return appendFrags(dst, rank, frags)
+}
+
+// appendFrags encodes the version-independent tail of a batch: the
+// fragment count, the state-key dictionary, and the fragment stream.
+func appendFrags(dst []byte, rank int, frags []Fragment) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(frags)))
 
 	// State-key dictionary, first-seen order (From then State per
@@ -265,33 +287,55 @@ func (r *wireReader) bytes(n int) []byte {
 	return b
 }
 
-// DecodeBatch decodes a batch produced by AppendBatch. The whole input
+// BatchMeta is the per-batch header DecodeBatchMeta returns: the
+// client rank plus, for sequenced (version 2) batches, the per-rank
+// sequence number.
+type BatchMeta struct {
+	Rank   int
+	Seq    uint64
+	HasSeq bool
+}
+
+// DecodeBatch decodes a batch produced by AppendBatch or
+// AppendBatchSeq, discarding any sequence metadata. The whole input
 // must be consumed (the transport frames batches with explicit lengths).
 func DecodeBatch(data []byte) (rank int, frags []Fragment, err error) {
+	meta, frags, err := DecodeBatchMeta(data)
+	return meta.Rank, frags, err
+}
+
+// DecodeBatchMeta decodes a batch along with its header metadata.
+func DecodeBatchMeta(data []byte) (meta BatchMeta, frags []Fragment, err error) {
 	r := &wireReader{data: data}
 	if m := r.byte(); r.err == nil && m != wireMagic {
-		return 0, nil, fmt.Errorf("trace: bad batch magic %#x", m)
+		return meta, nil, fmt.Errorf("trace: bad batch magic %#x", m)
 	}
-	if v := r.byte(); r.err == nil && v != wireVersion {
-		return 0, nil, fmt.Errorf("trace: batch version %d, want %d", v, wireVersion)
+	v := r.byte()
+	if r.err == nil && v != wireVersion && v != wireVersionSeq {
+		return meta, nil, fmt.Errorf("trace: batch version %d, want %d or %d", v, wireVersion, wireVersionSeq)
 	}
-	rank = int(r.uvarint())
+	rank := int(r.uvarint())
+	meta.Rank = rank
+	if v == wireVersionSeq {
+		meta.Seq = r.uvarint()
+		meta.HasSeq = true
+	}
 	count := r.uvarint()
 	// A fragment takes ≥ minFragmentWire bytes; this bound rejects absurd
 	// counts before allocating. Division (not count*minFragmentWire) so a
 	// hostile count near 2^64 cannot wrap the comparison.
 	if count > uint64(len(data))/minFragmentWire {
-		return 0, nil, fmt.Errorf("trace: batch claims %d fragments in %d bytes", count, len(data))
+		return meta, nil, fmt.Errorf("trace: batch claims %d fragments in %d bytes", count, len(data))
 	}
 	nkeys := r.uvarint()
 	if nkeys > uint64(len(data))/8 {
-		return 0, nil, fmt.Errorf("trace: batch claims %d keys in %d bytes", nkeys, len(data))
+		return meta, nil, fmt.Errorf("trace: batch claims %d keys in %d bytes", nkeys, len(data))
 	}
 	keys := make([]uint64, nkeys)
 	for i := range keys {
 		keys[i] = binary.LittleEndian.Uint64(r.bytes(8))
 		if r.err != nil {
-			return 0, nil, r.err
+			return meta, nil, r.err
 		}
 	}
 	key := func(idx uint64) uint64 {
@@ -378,12 +422,12 @@ func DecodeBatch(data []byte) (rank int, frags []Fragment, err error) {
 		frags = append(frags, f)
 	}
 	if r.err != nil {
-		return 0, nil, r.err
+		return meta, nil, r.err
 	}
 	if r.pos != len(data) {
-		return 0, nil, fmt.Errorf("trace: %d trailing bytes after batch", len(data)-r.pos)
+		return meta, nil, fmt.Errorf("trace: %d trailing bytes after batch", len(data)-r.pos)
 	}
-	return rank, frags, nil
+	return meta, frags, nil
 }
 
 // sizeBufs recycles the scratch buffer BatchWireSize encodes into, so

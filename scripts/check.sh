@@ -11,7 +11,14 @@ go vet ./...
 go test ./...
 go test -race ./internal/mpi ./internal/collector ./internal/core \
 	./internal/interpose ./internal/detect ./internal/cluster \
-	./internal/obs
+	./internal/obs ./internal/faults
+
+# Chaos stage: the fault-tolerance soak (server killed/restarted 5x
+# under multi-rank load) must hold the exact-loss-accounting invariant
+# (consumed == delivered + sequence gaps) with the race detector on.
+# Runs in well under 30s.
+go test -race -count=2 -timeout 60s -run 'TestChaosSoakServerRestarts' \
+	./internal/collector
 # Bench smoke: one iteration, correctness only — no timing is recorded.
 # Output is kept for the CI artifact upload.
 go test -run xxx -bench 'BenchmarkPoolIngest$|BenchmarkWindowResults' \
@@ -36,6 +43,8 @@ METRICS_ADDR=$(sed -n 's/^metrics=//p' /tmp/vapro-serve.out)
 /tmp/vapro-check status -addr "$METRICS_ADDR" -raw prom >/tmp/vapro-metrics.out
 for name in vapro_uptime_seconds vapro_intake_staged vapro_intake_batches_total \
 	vapro_wire_frames_total vapro_wire_frames_rejected_total \
+	vapro_wire_seq_gaps_total vapro_net_batches_lost_total \
+	vapro_net_reconnects_total vapro_net_spill_depth \
 	vapro_detect_window_ns vapro_cluster_cache_hits \
 	vapro_storage_bytes_per_rank_second; do
 	grep -q "$name" /tmp/vapro-metrics.out || {
