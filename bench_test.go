@@ -260,11 +260,11 @@ func BenchmarkClusterRunCached(b *testing.B) {
 	frags := synthFrags(100_000)
 	c := cluster.NewCache()
 	key := cluster.EdgeKey(trace.EdgeKey{From: 1, To: 2})
-	c.Run(key, 1, frags, cluster.DefaultOptions())
+	c.Run(key, stg.Gen{Count: 1}, frags, cluster.DefaultOptions())
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.Run(key, 1, frags, cluster.DefaultOptions())
+		c.Run(key, stg.Gen{Count: 1}, frags, cluster.DefaultOptions())
 	}
 }
 
@@ -522,3 +522,95 @@ func BenchmarkTracedRunCG16(b *testing.B) {
 		b.ReportMetric(float64(res.Graph.NumFragments()), "fragments")
 	}
 }
+
+// --- steady-state monitor ticks: the incremental analysis plane ---
+
+// tickStream generates the fragment batches of a long-running job in
+// steady state: a fixed element population (a few hot edges plus comm
+// vertices) that every tick extends by a fragment burst. The per-rank
+// virtual clocks advance so window bounds track the stream.
+type tickStream struct {
+	rng    *sim.RNG
+	ranks  int
+	edges  int
+	clocks []int64
+}
+
+func newTickStream(ranks, edges int) *tickStream {
+	return &tickStream{rng: sim.NewRNG(11), ranks: ranks, edges: edges, clocks: make([]int64, ranks)}
+}
+
+func (s *tickStream) next(n int) []trace.Fragment {
+	batch := make([]trace.Fragment, 0, n)
+	for i := 0; i < n; i++ {
+		rank := s.rng.Intn(s.ranks)
+		el := int64(900_000 + s.rng.Intn(200_000))
+		f := trace.Fragment{
+			Rank: rank, Start: s.clocks[rank], Elapsed: el,
+		}
+		if s.rng.Intn(32) == 0 {
+			f.Kind = trace.Comm
+			f.State = uint64(1000 + s.rng.Intn(s.edges))
+			f.Args = trace.Args{Op: "Allreduce", Bytes: 4096}
+		} else {
+			e := s.rng.Intn(s.edges)
+			f.Kind = trace.Comp
+			f.From, f.State = uint64(e+1), uint64(e+2)
+			class := uint64(1+s.rng.Intn(5)) * 1_000_000
+			f.Counters = trace.CountersView{TotIns: class + uint64(s.rng.Intn(1000))}
+		}
+		s.clocks[rank] += el
+		batch = append(batch, f)
+	}
+	return batch
+}
+
+func (s *tickStream) watermark() int64 {
+	min := s.clocks[0]
+	for _, c := range s.clocks[1:] {
+		if c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// benchMonitorTick measures one steady-state analysis tick: a job with
+// `resident` fragments already accumulated appends a 10k-fragment burst
+// and the analyzer re-runs the newest window. The incremental plane
+// merges each element's burst into its persistent sorted order and
+// patches normalization in place; the batch path re-sorts and
+// re-normalizes every element's full population each tick.
+func benchMonitorTick(b *testing.B, disable bool) {
+	const resident = 1_000_000
+	const tick = 10_000
+	const ranks = 32
+	s := newTickStream(ranks, 8)
+	g := stg.New()
+	g.AddBatch(s.next(resident))
+	a := detect.NewAnalyzer()
+	opt := detect.DefaultOptions()
+	opt.DisableIncremental = disable
+	period := int64(500 * sim.Millisecond)
+	wm := s.watermark()
+	a.RunWindow(g, ranks, opt, wm-period, wm) // warm the memoized layer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		batch := s.next(tick)
+		b.StartTimer()
+		g.AddBatch(batch)
+		wm = s.watermark()
+		a.RunWindow(g, ranks, opt, wm-period, wm)
+	}
+}
+
+// BenchmarkMonitorTickIncremental is the per-tick cost with the
+// incremental analysis plane on (the default).
+func BenchmarkMonitorTickIncremental(b *testing.B) { benchMonitorTick(b, false) }
+
+// BenchmarkMonitorTickBatch is the same tick on the batch path
+// (DisableIncremental), the baseline the ≥5x speedup is measured
+// against.
+func BenchmarkMonitorTickBatch(b *testing.B) { benchMonitorTick(b, true) }

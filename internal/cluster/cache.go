@@ -1,16 +1,17 @@
 // Cluster memoization: the analysis layers above (whole-run detection,
 // the online monitor's overlapped windows, diagnosis drill-down) all
 // need the clustering of the same STG edges and vertices. A Cache keys
-// one Result per element on (element identity, fragment-slice version,
-// options), so each clustering is computed once and recomputed only
-// when the element's fragment population actually changed — the
-// incremental behaviour the online monitor relies on.
+// one Result per element on (element identity, generation watermark,
+// options); an unchanged element is a pure hit, an append-only advance
+// (same epoch, grown count) takes the incremental splice in
+// incremental.go, and everything else re-clusters from scratch.
 package cluster
 
 import (
 	"sync"
 	"sync/atomic"
 
+	"vapro/internal/stg"
 	"vapro/internal/trace"
 )
 
@@ -27,51 +28,128 @@ func EdgeKey(k trace.EdgeKey) Key { return Key{IsEdge: true, Edge: k} }
 // VertexKey builds the cache key of an STG vertex.
 func VertexKey(v uint64) Key { return Key{Vertex: v} }
 
+// entry is one element's cached clustering plus its incremental state.
+// mu serializes all access to the fields below it, so concurrent
+// updates of the SAME element are ordered while different elements
+// proceed in parallel (the detection worker pool's access pattern).
 type entry struct {
-	version uint64
-	nfrags  int
-	opt     Options
-	res     Result
+	mu     sync.Mutex
+	have   bool
+	gen    stg.Gen
+	nfrags int
+	opt    Options
+	res    Result
+	inc    *incState
 }
 
 // Cache memoizes per-element clusterings. It is safe for concurrent
 // use; the parallel detection pipeline hits it from its worker pool.
 type Cache struct {
 	mu      sync.RWMutex
-	entries map[Key]entry
+	entries map[Key]*entry
 
-	hits, misses, evictions atomic.Uint64
+	hits, misses, evictions             atomic.Uint64
+	incHits, incFallbacks, staleRejects atomic.Uint64
 }
 
 // NewCache returns an empty cache.
-func NewCache() *Cache { return &Cache{entries: make(map[Key]entry)} }
+func NewCache() *Cache { return &Cache{entries: make(map[Key]*entry)} }
 
-// Run returns the clustering of frags, memoized on (key, version, opt):
-// a cached Result is returned as long as the element's version stamp and
-// fragment count are unchanged and the options match. The returned
-// Result is shared between callers and must be treated as read-only.
-//
-// version must be a stamp that changes whenever the fragment slice
-// changes (stg bumps Edge.Version / Vertex.Version on every append);
-// the fragment count is checked as well as a second guard.
-func (c *Cache) Run(key Key, version uint64, frags []trace.Fragment, opt Options) Result {
-	opt = opt.normalized()
+func (c *Cache) entryFor(key Key) *entry {
 	c.mu.RLock()
-	e, ok := c.entries[key]
+	e := c.entries[key]
 	c.mu.RUnlock()
-	if ok && e.version == version && e.nfrags == len(frags) && e.opt == opt {
+	if e != nil {
+		return e
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e = c.entries[key]; e == nil {
+		e = &entry{}
+		c.entries[key] = e
+	}
+	return e
+}
+
+// RunInc returns the clustering of frags, memoized on (key, gen, opt),
+// plus the Delta relating it to the previous generation's Result.
+//
+// gen must be the element's generation watermark (stg.Edge.Gen /
+// stg.Vertex.Gen): Count is the append-log length, Epoch bumps on any
+// non-append replacement. Three paths:
+//
+//   - unchanged (gen, count, options match): pure hit;
+//   - append-only advance (same epoch, grown count): the incremental
+//     splice, bit-identical to Run by construction and pinned by the
+//     equivalence fuzz; falls back to a full Run when the dirty span
+//     exceeds Options.MaxDirtyRatio or the element left the 1-D path;
+//   - anything else — epoch bump, option change, first sight: full Run.
+//
+// A STALE generation (an older snapshot of the element, from a caller
+// holding an earlier view) is answered with a one-off batch clustering
+// and does not regress the cached state.
+//
+// The returned Result is shared between callers and read-only.
+func (c *Cache) RunInc(key Key, gen stg.Gen, frags []trace.Fragment, opt Options) (Result, Delta) {
+	return c.run(key, gen, frags, opt, true)
+}
+
+// Run is RunInc without the delta, for callers that only consume the
+// clustering itself.
+func (c *Cache) Run(key Key, gen stg.Gen, frags []trace.Fragment, opt Options) Result {
+	res, _ := c.run(key, gen, frags, opt, true)
+	return res
+}
+
+// RunBatch memoizes like RunInc but never takes the incremental path:
+// every generation change pays a full Run. It exists to benchmark the
+// batch plane against the incremental one and as an escape hatch; the
+// results are identical either way.
+func (c *Cache) RunBatch(key Key, gen stg.Gen, frags []trace.Fragment, opt Options) Result {
+	res, _ := c.run(key, gen, frags, opt, false)
+	return res
+}
+
+func (c *Cache) run(key Key, gen stg.Gen, frags []trace.Fragment, opt Options, allowInc bool) (Result, Delta) {
+	opt = opt.normalized()
+	e := c.entryFor(key)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	if e.have && e.gen == gen && e.nfrags == len(frags) && e.opt == opt {
 		c.hits.Add(1)
-		return e.res
+		return e.res, unchangedDelta(gen, len(e.res.Clusters))
+	}
+	if e.have && e.opt == opt && gen.Epoch == e.gen.Epoch && gen.Count < e.gen.Count {
+		// Stale read: compute it on the side, keep the fresher entry.
+		c.staleRejects.Add(1)
+		return Run(frags, opt), Delta{From: gen, Full: true}
+	}
+	if allowInc && e.have && e.opt == opt && e.inc != nil &&
+		gen.Epoch == e.gen.Epoch && gen.Count > e.gen.Count &&
+		uint64(len(frags)) == gen.Count && uint64(e.nfrags) == e.gen.Count {
+		// Append-only advance: Gen.Count is the append-log length, so
+		// frags[e.nfrags:] is exactly what arrived since e.gen.
+		if res, d, ok := e.inc.update(frags, e.res, opt); ok {
+			c.incHits.Add(1)
+			d.From = e.gen
+			e.gen, e.nfrags, e.res = gen, len(frags), res
+			return res, d
+		}
+		c.incFallbacks.Add(1)
 	}
 	c.misses.Add(1)
-	res := Run(frags, opt)
-	c.mu.Lock()
-	if _, had := c.entries[key]; had {
+	if e.have {
 		c.evictions.Add(1) // stale entry replaced by a fresher clustering
 	}
-	c.entries[key] = entry{version: version, nfrags: len(frags), opt: opt, res: res}
-	c.mu.Unlock()
-	return res
+	res := Run(frags, opt)
+	e.have, e.gen, e.nfrags, e.opt, e.res = true, gen, len(frags), opt, res
+	if allowInc {
+		e.inc = newIncState(frags, res, opt)
+	} else {
+		e.inc = nil
+	}
+	return res, Delta{From: gen, Full: true}
 }
 
 // Invalidate drops the cached clustering of one element.
@@ -91,9 +169,25 @@ func (c *Cache) Len() int {
 	return len(c.entries)
 }
 
-// Stats returns the hit/miss counters accumulated so far.
+// Stats returns the hit/miss counters accumulated so far. Hits are
+// unchanged-generation reuses; misses are full re-clusterings
+// (incremental advances count in neither — see IncStats).
 func (c *Cache) Stats() (hits, misses uint64) {
 	return c.hits.Load(), c.misses.Load()
+}
+
+// IncStats returns the incremental-path counters: advances that spliced
+// the previous clustering, and fallbacks where the splice was abandoned
+// (dirty span over MaxDirtyRatio, or a non-1-D element) and a full Run
+// was paid instead.
+func (c *Cache) IncStats() (incHits, incFallbacks uint64) {
+	return c.incHits.Load(), c.incFallbacks.Load()
+}
+
+// StaleRejects returns how many lookups carried an older generation
+// than the cached one and were answered off to the side.
+func (c *Cache) StaleRejects() uint64 {
+	return c.staleRejects.Load()
 }
 
 // Evictions returns how many cached clusterings were discarded — stale

@@ -17,7 +17,10 @@ func cacheFrag(ins uint64) trace.Fragment {
 	}
 }
 
-func TestCacheHitOnUnchangedVersion(t *testing.T) {
+// gen shortens watermark literals in tests: epoch 0, the given count.
+func gen(count int) stg.Gen { return stg.Gen{Count: uint64(count)} }
+
+func TestCacheHitOnUnchangedGeneration(t *testing.T) {
 	c := cluster.NewCache()
 	frags := make([]trace.Fragment, 0, 10)
 	for i := 0; i < 10; i++ {
@@ -26,8 +29,8 @@ func TestCacheHitOnUnchangedVersion(t *testing.T) {
 	key := cluster.EdgeKey(trace.EdgeKey{From: 1, To: 2})
 	opt := cluster.DefaultOptions()
 
-	first := c.Run(key, 10, frags, opt)
-	second := c.Run(key, 10, frags, opt)
+	first := c.Run(key, gen(10), frags, opt)
+	second := c.Run(key, gen(10), frags, opt)
 	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
 		t.Fatalf("stats after warm lookup: hits=%d misses=%d, want 1/1", hits, misses)
 	}
@@ -42,8 +45,8 @@ func TestCacheNormalizesOptions(t *testing.T) {
 	key := cluster.VertexKey(7)
 	// Zero options and the explicit defaults are the same clustering;
 	// they must share one cache entry.
-	c.Run(key, 2, frags, cluster.Options{})
-	c.Run(key, 2, frags, cluster.DefaultOptions())
+	c.Run(key, gen(2), frags, cluster.Options{})
+	c.Run(key, gen(2), frags, cluster.DefaultOptions())
 	if hits, _ := c.Stats(); hits != 1 {
 		t.Fatalf("zero options missed the default-options entry: hits=%d", hits)
 	}
@@ -56,8 +59,8 @@ func TestCacheDistinctOptionsRecompute(t *testing.T) {
 	a := cluster.DefaultOptions()
 	b := cluster.DefaultOptions()
 	b.Threshold = 0.01
-	c.Run(key, 2, frags, a)
-	res := c.Run(key, 2, frags, b)
+	c.Run(key, gen(2), frags, a)
+	res := c.Run(key, gen(2), frags, b)
 	if _, misses := c.Stats(); misses != 2 {
 		t.Fatalf("different options must not hit: misses=%d", misses)
 	}
@@ -70,7 +73,7 @@ func TestCacheInvalidate(t *testing.T) {
 	c := cluster.NewCache()
 	frags := []trace.Fragment{cacheFrag(100)}
 	key := cluster.VertexKey(1)
-	c.Run(key, 1, frags, cluster.DefaultOptions())
+	c.Run(key, gen(1), frags, cluster.DefaultOptions())
 	if c.Len() != 1 {
 		t.Fatalf("cache len %d, want 1", c.Len())
 	}
@@ -78,29 +81,38 @@ func TestCacheInvalidate(t *testing.T) {
 	if c.Len() != 0 {
 		t.Fatalf("cache len %d after invalidate, want 0", c.Len())
 	}
-	c.Run(key, 1, frags, cluster.DefaultOptions())
+	c.Run(key, gen(1), frags, cluster.DefaultOptions())
 	if hits, misses := c.Stats(); hits != 0 || misses != 2 {
 		t.Fatalf("invalidated entry must recompute: hits=%d misses=%d", hits, misses)
 	}
 }
 
-// Evictions count discarded clusterings: stale entries overwritten on
+// Evictions count discarded clusterings: entries overwritten by a full
 // recompute and explicit invalidations of present entries — never cold
-// misses or invalidations of absent keys.
+// misses, invalidations of absent keys, or incremental advances (which
+// evolve the entry rather than discard it).
 func TestCacheEvictions(t *testing.T) {
 	c := cluster.NewCache()
 	frags := []trace.Fragment{cacheFrag(100)}
 	key := cluster.VertexKey(1)
 	opt := cluster.DefaultOptions()
 
-	c.Run(key, 1, frags, opt) // cold miss: nothing evicted
+	c.Run(key, gen(1), frags, opt) // cold miss: nothing evicted
 	if got := c.Evictions(); got != 0 {
 		t.Fatalf("evictions after cold miss: %d", got)
 	}
-	grown := append(frags, cacheFrag(101))
-	c.Run(key, 2, grown, opt) // stale overwrite
+	grown := append(append(make([]trace.Fragment, 0, 2), frags...), cacheFrag(101))
+	c.Run(key, gen(2), grown, opt) // append-only: incremental advance, no discard
+	if got := c.Evictions(); got != 0 {
+		t.Fatalf("evictions after incremental advance: %d, want 0", got)
+	}
+	if incHits, _ := c.IncStats(); incHits != 1 {
+		t.Fatalf("incremental hits: %d, want 1", incHits)
+	}
+	// An epoch bump is a wholesale replacement: the entry is rebuilt.
+	c.Run(key, stg.Gen{Epoch: 1, Count: 2}, grown, opt)
 	if got := c.Evictions(); got != 1 {
-		t.Fatalf("evictions after stale overwrite: %d, want 1", got)
+		t.Fatalf("evictions after epoch bump: %d, want 1", got)
 	}
 	c.Invalidate(key)
 	if got := c.Evictions(); got != 2 {
@@ -112,10 +124,10 @@ func TestCacheEvictions(t *testing.T) {
 	}
 }
 
-// Appending fragments to one STG edge bumps its version and invalidates
-// only that element's cached clustering: the untouched vertex keeps
-// hitting.
-func TestCacheVersionBumpInvalidatesOnlyGrownElement(t *testing.T) {
+// Appending fragments to one STG edge advances its generation and
+// re-clusters only that element (incrementally): the untouched vertex
+// keeps hitting.
+func TestCacheGenerationBumpTouchesOnlyGrownElement(t *testing.T) {
 	g := stg.New()
 	for i := 0; i < 6; i++ {
 		g.Add(trace.Fragment{Rank: 0, Kind: trace.Comp, From: 1, State: 2,
@@ -125,15 +137,15 @@ func TestCacheVersionBumpInvalidatesOnlyGrownElement(t *testing.T) {
 	}
 	e := g.Edge(trace.EdgeKey{From: 1, To: 2})
 	v := g.Vertex(2)
-	if e.Version != 6 || v.Version != 6 {
-		t.Fatalf("versions after 6 appends: edge=%d vertex=%d, want 6/6", e.Version, v.Version)
+	if e.Gen.Count != 6 || v.Gen.Count != 6 {
+		t.Fatalf("gens after 6 appends: edge=%d vertex=%d, want 6/6", e.Gen.Count, v.Gen.Count)
 	}
 
 	c := cluster.NewCache()
 	opt := cluster.DefaultOptions()
 	runBoth := func() {
-		c.Run(cluster.EdgeKey(e.Key), e.Version, e.Fragments, opt)
-		c.Run(cluster.VertexKey(v.Key), v.Version, v.Fragments, opt)
+		c.Run(cluster.EdgeKey(e.Key), e.Gen, e.Fragments, opt)
+		c.Run(cluster.VertexKey(v.Key), v.Gen, v.Fragments, opt)
 	}
 	runBoth() // cold: 2 misses
 	runBoth() // warm: 2 hits
@@ -141,20 +153,22 @@ func TestCacheVersionBumpInvalidatesOnlyGrownElement(t *testing.T) {
 	// Grow only the edge.
 	g.Add(trace.Fragment{Rank: 0, Kind: trace.Comp, From: 1, State: 2,
 		Counters: trace.CountersView{TotIns: 1_000_000}, Elapsed: 100})
-	if e.Version != 7 {
-		t.Fatalf("edge version %d after append, want 7", e.Version)
+	if e.Gen.Count != 7 {
+		t.Fatalf("edge gen %d after append, want 7", e.Gen.Count)
 	}
-	if v.Version != 6 {
-		t.Fatalf("vertex version %d must be untouched", v.Version)
+	if v.Gen.Count != 6 {
+		t.Fatalf("vertex gen %d must be untouched", v.Gen.Count)
 	}
-	runBoth() // edge misses (grew), vertex hits
+	runBoth() // edge advances incrementally, vertex hits
 	hits, misses := c.Stats()
-	if hits != 3 || misses != 3 {
-		t.Fatalf("hits=%d misses=%d, want 3/3 (only the grown edge re-clustered)", hits, misses)
+	incHits, incFallbacks := c.IncStats()
+	if hits != 3 || misses != 2 || incHits != 1 || incFallbacks != 0 {
+		t.Fatalf("hits=%d misses=%d inc=%d/%d, want 3/2/1/0 (only the grown edge re-clustered, incrementally)",
+			hits, misses, incHits, incFallbacks)
 	}
 
-	// The recomputed edge clustering must see the appended fragment.
-	res := c.Run(cluster.EdgeKey(e.Key), e.Version, e.Fragments, opt)
+	// The advanced edge clustering must see the appended fragment.
+	res := c.Run(cluster.EdgeKey(e.Key), e.Gen, e.Fragments, opt)
 	if got := len(res.Assign); got != 7 {
 		t.Fatalf("cached edge clustering covers %d fragments, want 7", got)
 	}

@@ -9,8 +9,9 @@
 package cluster
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 
 	"vapro/internal/trace"
@@ -28,6 +29,14 @@ type Options struct {
 	// UseExtraMetrics adds loads/stores to the computation workload
 	// vector (the paper's optional higher-precision mode).
 	UseExtraMetrics bool
+	// MaxDirtyRatio bounds the incremental re-cluster: when an append
+	// batch forces recomputing more than this fraction of an element's
+	// sorted order, the incremental path abandons the splice and
+	// re-clusters from scratch. 0 means 1.0 — no fallback: even a fully
+	// dirty update is a few linear passes, cheaper than Run's
+	// re-sort, so the bound exists as a safety valve, not a default.
+	// It never changes results, only which path computes them.
+	MaxDirtyRatio float64
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -44,6 +53,9 @@ func (o Options) normalized() Options {
 	}
 	if o.MinFragments <= 0 {
 		o.MinFragments = 5
+	}
+	if o.MaxDirtyRatio <= 0 {
+		o.MaxDirtyRatio = 1.0
 	}
 	return o
 }
@@ -259,8 +271,9 @@ func Run(frags []trace.Fragment, opt Options) Result {
 		}
 		sc.flat = flat
 	}
-	// Line 2: sort by norm.
-	sort.SliceStable(order, func(a, b int) bool { return norms[order[a]] < norms[order[b]] })
+	// Line 2: sort by norm. Stable, so ties keep ascending fragment
+	// index — the canonical order the incremental path reproduces.
+	slices.SortStableFunc(order, func(a, b int) int { return cmp.Compare(norms[a], norms[b]) })
 
 	// Lines 3-7: greedy minimum-norm seeded clusters. Because the
 	// candidates are norm-sorted, all members of a cluster lie in the

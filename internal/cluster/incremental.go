@@ -1,0 +1,402 @@
+// Incremental clustering: the delta path behind Cache.RunInc.
+//
+// The online monitor appends small fragment batches to elements that
+// already hold large resident populations; re-running Algorithm 1 from
+// scratch costs O(total·log total) per tick. For the dominant 1-D
+// TOT_INS population the greedy cut has a structural property that
+// makes a delta recompute possible: once a candidate fails the absorb
+// test, every later (larger-norm) candidate fails it too, so every
+// cluster is a CONTIGUOUS RUN of the norm-sorted order and the next
+// seed is always the first fragment past the previous run. An append
+// therefore only perturbs the runs its insertions land in (plus a
+// bounded cascade to the right, until a recomputed cut lines up with an
+// old one again); everything before the first insertion and after the
+// re-aligned cut is carried over untouched. Between two insertion
+// sites the same re-alignment argument lets the recompute skip ahead:
+// once a cut matches an old cut, the old runs up to the next
+// insertion's predecessor are reproduced verbatim and only the run the
+// insertion lands in is re-run, so a batch scattered across the whole
+// norm range costs the sum of the runs it touches, not the span
+// between its extremes.
+//
+// Bit-identity with Run is non-negotiable (the equivalence fuzz pins
+// it), which dictates two details: the sorted order must be the exact
+// stable order Run produces — ties broken by ascending fragment index,
+// which a backward merge of the old order with the sorted new batch
+// preserves because new fragments always carry the largest indices —
+// and the absorb test must be the exact float expression Run evaluates,
+// norms[cand]-norms[seed] <= seedNorm*Threshold (NOT the algebraically
+// equal norms[cand] <= seedNorm*(1+Threshold), which rounds
+// differently).
+//
+// Multi-dimensional elements (UseExtraMetrics, comm/IO vertices) have
+// no contiguity guarantee and always take the batch path.
+package cluster
+
+import (
+	"cmp"
+	"slices"
+
+	"vapro/internal/stg"
+	"vapro/internal/trace"
+)
+
+// DirtyRun describes one recomputed cluster inside a Delta.
+type DirtyRun struct {
+	// OldIndex is the cluster of the previous Result whose membership
+	// this cluster extends (new members = old members plus the entries
+	// at AddedPos), or -1 when the cluster was rebuilt from fragments
+	// that previously belonged to other clusters.
+	OldIndex int
+	// AddedPos lists, in ascending order, the positions in the new
+	// cluster's Members slice that hold newly appended fragments. Only
+	// meaningful when OldIndex >= 0.
+	AddedPos []int32
+}
+
+// Delta tells a consumer how a Result evolved from the Result of the
+// previous generation, so derived state (normalized series, span
+// indexes) can be patched instead of rebuilt.
+type Delta struct {
+	// From is the generation the delta advances from; a consumer whose
+	// derived state is pinned to a different generation must rebuild.
+	From stg.Gen
+	// Full marks a batch recompute: no structural relationship to the
+	// previous Result is known.
+	Full bool
+	// Prefix: clusters [0, Prefix) are identical to the old clusters at
+	// the same indexes (same members, seed, flags).
+	Prefix int
+	// TailNew/TailOld: new clusters [TailNew, len) equal old clusters
+	// [TailOld, oldLen) member-for-member; only the cluster index
+	// shifted by TailNew-TailOld.
+	TailNew, TailOld int
+	// Dirty has one entry per middle cluster Prefix+i: recomputed runs
+	// and — when the cascade re-aligned between two insertion sites —
+	// old runs carried over verbatim (OldIndex set, empty AddedPos).
+	Dirty []DirtyRun
+	// Ratio is the fraction of the sorted order the recompute spanned.
+	Ratio float64
+}
+
+// unchangedDelta builds the delta of a cache hit: nothing recomputed.
+func unchangedDelta(from stg.Gen, nClusters int) Delta {
+	return Delta{From: from, Prefix: nClusters, TailNew: nClusters, TailOld: nClusters}
+}
+
+// incState is the persistent per-element state behind the incremental
+// path: the norm-sorted order and the cut points of the previous
+// clustering. Guarded by the owning cache entry's mutex.
+type incState struct {
+	// multiD marks an element outside the 1-D fast path; it never
+	// advances incrementally.
+	multiD bool
+	// n is the fragment count the state describes.
+	n     int
+	norms []float64
+	// order is the stable norm-sorted fragment order (Run's line 2).
+	order []int32
+	// runStart[i] is the position in order where cluster i begins;
+	// runStart[len(clusters)] == n. Valid because 1-D clusters are
+	// contiguous runs of the sorted order.
+	runStart []int32
+}
+
+// newIncState captures the incremental state matching a batch Result.
+func newIncState(frags []trace.Fragment, res Result, opt Options) *incState {
+	oneD := !opt.UseExtraMetrics
+	for i := range frags {
+		if frags[i].Kind != trace.Comp {
+			oneD = false
+			break
+		}
+	}
+	if !oneD {
+		return &incState{multiD: true, n: len(frags)}
+	}
+	s := &incState{n: len(frags)}
+	s.norms = make([]float64, len(frags))
+	for i := range frags {
+		s.norms[i] = float64(frags[i].Counters.TotIns)
+	}
+	s.order = make([]int32, 0, len(frags))
+	s.runStart = make([]int32, 0, len(res.Clusters)+1)
+	for ci := range res.Clusters {
+		s.runStart = append(s.runStart, int32(len(s.order)))
+		for _, m := range res.Clusters[ci].Members {
+			s.order = append(s.order, int32(m))
+		}
+	}
+	s.runStart = append(s.runStart, int32(len(s.order)))
+	if len(s.order) != len(frags) {
+		// Defensive: a 1-D clustering assigns every fragment exactly
+		// once; anything else means the state would be corrupt.
+		return &incState{multiD: true, n: len(frags)}
+	}
+	return s
+}
+
+// update advances the state with the appended suffix frags[s.n:] and
+// returns the new Result plus its Delta (Delta.From is filled by the
+// caller). ok=false means the state cannot advance incrementally —
+// non-1-D arrivals, or the dirty span exceeded opt.MaxDirtyRatio — and
+// the caller must re-cluster from scratch; the state is then stale and
+// must be rebuilt with newIncState.
+func (s *incState) update(frags []trace.Fragment, prev Result, opt Options) (Result, Delta, bool) {
+	k := len(frags) - s.n
+	if s.multiD || k <= 0 {
+		return Result{}, Delta{}, false
+	}
+	for i := s.n; i < len(frags); i++ {
+		if frags[i].Kind != trace.Comp {
+			s.multiD = true
+			return Result{}, Delta{}, false
+		}
+	}
+	total := len(frags)
+	for i := s.n; i < total; i++ {
+		s.norms = append(s.norms, float64(frags[i].Counters.TotIns))
+	}
+	norms := s.norms
+
+	// Sort the new batch by norm; stable, so equal norms keep append
+	// order — combined with the tie rule of the merge below this
+	// reproduces Run's stable (norm, fragment index) order exactly.
+	batch := make([]int32, k)
+	for i := range batch {
+		batch[i] = int32(s.n + i)
+	}
+	slices.SortStableFunc(batch, func(a, b int32) int { return cmp.Compare(norms[a], norms[b]) })
+
+	// Merge the batch into the order, in place and from the back. On
+	// equal norms the old fragment takes the earlier slot (its index is
+	// smaller than every new index).
+	s.order = append(s.order, batch...)
+	order := s.order
+	inserted := make([]int32, k) // final positions of the batch, ascending
+	io, ib, w := s.n-1, k-1, total-1
+	for ib >= 0 {
+		if io >= 0 && norms[order[io]] > norms[batch[ib]] {
+			order[w] = order[io]
+			io--
+		} else {
+			order[w] = batch[ib]
+			inserted[ib] = int32(w)
+			ib--
+		}
+		w--
+	}
+
+	// The recompute starts at the run containing the predecessor of the
+	// first insertion: an insertion can extend the preceding run.
+	oldNC := len(prev.Clusters)
+	pmin := int(inserted[0])
+	r0 := 0
+	if pmin > 0 {
+		oldPos := pmin - 1 // position unchanged by the merge: all insertions are at >= pmin
+		lo, hi := 0, oldNC // find the largest r with runStart[r] <= oldPos
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if int(s.runStart[mid]) <= oldPos {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		r0 = lo - 1
+		if r0 < 0 {
+			r0 = 0
+		}
+	}
+	startPos := int(s.runStart[r0]) // no insertions precede it, so old == new coords
+
+	maxSpan := int(opt.MaxDirtyRatio * float64(total))
+	t := opt.Threshold
+	// midRun is one cluster of the middle region [r0, tailOld): either a
+	// greedy-recomputed run or an old run carried over verbatim because
+	// the cascade re-aligned before the next insertion (skip=true).
+	type midRun struct {
+		a, b   int32 // span in the new sorted order
+		oldIdx int32 // skip: the old cluster reproduced verbatim
+		skip   bool
+	}
+	var mids []midRun
+	tailOld := oldNC // old cluster index where the preserved tail begins (oldNC: none)
+	insIdx := 0      // insertions at positions < pos
+	convPtr := r0    // old-run pointer for the convergence check
+	pos := startPos
+	work := 0 // positions actually re-run through the greedy loop
+	for pos < total {
+		// Convergence check: when the current cut lines up with an old
+		// cut, the greedy process — memoryless from a boundary, over an
+		// unchanged span — reproduces the old partition verbatim until
+		// the next insertion. With no insertions left that means the
+		// whole old tail can be spliced; otherwise old runs are carried
+		// over unrecomputed up to the run containing the next
+		// insertion's predecessor (which the insertion may extend, so
+		// the greedy re-run resumes there).
+		op := pos - insIdx // old coordinates of pos
+		for convPtr < oldNC && int(s.runStart[convPtr]) < op {
+			convPtr++
+		}
+		if convPtr < oldNC && int(s.runStart[convPtr]) == op {
+			if insIdx == k {
+				tailOld = convPtr
+				break
+			}
+			opred := int(inserted[insIdx]) - 1 - insIdx
+			rNext := convPtr
+			for rNext+1 < oldNC && int(s.runStart[rNext+1]) <= opred {
+				rNext++
+			}
+			if rNext > convPtr {
+				for r := convPtr; r < rNext; r++ {
+					mids = append(mids, midRun{
+						a:      s.runStart[r] + int32(insIdx),
+						b:      s.runStart[r+1] + int32(insIdx),
+						oldIdx: int32(r),
+						skip:   true,
+					})
+				}
+				convPtr = rNext
+				pos = int(s.runStart[rNext]) + insIdx
+			}
+		}
+		if work > maxSpan {
+			return Result{}, Delta{}, false
+		}
+		// One greedy run, bit-identical to Run's inner loop: in 1-D the
+		// absorbed candidates are exactly the contiguous span where
+		// norms[cand]-norms[seed] <= seedNorm*Threshold (for a zero
+		// seed norm both sides are 0, matching Run's zero special
+		// case).
+		sn := norms[order[pos]]
+		maxDist := sn * t
+		e := pos
+		for e < total && norms[order[e]]-sn <= maxDist {
+			e++
+		}
+		mids = append(mids, midRun{a: int32(pos), b: int32(e)})
+		work += e - pos
+		pos = e
+		for insIdx < k && int(inserted[insIdx]) < pos {
+			insIdx++
+		}
+	}
+
+	// Assemble the new Result, sharing every untouched Cluster struct
+	// with prev (Results are read-only by contract, so aliasing the
+	// immutable Members slices is safe — and what keeps this O(dirty)).
+	tailNew := r0 + len(mids)
+	shift := tailNew - tailOld
+	nc := tailNew + (oldNC - tailOld)
+	clusters := make([]Cluster, 0, nc)
+	clusters = append(clusters, prev.Clusters[:r0]...)
+
+	dirty := make([]DirtyRun, 0, len(mids))
+	ai := 0        // pointer into inserted
+	matchPtr := r0 // old-run pointer for grown-run matching
+	small := prev.Small
+	for i := r0; i < tailOld; i++ {
+		if !prev.Clusters[i].Fixed {
+			small--
+		}
+	}
+	for _, r := range mids {
+		if r.skip {
+			// Carried over verbatim: share the old Cluster struct; the
+			// delta records it as a grown run with nothing added.
+			c := prev.Clusters[r.oldIdx]
+			if !c.Fixed {
+				small++
+			}
+			clusters = append(clusters, c)
+			dirty = append(dirty, DirtyRun{OldIndex: int(r.oldIdx)})
+			if matchPtr <= int(r.oldIdx) {
+				matchPtr = int(r.oldIdx) + 1
+			}
+			continue
+		}
+		insStart := ai
+		for ai < k && inserted[ai] < r.b {
+			ai++
+		}
+		// Old coordinates of the run's non-inserted span: positions
+		// before r.a lost insStart insertions, before r.b lost ai.
+		aOld, bOld := int(r.a)-insStart, int(r.b)-ai
+		oldIdx := -1
+		for matchPtr < tailOld && int(s.runStart[matchPtr]) < aOld {
+			matchPtr++
+		}
+		if bOld > aOld && matchPtr < tailOld &&
+			int(s.runStart[matchPtr]) == aOld && int(s.runStart[matchPtr+1]) == bOld {
+			// The run's surviving members are exactly old cluster
+			// matchPtr: it only grew.
+			oldIdx = matchPtr
+		}
+		members := make([]int, r.b-r.a)
+		for p := r.a; p < r.b; p++ {
+			members[p-r.a] = int(order[p])
+		}
+		c := Cluster{
+			Members:  members,
+			Seed:     int(order[r.a]),
+			SeedNorm: norms[order[r.a]],
+			Fixed:    len(members) >= opt.MinFragments,
+		}
+		if !c.Fixed {
+			small++
+		}
+		clusters = append(clusters, c)
+		var addedPos []int32
+		if oldIdx >= 0 && ai > insStart {
+			addedPos = make([]int32, ai-insStart)
+			for j := insStart; j < ai; j++ {
+				addedPos[j-insStart] = inserted[j] - r.a
+			}
+		}
+		dirty = append(dirty, DirtyRun{OldIndex: oldIdx, AddedPos: addedPos})
+	}
+	clusters = append(clusters, prev.Clusters[tailOld:]...)
+
+	assign := make([]int, total)
+	copy(assign, prev.Assign)
+	for i, r := range mids {
+		ci := r0 + i
+		if r.skip && ci == int(r.oldIdx) {
+			continue // index unchanged, old assignments still correct
+		}
+		for _, m := range clusters[ci].Members {
+			assign[m] = ci
+		}
+	}
+	if shift != 0 {
+		for ci := tailNew; ci < nc; ci++ {
+			for _, m := range clusters[ci].Members {
+				assign[m] = ci
+			}
+		}
+	}
+	res := Result{Clusters: clusters, Assign: assign, Small: small}
+
+	// Commit the state.
+	newRunStart := make([]int32, 0, nc+1)
+	newRunStart = append(newRunStart, s.runStart[:r0]...)
+	for _, r := range mids {
+		newRunStart = append(newRunStart, r.a)
+	}
+	for i := tailOld; i <= oldNC; i++ {
+		newRunStart = append(newRunStart, s.runStart[i]+int32(k))
+	}
+	s.runStart = newRunStart
+	s.n = total
+
+	d := Delta{
+		Prefix:  r0,
+		TailNew: tailNew,
+		TailOld: tailOld,
+		Dirty:   dirty,
+		Ratio:   float64(work) / float64(total),
+	}
+	return res, d, true
+}

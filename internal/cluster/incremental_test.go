@@ -1,0 +1,275 @@
+package cluster_test
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"vapro/internal/cluster"
+	"vapro/internal/stg"
+	"vapro/internal/trace"
+)
+
+// checkDelta verifies the structural claims a non-Full Delta makes
+// about how `got` evolved from `prev`.
+func checkDelta(t *testing.T, sched, burst int, prev, got cluster.Result, d cluster.Delta) {
+	t.Helper()
+	if d.Prefix < 0 || d.Prefix > d.TailNew || d.TailNew > len(got.Clusters) ||
+		d.TailOld > len(prev.Clusters) || d.TailNew-d.Prefix != len(d.Dirty) ||
+		len(got.Clusters)-d.TailNew != len(prev.Clusters)-d.TailOld {
+		t.Fatalf("schedule %d burst %d: inconsistent delta %+v (old %d, new %d clusters)",
+			sched, burst, d, len(prev.Clusters), len(got.Clusters))
+	}
+	for i := 0; i < d.Prefix; i++ {
+		if !reflect.DeepEqual(got.Clusters[i], prev.Clusters[i]) {
+			t.Fatalf("schedule %d burst %d: prefix cluster %d changed", sched, burst, i)
+		}
+	}
+	for i := d.TailNew; i < len(got.Clusters); i++ {
+		if !reflect.DeepEqual(got.Clusters[i], prev.Clusters[i-d.TailNew+d.TailOld]) {
+			t.Fatalf("schedule %d burst %d: tail cluster %d changed", sched, burst, i)
+		}
+	}
+	for di, dr := range d.Dirty {
+		if dr.OldIndex < 0 {
+			continue
+		}
+		if dr.OldIndex < d.Prefix || dr.OldIndex >= d.TailOld {
+			t.Fatalf("schedule %d burst %d: grown run references preserved cluster %d", sched, burst, dr.OldIndex)
+		}
+		nc := got.Clusters[d.Prefix+di]
+		oc := prev.Clusters[dr.OldIndex]
+		kept := make([]int, 0, len(nc.Members))
+		ai := 0
+		for p, m := range nc.Members {
+			if ai < len(dr.AddedPos) && int(dr.AddedPos[ai]) == p {
+				ai++
+				continue
+			}
+			kept = append(kept, m)
+		}
+		if ai != len(dr.AddedPos) || !reflect.DeepEqual(kept, oc.Members) {
+			t.Fatalf("schedule %d burst %d: dirty run %d is not old cluster %d plus AddedPos",
+				sched, burst, di, dr.OldIndex)
+		}
+	}
+}
+
+// TestIncrementalEquivalenceFuzz pins the tentpole guarantee: across
+// randomized append schedules — bursts of varying size, interleaved
+// ranks, out-of-order starts, outage gaps, dense norm ties, values
+// straddling the 5% boundary, zero-norm fragments, occasional non-1-D
+// arrivals, stale reads, and epoch-bump rebases — the incremental path
+// returns results bit-identical (reflect.DeepEqual) to cluster.Run on
+// the same fragment set, and its Deltas accurately describe the
+// evolution.
+func TestIncrementalEquivalenceFuzz(t *testing.T) {
+	schedules := 1200
+	if testing.Short() {
+		schedules = 200
+	}
+	for s := 0; s < schedules; s++ {
+		rng := rand.New(rand.NewSource(int64(7919*s + 13)))
+		opt := cluster.Options{
+			Threshold:     []float64{0, 0.05, 0.2}[rng.Intn(3)],
+			MinFragments:  []int{0, 2, 5}[rng.Intn(3)],
+			MaxDirtyRatio: []float64{0, 0.001, 0.25, 1.0}[rng.Intn(4)],
+		}
+		if rng.Intn(10) == 0 {
+			opt.UseExtraMetrics = true // multi-D: every advance must fall back, still equal
+		}
+		c := cluster.NewCache()
+		key := cluster.EdgeKey(trace.EdgeKey{From: 1, To: 2})
+		frags := make([]trace.Fragment, 0, 512)
+		g := stg.Gen{}
+		now := int64(0)
+		var prev cluster.Result
+		havePrev := false
+		bursts := 2 + rng.Intn(6)
+		for b := 0; b < bursts; b++ {
+			if rng.Intn(12) == 0 {
+				now += int64(rng.Intn(1_000_000)) // outage gap: virtual time jumps
+			}
+			n := 1 + rng.Intn(40)
+			for i := 0; i < n; i++ {
+				f := trace.Fragment{
+					Kind:    trace.Comp,
+					Rank:    rng.Intn(8),
+					Start:   now + int64(rng.Intn(1000)) - 500, // out-of-order arrivals
+					Elapsed: int64(rng.Intn(200)),
+				}
+				switch rng.Intn(6) {
+				case 0:
+					f.Counters.TotIns = 0
+				case 1:
+					f.Counters.TotIns = uint64(1 + rng.Intn(4)) // dense ties
+				default:
+					class := uint64(1+rng.Intn(5)) * 100_000
+					f.Counters.TotIns = class + uint64(rng.Intn(7_000)) // straddles 5%
+				}
+				if rng.Intn(40) == 0 {
+					f.Kind = trace.Comm
+					f.Args = trace.Args{Op: "Send", Bytes: 1024}
+				}
+				frags = append(frags, f)
+				now += int64(rng.Intn(50))
+			}
+			g.Count = uint64(len(frags))
+			got, d := c.RunInc(key, g, frags, opt)
+			want := cluster.Run(frags, opt)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("schedule %d burst %d (n=%d, opt=%+v): incremental clustering diverges from batch",
+					s, b, len(frags), opt)
+			}
+			if !d.Full && havePrev {
+				checkDelta(t, s, b, prev, got, d)
+			}
+			prev, havePrev = got, true
+
+			if rng.Intn(8) == 0 && len(frags) > 5 {
+				// A stale read (older watermark) is answered correctly
+				// and must not corrupt the entry for later advances.
+				m := 1 + rng.Intn(len(frags)-1)
+				sg := stg.Gen{Epoch: g.Epoch, Count: uint64(m)}
+				sres := c.Run(key, sg, frags[:m], opt)
+				if !reflect.DeepEqual(sres, cluster.Run(frags[:m], opt)) {
+					t.Fatalf("schedule %d burst %d: stale read at %d diverges", s, b, m)
+				}
+			}
+			if rng.Intn(10) == 0 {
+				// Rebase: wholesale replacement in a new order. The
+				// epoch bump forces the batch path.
+				rng.Shuffle(len(frags), func(i, j int) { frags[i], frags[j] = frags[j], frags[i] })
+				g.Epoch++
+				got, d := c.RunInc(key, g, frags, opt)
+				if !d.Full {
+					t.Fatalf("schedule %d burst %d: rebase did not take the batch path", s, b)
+				}
+				if !reflect.DeepEqual(got, cluster.Run(frags, opt)) {
+					t.Fatalf("schedule %d burst %d: post-rebase clustering diverges", s, b)
+				}
+				prev = got
+			}
+		}
+	}
+}
+
+func TestCacheStaleGenerationRejected(t *testing.T) {
+	c := cluster.NewCache()
+	opt := cluster.DefaultOptions()
+	frags := make([]trace.Fragment, 0, 20)
+	for i := 0; i < 20; i++ {
+		frags = append(frags, cacheFrag(uint64(100_000+i*200)))
+	}
+	key := cluster.VertexKey(3)
+	c.Run(key, gen(20), frags, opt)
+
+	res := c.Run(key, gen(12), frags[:12], opt)
+	if !reflect.DeepEqual(res, cluster.Run(frags[:12], opt)) {
+		t.Fatal("stale lookup returned a wrong clustering")
+	}
+	if got := c.StaleRejects(); got != 1 {
+		t.Fatalf("stale rejects: %d, want 1", got)
+	}
+	// The fresher entry survived: the original watermark still hits.
+	c.Run(key, gen(20), frags, opt)
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d after stale read, want 1/1", hits, misses)
+	}
+}
+
+// TestCacheDirtyRatioFallback drives a worst-case append with a tiny
+// MaxDirtyRatio: norms form a geometric chain of 2-element clusters
+// (ratio 1.04: each value is within 5% of its neighbor, pairs are not),
+// so inserting one value below the minimum re-pairs EVERY cluster — the
+// cascade never re-aligns with an old cut. The splice must be abandoned
+// for a full re-cluster, and the result stays identical.
+func TestCacheDirtyRatioFallback(t *testing.T) {
+	c := cluster.NewCache()
+	opt := cluster.DefaultOptions()
+	opt.MaxDirtyRatio = 0.01
+	frags := make([]trace.Fragment, 0, 201)
+	v := 100_000.0
+	for i := 0; i < 200; i++ {
+		frags = append(frags, cacheFrag(uint64(v+0.5)))
+		v *= 1.04
+	}
+	key := cluster.VertexKey(9)
+	base := c.Run(key, gen(200), frags, opt)
+	if len(base.Clusters) != 100 {
+		t.Fatalf("geometric chain clustered into %d clusters, want 100 pairs", len(base.Clusters))
+	}
+	frags = append(frags, cacheFrag(96_153)) // just below the old minimum, within 5% of it
+	res := c.Run(key, gen(201), frags, opt)
+	if !reflect.DeepEqual(res, cluster.Run(frags, opt)) {
+		t.Fatal("fallback clustering diverges from batch")
+	}
+	incHits, incFallbacks := c.IncStats()
+	if incHits != 0 || incFallbacks != 1 {
+		t.Fatalf("inc stats %d/%d, want 0 hits / 1 fallback", incHits, incFallbacks)
+	}
+}
+
+// TestCacheConcurrentIncrementalRace exercises concurrent incremental
+// updates against cache reads at mixed (including stale) generations
+// under the race detector; every returned clustering must match the
+// batch path on the same snapshot.
+func TestCacheConcurrentIncrementalRace(t *testing.T) {
+	const total, step = 2000, 40
+	c := cluster.NewCache()
+	opt := cluster.DefaultOptions()
+	rng := rand.New(rand.NewSource(42))
+	frags := make([]trace.Fragment, 0, total)
+	for i := 0; i < total; i++ {
+		frags = append(frags, cacheFrag(uint64(1+rng.Intn(6))*100_000+uint64(rng.Intn(4_000))))
+	}
+	key := cluster.EdgeKey(trace.EdgeKey{From: 4, To: 5})
+	otherKey := cluster.VertexKey(77)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer: advances the element one burst at a time
+		defer wg.Done()
+		for n := step; n <= total; n += step {
+			got, _ := c.RunInc(key, gen(n), frags[:n], opt)
+			if len(got.Assign) != n {
+				t.Errorf("writer at %d: %d assignments", n, len(got.Assign))
+				return
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) { // readers: random snapshots, often stale
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 40; i++ {
+				n := step * (1 + rng.Intn(total/step))
+				got := c.Run(key, gen(n), frags[:n], opt)
+				if !reflect.DeepEqual(got, cluster.Run(frags[:n], opt)) {
+					t.Errorf("reader snapshot %d diverges from batch", n)
+					return
+				}
+				c.Run(otherKey, gen(1), frags[:1], opt) // uncontended element stays hot
+			}
+		}(int64(100 + r))
+	}
+	wg.Wait()
+}
+
+// TestRunAllocsPinned pins the batch hot path's allocation count: the
+// scratch pool keeps the per-call cost to the Result slices themselves.
+func TestRunAllocsPinned(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	frags := make([]trace.Fragment, 0, 8192)
+	for i := 0; i < 8192; i++ {
+		frags = append(frags, cacheFrag(uint64(1+rng.Intn(6))*100_000))
+	}
+	opt := cluster.DefaultOptions()
+	cluster.Run(frags, opt) // warm the scratch pool
+	allocs := testing.AllocsPerRun(10, func() { _ = cluster.Run(frags, opt) })
+	if allocs > 96 {
+		t.Fatalf("cluster.Run allocates %.0f times per call, budget 96", allocs)
+	}
+}

@@ -174,10 +174,14 @@ func (p *Pool) FragmentCount() int {
 
 // mergedView is the incrementally maintained union of every server's
 // STG. Each element's version in the view is the sum of the servers'
-// element versions (= the element's total append count, exactly the
-// version a from-scratch merge would stamp), so a refresh re-concatenates
-// only the elements that actually grew, and an unchanged pool refreshes
-// in O(elements) version checks instead of O(total fragments).
+// element generation counts (= the element's total append count), so a
+// refresh re-concatenates only the elements that actually grew, and an
+// unchanged pool refreshes in O(elements) version checks instead of
+// O(total fragments). Elements held by a single server skip the
+// concatenation entirely and hand the server's own (append-only) slice
+// to the view — PutEdge/PutVertex then see a pointer-verified prefix
+// extension and keep the element's generation epoch, which is what lets
+// the incremental clustering + prep planes stay warm across refreshes.
 type mergedView struct {
 	graph   *stg.Graph
 	edgeVer map[trace.EdgeKey]uint64
@@ -215,7 +219,7 @@ func (p *Pool) refreshView() *stg.Graph {
 				a = &viewAccum{}
 				eacc[e.Key] = a
 			}
-			a.ver += e.Version
+			a.ver += e.Gen.Count
 			a.parts = append(a.parts, e.Fragments[:len(e.Fragments):len(e.Fragments)])
 		}
 		for _, vx := range s.graph.Vertices() {
@@ -227,7 +231,7 @@ func (p *Pool) refreshView() *stg.Graph {
 				a = &viewAccum{kind: vx.Kind}
 				vacc[vx.Key] = a
 			}
-			a.ver += vx.Version
+			a.ver += vx.Gen.Count
 			a.parts = append(a.parts, vx.Fragments[:len(vx.Fragments):len(vx.Fragments)])
 		}
 		s.graph.EachName(v.graph.SetName)
@@ -235,20 +239,30 @@ func (p *Pool) refreshView() *stg.Graph {
 	}
 	for k, a := range eacc {
 		if v.edgeVer[k] != a.ver {
-			v.graph.PutEdge(k, concatParts(a.parts), a.ver)
+			v.graph.PutEdge(k, viewFrags(a.parts))
 			v.edgeVer[k] = a.ver
 		}
 	}
 	for k, a := range vacc {
 		if v.vertVer[k] != a.ver {
-			v.graph.PutVertex(k, a.kind, concatParts(a.parts), a.ver)
+			v.graph.PutVertex(k, a.kind, viewFrags(a.parts))
 			v.vertVer[k] = a.ver
 		}
 	}
 	return v.graph
 }
 
-func concatParts(parts [][]trace.Fragment) []trace.Fragment {
+// viewFrags turns the snapshotted parts into the view's fragment slice.
+// A single part is handed through as-is: the server's slice only ever
+// grows in place (stg appends never mutate the snapshotted prefix), so
+// successive refreshes present Put with a prefix-preserving extension
+// and the element's generation epoch survives. Multi-server elements
+// must interleave-concatenate, which rebuilds the backing array and
+// (correctly) bumps the epoch — their analysis takes the batch path.
+func viewFrags(parts [][]trace.Fragment) []trace.Fragment {
+	if len(parts) == 1 {
+		return parts[0]
+	}
 	n := 0
 	for _, p := range parts {
 		n += len(p)

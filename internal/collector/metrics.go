@@ -3,6 +3,7 @@ package collector
 import (
 	"net/http"
 
+	"vapro/internal/cluster"
 	"vapro/internal/detect"
 	"vapro/internal/interpose"
 	"vapro/internal/obs"
@@ -159,25 +160,7 @@ func (p *Pool) registerDerived() {
 			}
 			return float64(p.met.IntakeBytes.Load()) / sec / float64(p.ranks)
 		})
-	cache := p.an.Cache()
-	reg.Func("vapro_cluster_cache_hits", "cluster",
-		"analysis passes that reused a memoized clustering", func() float64 {
-			h, _ := cache.Stats()
-			return float64(h)
-		})
-	reg.Func("vapro_cluster_cache_misses", "cluster",
-		"analysis passes that had to recluster an element", func() float64 {
-			_, mi := cache.Stats()
-			return float64(mi)
-		})
-	reg.Func("vapro_cluster_cache_evictions", "cluster",
-		"memoized clusterings discarded (stale overwrites and invalidations)", func() float64 {
-			return float64(cache.Evictions())
-		})
-	reg.Func("vapro_cluster_cache_entries", "cluster",
-		"elements currently memoized", func() float64 {
-			return float64(cache.Len())
-		})
+	registerCacheDerived(reg, p.an.Cache())
 }
 
 // registerMonitorDerived points the cluster-cache Func metrics at the
@@ -185,15 +168,21 @@ func (p *Pool) registerDerived() {
 // window analyses run on the monitor's cache and the pool's stays cold.
 // Re-registration replaces the pool's entries (last writer wins).
 func (m *Monitor) registerMonitorDerived() {
-	reg := m.pool.met.Registry
-	cache := m.analyzer.Cache()
+	registerCacheDerived(m.pool.met.Registry, m.analyzer.Cache())
+}
+
+// registerCacheDerived publishes one clustering cache's counters as
+// Func metrics. Both the pool and the monitor call it (last writer
+// wins), so the published values always describe the cache window
+// analyses actually run on.
+func registerCacheDerived(reg *obs.Registry, cache *cluster.Cache) {
 	reg.Func("vapro_cluster_cache_hits", "cluster",
 		"analysis passes that reused a memoized clustering", func() float64 {
 			h, _ := cache.Stats()
 			return float64(h)
 		})
 	reg.Func("vapro_cluster_cache_misses", "cluster",
-		"analysis passes that had to recluster an element", func() float64 {
+		"analysis passes that fully re-clustered an element", func() float64 {
 			_, mi := cache.Stats()
 			return float64(mi)
 		})
@@ -204,5 +193,19 @@ func (m *Monitor) registerMonitorDerived() {
 	reg.Func("vapro_cluster_cache_entries", "cluster",
 		"elements currently memoized", func() float64 {
 			return float64(cache.Len())
+		})
+	reg.Func("vapro_cluster_cache_inc_hits", "cluster",
+		"element growths absorbed by the incremental delta-clustering path", func() float64 {
+			h, _ := cache.IncStats()
+			return float64(h)
+		})
+	reg.Func("vapro_cluster_cache_inc_fallbacks", "cluster",
+		"incremental updates that exceeded the dirty-span budget and fell back to a full re-cluster", func() float64 {
+			_, f := cache.IncStats()
+			return float64(f)
+		})
+	reg.Func("vapro_cluster_cache_stale_rejects", "cluster",
+		"reads at an older generation than the cached entry (answered one-off, entry kept)", func() float64 {
+			return float64(cache.StaleRejects())
 		})
 }

@@ -308,7 +308,7 @@ func (m *Monitor) DiagnoseEvent(ev *Event, opt diagnose.Options) *diagnose.Repor
 		if e == nil {
 			continue
 		}
-		cl := m.analyzer.Cache().Run(cluster.EdgeKey(e.Key), e.Version, e.Fragments, m.opt.Detect.Cluster)
+		cl := m.analyzer.Cache().Run(cluster.EdgeKey(e.Key), e.Gen, e.Fragments, m.opt.Detect.Cluster)
 		for ci := range cl.Clusters {
 			if !cl.Clusters[ci].Fixed {
 				continue

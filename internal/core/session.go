@@ -146,11 +146,11 @@ type Result struct {
 }
 
 // clusterElement returns the (memoized) clustering of one STG element.
-func (r *Result) clusterElement(key cluster.Key, version uint64, frags []trace.Fragment) cluster.Result {
+func (r *Result) clusterElement(key cluster.Key, gen stg.Gen, frags []trace.Fragment) cluster.Result {
 	if r.analyzer == nil {
 		r.analyzer = detect.NewAnalyzer()
 	}
-	return r.analyzer.Cache().Run(key, version, frags, r.clusterOpt)
+	return r.analyzer.Cache().Run(key, gen, frags, r.clusterOpt)
 }
 
 // RunTraced executes the application with Vapro attached: interposition,
@@ -339,18 +339,18 @@ func (r *Result) regionClusters(region *detect.Region) [][]trace.Fragment {
 		seen[k] = true
 		var frags []trace.Fragment
 		var ckey cluster.Key
-		var version uint64
+		var gen stg.Gen
 		if k.isEdge {
 			if e := r.Graph.Edge(k.edge); e != nil {
-				frags, ckey, version = e.Fragments, cluster.EdgeKey(k.edge), e.Version
+				frags, ckey, gen = e.Fragments, cluster.EdgeKey(k.edge), e.Gen
 			}
 		} else if v := r.Graph.Vertex(k.vertex); v != nil {
-			frags, ckey, version = v.Fragments, cluster.VertexKey(k.vertex), v.Version
+			frags, ckey, gen = v.Fragments, cluster.VertexKey(k.vertex), v.Gen
 		}
 		if frags == nil {
 			continue
 		}
-		cl := r.clusterElement(ckey, version, frags)
+		cl := r.clusterElement(ckey, gen, frags)
 		if k.cluster < 0 || k.cluster >= len(cl.Clusters) {
 			continue
 		}
@@ -388,8 +388,8 @@ func (r *Result) DiagnoseTop(class detect.Class, opt diagnose.Options) *diagnose
 // populations diagnosis operates on.
 func (r *Result) FixedClusters(class detect.Class) [][]trace.Fragment {
 	var clusters [][]trace.Fragment
-	collect := func(key cluster.Key, version uint64, frags []trace.Fragment) {
-		cl := r.clusterElement(key, version, frags)
+	collect := func(key cluster.Key, gen stg.Gen, frags []trace.Fragment) {
+		cl := r.clusterElement(key, gen, frags)
 		for ci := range cl.Clusters {
 			if !cl.Clusters[ci].Fixed {
 				continue
@@ -403,12 +403,12 @@ func (r *Result) FixedClusters(class detect.Class) [][]trace.Fragment {
 	}
 	if class == detect.Computation {
 		for _, e := range r.Graph.Edges() {
-			collect(cluster.EdgeKey(e.Key), e.Version, e.Fragments)
+			collect(cluster.EdgeKey(e.Key), e.Gen, e.Fragments)
 		}
 	} else {
 		for _, v := range r.Graph.Vertices() {
 			if len(v.Fragments) > 0 && detect.ClassOf(v.Fragments[0].Kind) == class {
-				collect(cluster.VertexKey(v.Key), v.Version, v.Fragments)
+				collect(cluster.VertexKey(v.Key), v.Gen, v.Fragments)
 			}
 		}
 	}

@@ -45,6 +45,12 @@ type Options struct {
 	// lost must not be read as fast or slow there, and stale cells never
 	// seed or join variance regions.
 	Outages []Outage
+	// DisableIncremental forces the batch analysis path: every element
+	// generation change re-clusters and re-normalizes from scratch.
+	// Results are bit-identical either way; this exists to benchmark
+	// the incremental plane against its baseline and as an escape
+	// hatch.
+	DisableIncremental bool
 }
 
 // Outage is one rank's data-loss interval in virtual time: batches
@@ -348,11 +354,11 @@ func (a *Analyzer) run(g *stg.Graph, ranks int, opt Options, start, end, origin 
 	forEach(len(outs), opt.Parallelism, func(i int) {
 		if i < len(edges) {
 			e := edges[i]
-			p := a.prepFor(cluster.EdgeKey(e.Key), e.Version, e.Fragments, opt, ClusterRef{IsEdge: true, Edge: e.Key})
+			p := a.prepFor(cluster.EdgeKey(e.Key), e.Gen, e.Fragments, opt, ClusterRef{IsEdge: true, Edge: e.Key})
 			p.window(start, end, &outs[i])
 		} else {
 			v := verts[i-len(edges)]
-			p := a.prepFor(cluster.VertexKey(v.Key), v.Version, v.Fragments, opt, ClusterRef{Vertex: v.Key})
+			p := a.prepFor(cluster.VertexKey(v.Key), v.Gen, v.Fragments, opt, ClusterRef{Vertex: v.Key})
 			p.window(start, end, &outs[i])
 		}
 	})

@@ -1,0 +1,245 @@
+package detect
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"vapro/internal/obs"
+	"vapro/internal/sim"
+	"vapro/internal/stg"
+	"vapro/internal/trace"
+)
+
+// equalResults is reflect.DeepEqual with one carve-out: heat-map cells
+// are compared bitwise, because empty cells hold NaN and NaN != NaN
+// would fail DeepEqual on otherwise identical results.
+func equalResults(a, b *Result) bool {
+	if len(a.Maps) != len(b.Maps) {
+		return false
+	}
+	for c, ha := range a.Maps {
+		hb, ok := b.Maps[c]
+		if !ok || !equalHeatMaps(ha, hb) {
+			return false
+		}
+	}
+	ac, bc := *a, *b
+	ac.Maps, bc.Maps = nil, nil
+	return reflect.DeepEqual(&ac, &bc)
+}
+
+func equalHeatMaps(a, b *HeatMap) bool {
+	if a.Class != b.Class || a.Ranks != b.Ranks || a.Windows != b.Windows ||
+		a.Window != b.Window || a.Origin != b.Origin ||
+		len(a.Cells) != len(b.Cells) || !reflect.DeepEqual(a.Stale, b.Stale) {
+		return false
+	}
+	for i := range a.Cells {
+		if math.Float64bits(a.Cells[i]) != math.Float64bits(b.Cells[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAnalyzerIncrementalEquivalenceFuzz pins the whole incremental
+// analysis plane — delta clustering plus the monotone normalization and
+// span-index advances in prep_inc.go — against the batch path at the
+// analyzer level: a persistent Analyzer re-run after every appended
+// burst must return results bit-identical (reflect.DeepEqual, floats
+// included) to a cold Analyzer forced onto the batch path over the same
+// graph. Schedules mix out-of-order arrivals, rank gaps, dense ties,
+// outage jumps (with matching Outages passed to both sides), window
+// slicing, and occasional wholesale element rebases that bump the
+// generation epoch and must force a prep rebuild.
+func TestAnalyzerIncrementalEquivalenceFuzz(t *testing.T) {
+	schedules := 160
+	if testing.Short() {
+		schedules = 30
+	}
+	// The fuzz is only meaningful if the delta path actually runs:
+	// tally prep advances across every schedule and fail if the guard
+	// conditions silently routed everything through rebuilds.
+	var advances, rebuilds atomic.Uint64
+	t.Cleanup(func() {
+		if advances.Load() == 0 {
+			t.Errorf("no prep advanced incrementally across %d schedules (rebuilds=%d): delta path never ran",
+				schedules, rebuilds.Load())
+		}
+	})
+	for sched := 0; sched < schedules; sched++ {
+		sched := sched
+		t.Run(fmt.Sprintf("sched%03d", sched), func(t *testing.T) {
+			t.Parallel()
+			runEquivSchedule(t, int64(7100+sched), &advances, &rebuilds)
+		})
+	}
+}
+
+func runEquivSchedule(t *testing.T, seed int64, advances, rebuilds *atomic.Uint64) {
+	rng := rand.New(rand.NewSource(seed))
+	ranks := 2 + rng.Intn(4)
+
+	opt := DefaultOptions()
+	opt.Window = sim.Duration(1+rng.Intn(20)) * sim.Millisecond
+	opt.Threshold = []float64{0.7, 0.85, 0.95}[rng.Intn(3)]
+	opt.MinRegionCells = 1 + rng.Intn(2)
+	opt.Parallelism = rng.Intn(3) // 0 = GOMAXPROCS, 1 = sequential, 2
+	if rng.Intn(4) == 0 {
+		opt.Cluster.Threshold = 0.2
+	}
+	if rng.Intn(5) == 0 {
+		opt.Cluster.MinFragments = 2
+	}
+
+	g := stg.New()
+	inc := NewAnalyzer()
+	met := NewMetrics(obs.NewRegistry())
+	inc.SetMetrics(met)
+	defer func() {
+		advances.Add(met.PrepIncremental.Load())
+		rebuilds.Add(met.PrepRebuilds.Load())
+	}()
+
+	// Per-rank virtual clocks; edges/vertices the schedule draws from.
+	clock := make([]int64, ranks)
+	edges := []trace.EdgeKey{{From: 1, To: 2}, {From: 2, To: 3}, {From: 3, To: 1}}
+	vstates := []uint64{10, 11}
+
+	bursts := 3 + rng.Intn(4)
+	for b := 0; b < bursts; b++ {
+		n := 1 + rng.Intn(50)
+		batch := make([]trace.Fragment, 0, n)
+		for i := 0; i < n; i++ {
+			rank := rng.Intn(ranks)
+			// Outage-style jumps and out-of-order starts.
+			switch rng.Intn(10) {
+			case 0:
+				clock[rank] += int64(rng.Intn(40)) * 1_000_000 // gap
+			case 1:
+				clock[rank] -= int64(rng.Intn(3)) * 500_000 // out of order
+				if clock[rank] < 0 {
+					clock[rank] = 0
+				}
+			}
+			el := int64(200_000 + rng.Intn(2_000_000))
+			f := trace.Fragment{Rank: rank, Start: clock[rank], Elapsed: el}
+			if rng.Intn(4) == 0 {
+				// Vertex fragment (communication or IO).
+				f.State = vstates[rng.Intn(len(vstates))]
+				if rng.Intn(2) == 0 {
+					f.Kind = trace.Comm
+					f.Args = trace.Args{Op: "Allreduce", Bytes: 1 << uint(rng.Intn(4))}
+				} else {
+					f.Kind = trace.IO
+					f.Args = trace.Args{Op: "write", Bytes: 4096}
+				}
+			} else {
+				f.Kind = trace.Comp
+				ek := edges[rng.Intn(len(edges))]
+				f.From, f.State = ek.From, ek.To
+				switch rng.Intn(3) {
+				case 0: // zero-workload snippets
+				case 1: // dense ties straddling the 5% threshold
+					f.Counters.TotIns = uint64(1 + rng.Intn(4))
+				default:
+					class := uint64(1 + rng.Intn(3))
+					f.Counters.TotIns = class*100_000 + uint64(rng.Intn(7000))
+				}
+			}
+			clock[rank] += el
+			batch = append(batch, f)
+		}
+		g.AddBatch(batch)
+
+		// Occasionally rebase one edge wholesale (fresh backing array):
+		// the epoch bumps and the incremental analyzer must fall back to
+		// a full prep rebuild, not reuse positions from the old log.
+		if rng.Intn(5) == 0 {
+			if e := g.Edge(edges[rng.Intn(len(edges))]); e != nil && len(e.Fragments) > 0 {
+				rebased := make([]trace.Fragment, len(e.Fragments))
+				copy(rebased, e.Fragments)
+				g.PutEdge(e.Key, rebased)
+			}
+		}
+
+		// Some windows carry known outages; both sides see the same set.
+		ropt := opt
+		if rng.Intn(4) == 0 {
+			ropt.Outages = []Outage{{
+				Rank:  rng.Intn(ranks),
+				Start: int64(rng.Intn(20)) * 1_000_000,
+				End:   int64(30+rng.Intn(40)) * 1_000_000,
+			}}
+		}
+		bopt := ropt
+		bopt.DisableIncremental = true
+
+		var got, want *Result
+		if rng.Intn(2) == 0 {
+			ws := int64(rng.Intn(30)) * 1_000_000
+			we := ws + int64(10+rng.Intn(60))*1_000_000
+			got = inc.RunWindow(g, ranks, ropt, ws, we)
+			want = NewAnalyzer().RunWindow(g, ranks, bopt, ws, we)
+		} else {
+			got = inc.Run(g, ranks, ropt)
+			want = NewAnalyzer().Run(g, ranks, bopt)
+		}
+		if !equalResults(got, want) {
+			t.Fatalf("burst %d: incremental result diverged from batch path\nincremental: %+v\nbatch:       %+v",
+				b, got, want)
+		}
+	}
+}
+
+// TestMonitorIncrementalIdentity drives the same fragment stream
+// through two monitors — one on the incremental plane, one forced onto
+// the batch path — and requires the emitted event streams to match
+// exactly. This is the end-to-end form of the equivalence guarantee:
+// online alerting behavior may not depend on which analysis path ran.
+func TestMonitorIncrementalIdentity(t *testing.T) {
+	run := func(disable bool) []Event {
+		a := NewAnalyzer()
+		opt := DefaultOptions()
+		opt.Window = 5 * sim.Millisecond
+		opt.DisableIncremental = disable
+		g := stg.New()
+		rng := rand.New(rand.NewSource(42))
+		var events []Event
+		clock := make([]int64, 4)
+		for b := 0; b < 12; b++ {
+			var batch []trace.Fragment
+			for i := 0; i < 40; i++ {
+				rank := rng.Intn(4)
+				el := int64(900_000 + rng.Intn(200_000))
+				if rank == 2 && b >= 6 {
+					el *= 2 // rank 2 degrades mid-run
+				}
+				batch = append(batch, trace.Fragment{
+					Rank: rank, Kind: trace.Comp, From: 1, State: 2,
+					Start: clock[rank], Elapsed: el,
+					Counters: trace.CountersView{TotIns: 500_000 + uint64(rng.Intn(5000))},
+				})
+				clock[rank] += el
+			}
+			g.AddBatch(batch)
+			res := a.RunWindow(g, 4, opt, int64(b)*10_000_000, int64(b+1)*10_000_000)
+			for _, reg := range res.Regions {
+				events = append(events, Event{Regions: []Region{reg}})
+			}
+		}
+		return events
+	}
+	if inc, batch := run(false), run(true); !reflect.DeepEqual(inc, batch) {
+		t.Fatalf("event streams diverge: incremental %d events, batch %d events", len(inc), len(batch))
+	}
+}
+
+// Event is a minimal event record for the identity test above (the
+// collector's Monitor has its own richer Event type; this test stays
+// inside the detect package to keep the dependency direction clean).
+type Event struct{ Regions []Region }

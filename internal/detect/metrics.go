@@ -29,6 +29,15 @@ type Metrics struct {
 	WindowNS *obs.Histogram
 	// Spans traces the per-stage latencies (see the Stage constants).
 	Spans *obs.Spans
+	// PrepIncremental counts element preps advanced by the delta path
+	// (append-only generation steps patched in place).
+	PrepIncremental *obs.Counter
+	// PrepRebuilds counts element preps rebuilt from scratch (cold
+	// elements, epoch bumps, option changes, fallback re-clusters).
+	PrepRebuilds *obs.Counter
+	// DirtySpanPct is the distribution of the dirty-span ratio (percent
+	// of the sorted order each incremental advance recomputed).
+	DirtySpanPct *obs.Histogram
 }
 
 // NewMetrics registers the detection metrics into reg.
@@ -40,6 +49,13 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"end-to-end latency of one detection pass (ns)", obs.LatencyBounds()),
 		Spans: obs.NewSpans(reg, "vapro_detect_stage", "detect",
 			"prep", "cluster", "normalize", "merge", "map"),
+		PrepIncremental: reg.Counter("vapro_detect_prep_incremental_total", "detect",
+			"element preps advanced incrementally (append-only delta applied in place)"),
+		PrepRebuilds: reg.Counter("vapro_detect_prep_rebuilds_total", "detect",
+			"element preps rebuilt from scratch"),
+		DirtySpanPct: reg.Histogram("vapro_detect_dirty_span_pct", "detect",
+			"dirty-span ratio of incremental advances (percent of sorted order recomputed)",
+			[]int64{1, 2, 5, 10, 25, 50, 100}),
 	}
 }
 

@@ -142,8 +142,11 @@ func TestAnalyzerMemoizesAcrossRuns(t *testing.T) {
 	f.Start = f.Start + 1
 	g.Add(f)
 	a.Run(g, ranks, opt)
-	if hits, misses := a.Cache().Stats(); hits != 2*elements-1 || misses != elements+1 {
-		t.Fatalf("after growth: hits=%d misses=%d, want %d/%d", hits, misses, 2*elements-1, elements+1)
+	hits, misses := a.Cache().Stats()
+	incHits, incFallbacks := a.Cache().IncStats()
+	if hits != 2*elements-1 || misses != elements || incHits+incFallbacks != 1 {
+		t.Fatalf("after growth: hits=%d misses=%d inc=%d/%d, want %d/%d and exactly one incremental advance",
+			hits, misses, incHits, incFallbacks, 2*elements-1, elements)
 	}
 }
 

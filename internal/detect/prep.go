@@ -7,23 +7,33 @@ import (
 	"time"
 
 	"vapro/internal/cluster"
+	"vapro/internal/stg"
 	"vapro/internal/trace"
 )
 
 // prepElem is the window-independent part of one STG element's analysis,
-// memoized per element version alongside the clustering cache. The
+// memoized per element generation alongside the clustering cache. The
 // normalized samples of an element depend only on its full fragment
 // population (clustering and the per-cluster fastest member never look
 // at the analysis window — the window just filters which samples feed
-// the heat map), so they are computed once per element version and every
-// overlapped window slices them by binary search instead of re-walking
-// every cluster member. Sample emission order is preserved exactly
-// (cluster-major, member-index order), which keeps windowed results
-// bit-identical to the direct computation.
+// the heat map), so they are computed once per element generation and
+// every overlapped window slices them by binary search instead of
+// re-walking every cluster member. Sample emission order is preserved
+// exactly (cluster-major, member-index order), which keeps windowed
+// results bit-identical to the direct computation.
+//
+// When the element advances by an append-only generation step (the
+// clustering cache hands back a structured Delta instead of Full),
+// advance() patches this state instead of rebuilding it: untouched
+// cluster spans are block-copied, grown clusters are merge-copied with
+// each cluster's fastest member tracked monotonically (the min can only
+// improve, so kept samples renormalize only when it actually does), and
+// the span indexes are extended by a remap+merge instead of a re-sort.
 type prepElem struct {
-	version uint64
-	nfrags  int
-	copt    cluster.Options
+	gen    stg.Gen
+	nfrags int
+	copt   cluster.Options
+	ref    ClusterRef
 
 	fixedClusters int
 	smallClusters int
@@ -41,6 +51,34 @@ type prepElem struct {
 	// members).
 	fragIdx  [numClasses]spanIndex
 	totalAll [numClasses]int64
+
+	// Incremental-advance state, maintained only for single-class
+	// elements (the 1-D computation edges that dominate the hot path;
+	// multi-class vertices always rebuild — their clusterings are
+	// multi-D and never produce structured deltas anyway).
+	singleClass bool
+	class       Class
+	// spanOff[ci] is the offset in samples[class] where cluster ci's
+	// emission begins; spanOff[len(clusters)] closes the last span.
+	// Small and skipped clusters own empty spans.
+	spanOff []int32
+	// cstate[ci] is cluster ci's normalization state.
+	cstate []clustState
+}
+
+// clustState tracks what one cluster's emission depends on, so an
+// append touching the cluster can be applied as a delta: the fastest
+// member (monotone — it only improves), the per-rank population counts
+// (monotone — they only grow, so a rank crosses the coverage threshold
+// at most once), and the covered time contributed to fixedAll.
+type clustState struct {
+	// emitted: the cluster is Fixed with a valid best and its members
+	// are present in samples. perRank may be non-nil while emitted is
+	// false (a fixed cluster whose members all have Elapsed<=0).
+	emitted bool
+	best    int64
+	fixedNS int64
+	perRank map[int]int
 }
 
 // spanIndex answers "which spans overlap [start, end)" over a fixed set
@@ -138,32 +176,49 @@ func (ix *spanIndex) selectOverlapping(start, end int64) (sel []int32, fixed int
 }
 
 // prepFor returns the memoized window-independent analysis of one
-// element, rebuilding it when the element's version moved. The
+// element: unchanged generations reuse it as-is, append-only advances
+// patch it through advance(), and everything else rebuilds. The
 // clustering cache is consulted unconditionally so its hit/miss
 // accounting keeps meaning "analysis passes that reused a clustering",
 // warm prep or not.
-func (a *Analyzer) prepFor(key cluster.Key, version uint64, frags []trace.Fragment, opt Options, ref ClusterRef) *prepElem {
+func (a *Analyzer) prepFor(key cluster.Key, gen stg.Gen, frags []trace.Fragment, opt Options, ref ClusterRef) *prepElem {
 	met := a.met
 	var t0 time.Time
 	if met != nil {
 		t0 = time.Now()
 	}
-	cl := a.cache.Run(key, version, frags, opt.Cluster)
+	var cl cluster.Result
+	var d cluster.Delta
+	if opt.DisableIncremental {
+		cl = a.cache.RunBatch(key, gen, frags, opt.Cluster)
+		d = cluster.Delta{Full: true}
+	} else {
+		cl, d = a.cache.RunInc(key, gen, frags, opt.Cluster)
+	}
 	if met != nil {
 		a.clock.clusterNS.Add(since(t0))
 	}
 	a.mu.Lock()
 	p := a.preps[key]
 	a.mu.Unlock()
-	if p != nil && p.version == version && p.nfrags == len(frags) && p.copt == opt.Cluster {
+	if p != nil && p.gen == gen && p.nfrags == len(frags) && p.copt == opt.Cluster {
 		return p
 	}
 	if met != nil {
 		t0 = time.Now()
 	}
-	p = buildPrep(frags, cl, ref, opt, version)
+	if p != nil && !opt.DisableIncremental && p.advance(frags, cl, d, opt, gen) {
+		if met != nil {
+			a.clock.normNS.Add(since(t0))
+			met.PrepIncremental.Inc()
+			met.DirtySpanPct.Observe(int64(d.Ratio*100 + 0.5))
+		}
+		return p
+	}
+	p = buildPrep(frags, cl, ref, opt, gen)
 	if met != nil {
 		a.clock.normNS.Add(since(t0))
+		met.PrepRebuilds.Inc()
 	}
 	a.mu.Lock()
 	a.preps[key] = p
@@ -174,18 +229,38 @@ func (a *Analyzer) prepFor(key cluster.Key, version uint64, frags []trace.Fragme
 // buildPrep runs the full-population normalization once (the same walk
 // normalizeElement does with an unbounded window) and indexes the
 // outputs for window slicing.
-func buildPrep(frags []trace.Fragment, cl cluster.Result, ref ClusterRef, opt Options, version uint64) *prepElem {
-	p := &prepElem{version: version, nfrags: len(frags), copt: opt.Cluster}
+func buildPrep(frags []trace.Fragment, cl cluster.Result, ref ClusterRef, opt Options, gen stg.Gen) *prepElem {
+	p := &prepElem{gen: gen, nfrags: len(frags), copt: opt.Cluster, ref: ref}
 	minFrag := opt.Cluster.MinFragments
 	if minFrag <= 0 {
 		minFrag = 5
 	}
+	p.singleClass = len(frags) > 0
+	if p.singleClass {
+		p.class = ClassOf(frags[0].Kind)
+		for i := range frags {
+			if ClassOf(frags[i].Kind) != p.class {
+				p.singleClass = false
+				break
+			}
+		}
+	}
+	if p.singleClass {
+		p.spanOff = make([]int32, 0, len(cl.Clusters)+1)
+		p.cstate = make([]clustState, 0, len(cl.Clusters))
+	}
 	for ci := range cl.Clusters {
 		c := &cl.Clusters[ci]
+		if p.singleClass {
+			p.spanOff = append(p.spanOff, int32(len(p.samples[p.class])))
+		}
 		if c.Fixed {
 			p.fixedClusters++
 		} else {
 			p.smallClusters++
+			if p.singleClass {
+				p.cstate = append(p.cstate, clustState{})
+			}
 			continue
 		}
 		best := int64(math.MaxInt64)
@@ -197,14 +272,19 @@ func buildPrep(frags []trace.Fragment, cl cluster.Result, ref ClusterRef, opt Op
 			}
 		}
 		if best == math.MaxInt64 {
+			if p.singleClass {
+				p.cstate = append(p.cstate, clustState{perRank: perRank})
+			}
 			continue
 		}
+		st := clustState{emitted: true, best: best, perRank: perRank}
 		for _, m := range c.Members {
 			f := &frags[m]
 			class := ClassOf(f.Kind)
 			covered := perRank[f.Rank] >= minFrag
 			if covered {
 				p.fixedAll[class] += f.Elapsed
+				st.fixedNS += f.Elapsed
 			}
 			perf := 1.0
 			if f.Elapsed > 0 {
@@ -222,6 +302,12 @@ func buildPrep(frags []trace.Fragment, cl cluster.Result, ref ClusterRef, opt Op
 				FragIndex:  m,
 			})
 		}
+		if p.singleClass {
+			p.cstate = append(p.cstate, st)
+		}
+	}
+	if p.singleClass {
+		p.spanOff = append(p.spanOff, int32(len(p.samples[p.class])))
 	}
 	for c := 0; c < numClasses; c++ {
 		n := len(p.samples[c])

@@ -1,0 +1,388 @@
+package detect
+
+import (
+	"cmp"
+	"math"
+	"slices"
+
+	"vapro/internal/cluster"
+	"vapro/internal/stg"
+	"vapro/internal/trace"
+)
+
+// advance patches the memoized prep with an append-only clustering
+// delta, in place, and reports whether it could. False means the caller
+// must rebuild: the delta is unstructured (Full), it advances from a
+// different generation than the prep holds, the element is multi-class,
+// the options moved, or a consistency check failed.
+//
+// The patch mirrors what buildPrep would compute, piece by piece:
+//
+//   - clusters before Delta.Prefix: their sample spans are block-copied
+//     (nothing about them changed — membership, best, coverage, index);
+//   - clusters after the re-aligned cut: block-copied too, with only
+//     the cluster index in each sample adjusted when the cluster count
+//     shifted;
+//   - grown clusters (DirtyRun.OldIndex >= 0): merge-copied. The
+//     fastest member is monotone — it can only improve — so kept
+//     samples are renormalized only when a new member actually beat
+//     it. Per-rank counts are monotone too, so a rank crosses the
+//     coverage threshold at most once; kept samples of crossing ranks
+//     flip Covered, everything else keeps its bits;
+//   - rebuilt clusters (OldIndex < 0) and clusters newly grown into
+//     emission run the fresh per-member walk, but only over their own
+//     members.
+//
+// The span indexes are then extended by a position remap + sorted merge
+// (old entries keep their (start, position-ascending) order under the
+// remap because surviving samples never reorder) instead of re-sorting
+// the whole population. Every piece lands bit-identical to a rebuild —
+// pinned by the analyzer equivalence fuzz.
+func (p *prepElem) advance(frags []trace.Fragment, cl cluster.Result, d cluster.Delta, opt Options, gen stg.Gen) bool {
+	if d.Full || !p.singleClass || p.cstate == nil || p.copt != opt.Cluster || d.From != p.gen {
+		return false
+	}
+	oldN := p.nfrags
+	nn := len(frags)
+	if nn <= oldN || len(cl.Assign) != nn {
+		return false
+	}
+	class := p.class
+	for i := oldN; i < nn; i++ {
+		if ClassOf(frags[i].Kind) != class {
+			return false
+		}
+	}
+	minFrag := opt.Cluster.MinFragments
+	if minFrag <= 0 {
+		minFrag = 5
+	}
+	oldNC := len(p.cstate)
+	newNC := len(cl.Clusters)
+	if len(p.spanOff) != oldNC+1 ||
+		d.Prefix < 0 || d.Prefix > d.TailNew || d.TailNew > newNC ||
+		d.Prefix > d.TailOld || d.TailOld > oldNC ||
+		d.TailNew-d.Prefix != len(d.Dirty) ||
+		newNC-d.TailNew != oldNC-d.TailOld {
+		return false
+	}
+	old := p.samples[class]
+	// Validate every grown run against the old spans before touching
+	// any shared state (the per-rank maps are mutated in place below).
+	for di, dr := range d.Dirty {
+		if dr.OldIndex < 0 {
+			continue
+		}
+		if dr.OldIndex < d.Prefix || dr.OldIndex >= d.TailOld {
+			return false
+		}
+		cc := &cl.Clusters[d.Prefix+di]
+		spanLen := int(p.spanOff[dr.OldIndex+1] - p.spanOff[dr.OldIndex])
+		os := &p.cstate[dr.OldIndex]
+		if os.emitted {
+			if spanLen != len(cc.Members)-len(dr.AddedPos) {
+				return false
+			}
+		} else if spanLen != 0 {
+			return false
+		}
+	}
+
+	prefixEnd := int(p.spanOff[d.Prefix])
+	tailOldPos := int(p.spanOff[d.TailOld])
+	newSamples := make([]Sample, 0, len(old)+(nn-oldN))
+	newSpan := make([]int32, newNC+1)
+	newState := make([]clustState, newNC)
+	// dirtyRemap maps an old sample position in the dirty region to its
+	// new position, -1 when the sample's cluster was rebuilt (its new
+	// emission is recorded in fresh instead).
+	dirtyRemap := make([]int32, tailOldPos-prefixEnd)
+	for i := range dirtyRemap {
+		dirtyRemap[i] = -1
+	}
+	// fresh collects index entries for samples that are new or were
+	// re-emitted (anything not reachable through the remap).
+	type freshEnt struct {
+		pos            int32
+		start, elapsed int64
+		covered        bool
+	}
+	var fresh []freshEnt
+
+	newSamples = append(newSamples, old[:prefixEnd]...)
+	copy(newSpan, p.spanOff[:d.Prefix+1])
+	copy(newState, p.cstate[:d.Prefix])
+
+	// emitCluster is buildPrep's per-cluster walk, scoped to one
+	// cluster: recompute state and (when fixed with a valid best) emit
+	// all members.
+	emitCluster := func(ci int, cc *cluster.Cluster) {
+		st := clustState{perRank: make(map[int]int, 8)}
+		best := int64(math.MaxInt64)
+		for _, m := range cc.Members {
+			st.perRank[frags[m].Rank]++
+			if e := frags[m].Elapsed; e > 0 && e < best {
+				best = e
+			}
+		}
+		if !cc.Fixed {
+			st.perRank = nil // buildPrep doesn't track small clusters
+			newState[ci] = st
+			return
+		}
+		if best == math.MaxInt64 {
+			newState[ci] = st
+			return
+		}
+		st.emitted, st.best = true, best
+		for _, m := range cc.Members {
+			f := &frags[m]
+			covered := st.perRank[f.Rank] >= minFrag
+			if covered {
+				st.fixedNS += f.Elapsed
+			}
+			perf := 1.0
+			if f.Elapsed > 0 {
+				perf = float64(best) / float64(f.Elapsed)
+			}
+			ref := p.ref
+			ref.Cluster = ci
+			fresh = append(fresh, freshEnt{int32(len(newSamples)), f.Start, f.Elapsed, covered})
+			newSamples = append(newSamples, Sample{
+				Rank:       f.Rank,
+				Start:      f.Start,
+				Elapsed:    f.Elapsed,
+				Perf:       perf,
+				Covered:    covered,
+				ClusterRef: ref,
+				FragIndex:  m,
+			})
+		}
+		newState[ci] = st
+	}
+
+	for di, dr := range d.Dirty {
+		ci := d.Prefix + di
+		cc := &cl.Clusters[ci]
+		newSpan[ci] = int32(len(newSamples))
+		if dr.OldIndex < 0 || !p.cstate[dr.OldIndex].emitted || !cc.Fixed {
+			// Rebuilt composition, or a cluster whose old emission
+			// state can't be extended (was small or had no valid best):
+			// walk its members afresh.
+			emitCluster(ci, cc)
+			continue
+		}
+		// Grown emitted cluster: merge-copy.
+		os := p.cstate[dr.OldIndex]
+		st := os // shares (and intentionally updates) the perRank map
+		var crossed map[int]bool
+		for _, ap := range dr.AddedPos {
+			f := &frags[cc.Members[ap]]
+			n := st.perRank[f.Rank] + 1
+			st.perRank[f.Rank] = n
+			if n == minFrag {
+				if crossed == nil {
+					crossed = make(map[int]bool, 2)
+				}
+				crossed[f.Rank] = true
+			}
+			if e := f.Elapsed; e > 0 && e < st.best {
+				st.best = e
+			}
+		}
+		bestChanged := st.best != os.best
+		oldSpan := old[p.spanOff[dr.OldIndex]:p.spanOff[dr.OldIndex+1]]
+		base := int(p.spanOff[dr.OldIndex]) - prefixEnd
+		st.fixedNS = 0
+		oi, ai := 0, 0
+		for mp := range cc.Members {
+			if ai < len(dr.AddedPos) && int(dr.AddedPos[ai]) == mp {
+				m := cc.Members[mp]
+				f := &frags[m]
+				covered := st.perRank[f.Rank] >= minFrag
+				if covered {
+					st.fixedNS += f.Elapsed
+				}
+				perf := 1.0
+				if f.Elapsed > 0 {
+					perf = float64(st.best) / float64(f.Elapsed)
+				}
+				ref := p.ref
+				ref.Cluster = ci
+				fresh = append(fresh, freshEnt{int32(len(newSamples)), f.Start, f.Elapsed, covered})
+				newSamples = append(newSamples, Sample{
+					Rank:       f.Rank,
+					Start:      f.Start,
+					Elapsed:    f.Elapsed,
+					Perf:       perf,
+					Covered:    covered,
+					ClusterRef: ref,
+					FragIndex:  m,
+				})
+				ai++
+				continue
+			}
+			s := oldSpan[oi]
+			if bestChanged {
+				s.Perf = 1.0
+				if s.Elapsed > 0 {
+					s.Perf = float64(st.best) / float64(s.Elapsed)
+				}
+			}
+			if crossed != nil && !s.Covered && crossed[s.Rank] {
+				s.Covered = true
+			}
+			if s.Covered {
+				st.fixedNS += s.Elapsed
+			}
+			s.ClusterRef.Cluster = ci
+			dirtyRemap[base+oi] = int32(len(newSamples))
+			newSamples = append(newSamples, s)
+			oi++
+		}
+		newState[ci] = st
+	}
+
+	// Preserved tail: block copy, adjusting only the cluster index.
+	tailNewPos := len(newSamples)
+	posDelta := tailNewPos - tailOldPos
+	shift := d.TailNew - d.TailOld
+	if shift == 0 {
+		newSamples = append(newSamples, old[tailOldPos:]...)
+	} else {
+		for _, s := range old[tailOldPos:] {
+			s.ClusterRef.Cluster += shift
+			newSamples = append(newSamples, s)
+		}
+	}
+	copy(newState[d.TailNew:], p.cstate[d.TailOld:])
+	for j := d.TailOld; j <= oldNC; j++ {
+		newSpan[d.TailNew+j-d.TailOld] = p.spanOff[j] + int32(posDelta)
+	}
+
+	// Scalar aggregates. Covered time is the sum of per-cluster state;
+	// the class totals just extend.
+	p.fixedAll[class] = 0
+	p.fixedClusters, p.smallClusters = 0, 0
+	for ci := range cl.Clusters {
+		p.fixedAll[class] += newState[ci].fixedNS
+		if cl.Clusters[ci].Fixed {
+			p.fixedClusters++
+		} else {
+			p.smallClusters++
+		}
+	}
+	for i := oldN; i < nn; i++ {
+		p.totalAll[class] += frags[i].Elapsed
+	}
+
+	// Fragment index: positions are fragment indexes (single class), so
+	// old entries are untouched — merge in the new tail, sorted.
+	{
+		add := make([]freshEnt, 0, nn-oldN)
+		for i := oldN; i < nn; i++ {
+			add = append(add, freshEnt{pos: int32(i), start: frags[i].Start, elapsed: frags[i].Elapsed})
+		}
+		slices.SortStableFunc(add, func(a, b freshEnt) int { return cmp.Compare(a.start, b.start) })
+		fi := &p.fragIdx[class]
+		mergedOrder := make([]int32, 0, nn)
+		mergedStarts := make([]int64, 0, nn)
+		mergedElapsed := make([]int64, 0, nn)
+		maxEl := fi.maxElapsed
+		i, j := 0, 0
+		for i < len(fi.starts) || j < len(add) {
+			// Old positions are always smaller than appended ones, so
+			// on equal starts the old entry keeps the earlier slot.
+			if j >= len(add) || (i < len(fi.starts) && fi.starts[i] <= add[j].start) {
+				mergedOrder = append(mergedOrder, fi.order[i])
+				mergedStarts = append(mergedStarts, fi.starts[i])
+				mergedElapsed = append(mergedElapsed, fi.elapsed[i])
+				i++
+			} else {
+				mergedOrder = append(mergedOrder, add[j].pos)
+				mergedStarts = append(mergedStarts, add[j].start)
+				mergedElapsed = append(mergedElapsed, add[j].elapsed)
+				if add[j].elapsed > maxEl {
+					maxEl = add[j].elapsed
+				}
+				j++
+			}
+		}
+		p.fragIdx[class] = spanIndex{order: mergedOrder, starts: mergedStarts, elapsed: mergedElapsed, maxElapsed: maxEl}
+	}
+
+	// Sample index: remap surviving old entries (the remap is monotone,
+	// so their (start, position) order is preserved), drop entries of
+	// re-emitted samples, and merge with the fresh entries. maxElapsed
+	// may overstate after drops — harmless, candidates() only uses it
+	// as a lower bound and every candidate is re-checked exactly.
+	{
+		slices.SortStableFunc(fresh, func(a, b freshEnt) int { return cmp.Compare(a.start, b.start) })
+		si := &p.sampleIdx[class]
+		n2 := len(newSamples)
+		mergedOrder := make([]int32, 0, n2)
+		mergedStarts := make([]int64, 0, n2)
+		mergedElapsed := make([]int64, 0, n2)
+		mergedCovered := make([]bool, 0, n2)
+		maxEl := si.maxElapsed
+		for _, f := range fresh {
+			if f.elapsed > maxEl {
+				maxEl = f.elapsed
+			}
+		}
+		remap := func(op int32) int32 {
+			switch {
+			case int(op) < prefixEnd:
+				return op
+			case int(op) >= tailOldPos:
+				return op + int32(posDelta)
+			default:
+				return dirtyRemap[int(op)-prefixEnd]
+			}
+		}
+		i, j := 0, 0
+		for i < len(si.starts) || j < len(fresh) {
+			var np int32 = -1
+			if i < len(si.starts) {
+				np = remap(si.order[i])
+				if np < 0 {
+					i++ // sample was re-emitted; its fresh entry covers it
+					continue
+				}
+			}
+			takeOld := j >= len(fresh)
+			if !takeOld && i < len(si.starts) {
+				if si.starts[i] != fresh[j].start {
+					takeOld = si.starts[i] < fresh[j].start
+				} else {
+					takeOld = np < fresh[j].pos
+				}
+			}
+			if takeOld {
+				mergedOrder = append(mergedOrder, np)
+				mergedStarts = append(mergedStarts, si.starts[i])
+				mergedElapsed = append(mergedElapsed, si.elapsed[i])
+				mergedCovered = append(mergedCovered, newSamples[np].Covered)
+				i++
+			} else {
+				f := fresh[j]
+				mergedOrder = append(mergedOrder, f.pos)
+				mergedStarts = append(mergedStarts, f.start)
+				mergedElapsed = append(mergedElapsed, f.elapsed)
+				mergedCovered = append(mergedCovered, f.covered)
+				j++
+			}
+		}
+		p.sampleIdx[class] = spanIndex{
+			order: mergedOrder, starts: mergedStarts, elapsed: mergedElapsed,
+			covered: mergedCovered, maxElapsed: maxEl,
+		}
+	}
+
+	p.samples[class] = newSamples
+	p.spanOff = newSpan
+	p.cstate = newState
+	p.gen = gen
+	p.nfrags = nn
+	return true
+}

@@ -13,6 +13,39 @@ import (
 	"vapro/internal/trace"
 )
 
+// Gen is an element's generation watermark, the handle consumers use to
+// ask "what arrived since I last looked" instead of "did anything
+// change". Each element's fragment slice is an append log: Count is the
+// log length (one generation per appended fragment) and Epoch identifies
+// the log itself. Epoch moves only when the slice is wholesale-replaced
+// in a way that does not provably preserve the previous contents as a
+// prefix (see PutVertex) — after an epoch bump, positions from older
+// generations are meaningless and consumers must re-read everything.
+// The zero Gen is "before anything", valid against any element.
+//
+// Downstream incremental consumers (cluster.Cache and the detect preps)
+// key their memoized per-element state on Gen and use Count deltas to
+// process only the newly appended suffix.
+type Gen struct {
+	Epoch uint64
+	Count uint64
+}
+
+// Before reports whether g is an earlier watermark of the same append
+// log as cur — i.e. the fragments at positions [g.Count, cur.Count) are
+// exactly what arrived between the two observations.
+func (g Gen) Before(cur Gen) bool {
+	return g.Epoch == cur.Epoch && g.Count <= cur.Count
+}
+
+// sinceGen is the shared implementation of Vertex.Since / Edge.Since.
+func sinceGen(frags []trace.Fragment, cur, g Gen) ([]trace.Fragment, bool) {
+	if !g.Before(cur) {
+		return nil, false
+	}
+	return frags[g.Count:], true
+}
+
 // Vertex is one running state with the invocation fragments observed in
 // that state.
 type Vertex struct {
@@ -20,14 +53,22 @@ type Vertex struct {
 	Name      string
 	Kind      trace.Kind // dominant fragment kind at this vertex
 	Fragments []trace.Fragment
-	// Version is a monotonic stamp bumped on every fragment append.
-	// Downstream memoization (cluster.Cache) keys cached clusterings on
-	// it, so repeated analyses re-cluster only elements that grew.
-	Version uint64
+	// Gen is the generation watermark of the fragment append log (see
+	// Gen). It replaces the old single monotonic Version stamp:
+	// Gen.Count still moves on every append, but consumers can now
+	// recover the appended suffix itself via Since.
+	Gen Gen
 	// MinStart/MaxEnd bound the time spans of the attached fragments
 	// ([MinStart, MaxEnd)), maintained on append so window overlap
 	// checks can reject whole elements without scanning fragments.
 	MinStart, MaxEnd int64
+}
+
+// Since returns the fragments appended after watermark g, or ok=false
+// when g belongs to a different epoch (the element was rebased and the
+// caller must re-read the full slice).
+func (v *Vertex) Since(g Gen) ([]trace.Fragment, bool) {
+	return sinceGen(v.Fragments, v.Gen, g)
 }
 
 // Edge is one state transition with the computation fragments observed
@@ -35,12 +76,18 @@ type Vertex struct {
 type Edge struct {
 	Key       trace.EdgeKey
 	Fragments []trace.Fragment
-	// Version is a monotonic stamp bumped on every fragment append (see
-	// Vertex.Version).
-	Version uint64
+	// Gen is the generation watermark of the fragment append log (see
+	// Vertex.Gen).
+	Gen Gen
 	// MinStart/MaxEnd bound the attached fragment spans (see
 	// Vertex.MinStart).
 	MinStart, MaxEnd int64
+}
+
+// Since returns the fragments appended after watermark g (see
+// Vertex.Since).
+func (e *Edge) Since(g Gen) ([]trace.Fragment, bool) {
+	return sinceGen(e.Fragments, e.Gen, g)
 }
 
 // Graph is a State Transition Graph built from a fragment stream. The
@@ -105,7 +152,7 @@ func (g *Graph) Add(f trace.Fragment) {
 			g.edges[k] = e
 		}
 		e.Fragments = append(e.Fragments, f)
-		e.Version++
+		e.Gen.Count++
 		e.MinStart = min(e.MinStart, f.Start)
 		e.MaxEnd = max(e.MaxEnd, f.End())
 		return
@@ -116,7 +163,7 @@ func (g *Graph) Add(f trace.Fragment) {
 		g.vertices[f.State] = v
 	}
 	v.Fragments = append(v.Fragments, f)
-	v.Version++
+	v.Gen.Count++
 	v.MinStart = min(v.MinStart, f.Start)
 	v.MaxEnd = max(v.MaxEnd, f.End())
 }
@@ -135,14 +182,31 @@ func fragBounds(frags []trace.Fragment) (minStart, maxEnd int64) {
 	return minStart, maxEnd
 }
 
+// putGen derives the next generation watermark for a wholesale
+// replacement: when the old fragments are provably a prefix of the new
+// slice (same backing array, which stg never mutates in place, and no
+// shrink) the epoch is preserved and the replacement is
+// indistinguishable from a run of appends; otherwise the log is rebased
+// onto a new epoch and incremental consumers start over.
+func putGen(old Gen, oldFrags, frags []trace.Fragment) Gen {
+	prefix := len(frags) >= len(oldFrags) &&
+		(len(oldFrags) == 0 || &frags[0] == &oldFrags[0])
+	if prefix {
+		return Gen{Epoch: old.Epoch, Count: uint64(len(frags))}
+	}
+	return Gen{Epoch: old.Epoch + 1, Count: uint64(len(frags))}
+}
+
 // PutVertex wholesale-replaces (or creates) a vertex. The incremental
 // merged view in the collector uses this to refresh only the elements
-// that grew since the last refresh: version must be the sum of appends
-// that produced frags, so it matches the Version an equivalent Add-built
-// graph would carry and downstream memoization keys stay aligned. The
+// that grew since the last refresh. The resulting Gen.Count always
+// equals the total append count that produced frags, so it matches the
+// watermark an equivalent Add-built graph would carry and downstream
+// memoization keys stay aligned; the epoch is preserved only when the
+// previous fragments are provably a prefix of frags (see putGen). The
 // graph takes ownership of frags; kind is (re)assigned on every call —
 // a replaced element's dominant kind can change when its sources do.
-func (g *Graph) PutVertex(key uint64, kind trace.Kind, frags []trace.Fragment, version uint64) {
+func (g *Graph) PutVertex(key uint64, kind trace.Kind, frags []trace.Fragment) {
 	v, ok := g.vertices[key]
 	if !ok {
 		v = &Vertex{Key: key}
@@ -150,21 +214,21 @@ func (g *Graph) PutVertex(key uint64, kind trace.Kind, frags []trace.Fragment, v
 	}
 	v.Kind = kind
 	g.frags += len(frags) - len(v.Fragments)
+	v.Gen = putGen(v.Gen, v.Fragments, frags)
 	v.Fragments = frags
-	v.Version = version
 	v.MinStart, v.MaxEnd = fragBounds(frags)
 }
 
 // PutEdge wholesale-replaces (or creates) an edge (see PutVertex).
-func (g *Graph) PutEdge(key trace.EdgeKey, frags []trace.Fragment, version uint64) {
+func (g *Graph) PutEdge(key trace.EdgeKey, frags []trace.Fragment) {
 	e, ok := g.edges[key]
 	if !ok {
 		e = &Edge{Key: key}
 		g.edges[key] = e
 	}
 	g.frags += len(frags) - len(e.Fragments)
+	e.Gen = putGen(e.Gen, e.Fragments, frags)
 	e.Fragments = frags
-	e.Version = version
 	e.MinStart, e.MaxEnd = fragBounds(frags)
 }
 

@@ -143,27 +143,72 @@ func TestPutMatchesAdd(t *testing.T) {
 	for _, f := range vfrags {
 		added.Add(f)
 	}
-	put.PutEdge(trace.EdgeKey{From: 1, To: 2}, frags, uint64(len(frags)))
-	put.PutVertex(9, trace.Comm, vfrags, uint64(len(vfrags)))
+	put.PutEdge(trace.EdgeKey{From: 1, To: 2}, frags)
+	put.PutVertex(9, trace.Comm, vfrags)
 	if put.NumFragments() != added.NumFragments() {
 		t.Fatalf("frag count %d, want %d", put.NumFragments(), added.NumFragments())
 	}
 	ea, ep := added.Edge(trace.EdgeKey{From: 1, To: 2}), put.Edge(trace.EdgeKey{From: 1, To: 2})
-	if ep.Version != ea.Version || ep.MinStart != ea.MinStart || ep.MaxEnd != ea.MaxEnd {
+	if ep.Gen.Count != ea.Gen.Count || ep.MinStart != ea.MinStart || ep.MaxEnd != ea.MaxEnd {
 		t.Fatalf("edge meta: put %+v, add %+v", ep, ea)
 	}
 	va, vp := added.Vertex(9), put.Vertex(9)
-	if vp.Version != va.Version || vp.MinStart != va.MinStart || vp.MaxEnd != va.MaxEnd || vp.Kind != va.Kind {
+	if vp.Gen.Count != va.Gen.Count || vp.MinStart != va.MinStart || vp.MaxEnd != va.MaxEnd || vp.Kind != va.Kind {
 		t.Fatalf("vertex meta: put %+v, add %+v", vp, va)
 	}
-	// Replacing with a grown slice adjusts the count and bounds.
-	grown := append(append([]trace.Fragment{}, frags...), fragComp(2, 1, 2, 500, 10))
-	put.PutEdge(trace.EdgeKey{From: 1, To: 2}, grown, uint64(len(grown)))
+	// Replacing with a grown slice adjusts the count and bounds. The
+	// copy shares no backing with the edge's slice, so the watermark
+	// must take an epoch bump (this is NOT a verified append).
+	grown := make([]trace.Fragment, 0, 8)
+	grown = append(grown, frags...)
+	grown = append(grown, fragComp(2, 1, 2, 500, 10))
+	epoch0 := put.Edge(trace.EdgeKey{From: 1, To: 2}).Gen.Epoch
+	put.PutEdge(trace.EdgeKey{From: 1, To: 2}, grown)
 	if put.NumFragments() != 4 {
 		t.Fatalf("frag count after regrow: %d", put.NumFragments())
 	}
-	if ep := put.Edge(trace.EdgeKey{From: 1, To: 2}); ep.MaxEnd != 510 || ep.Version != 3 {
+	if ep := put.Edge(trace.EdgeKey{From: 1, To: 2}); ep.MaxEnd != 510 || ep.Gen.Count != 3 || ep.Gen.Epoch != epoch0+1 {
 		t.Fatalf("edge meta after regrow: %+v", ep)
+	}
+	// An append that extends the same backing array keeps the epoch:
+	// the old fragments are a pointer-verified prefix of the new slice
+	// (grown has spare capacity above, so no reallocation happens).
+	extended := append(grown, fragComp(3, 1, 2, 600, 10))
+	put.PutEdge(trace.EdgeKey{From: 1, To: 2}, extended)
+	if ep2 := put.Edge(trace.EdgeKey{From: 1, To: 2}); ep2.Gen.Epoch != epoch0+1 || ep2.Gen.Count != 4 {
+		t.Fatalf("edge gen after in-place extension: %+v", ep2.Gen)
+	}
+}
+
+func TestGenSince(t *testing.T) {
+	g := New()
+	for i := 0; i < 5; i++ {
+		g.Add(fragComp(0, 1, 2, int64(i*10), 5))
+	}
+	e := g.Edge(trace.EdgeKey{From: 1, To: 2})
+	mark := e.Gen
+	if mark.Count != 5 {
+		t.Fatalf("gen count %d, want 5", mark.Count)
+	}
+	// Nothing new yet.
+	if delta, ok := e.Since(mark); !ok || len(delta) != 0 {
+		t.Fatalf("since(now): %d frags ok=%v", len(delta), ok)
+	}
+	for i := 5; i < 8; i++ {
+		g.Add(fragComp(0, 1, 2, int64(i*10), 5))
+	}
+	e = g.Edge(trace.EdgeKey{From: 1, To: 2})
+	delta, ok := e.Since(mark)
+	if !ok || len(delta) != 3 || delta[0].Start != 50 {
+		t.Fatalf("since(mark): %d frags ok=%v", len(delta), ok)
+	}
+	// A watermark from another epoch is unanswerable.
+	if _, ok := e.Since(Gen{Epoch: mark.Epoch + 1, Count: 1}); ok {
+		t.Fatal("cross-epoch since must fail")
+	}
+	// A watermark from the future (count beyond the log) likewise.
+	if _, ok := e.Since(Gen{Epoch: e.Gen.Epoch, Count: e.Gen.Count + 1}); ok {
+		t.Fatal("future since must fail")
 	}
 }
 

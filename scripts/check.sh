@@ -20,9 +20,11 @@ go test -race ./internal/mpi ./internal/collector ./internal/core \
 go test -race -count=2 -timeout 60s -run 'TestChaosSoakServerRestarts' \
 	./internal/collector
 # Bench smoke: one iteration, correctness only — no timing is recorded.
-# Output is kept for the CI artifact upload.
-go test -run xxx -bench 'BenchmarkPoolIngest$|BenchmarkWindowResults' \
-	-benchtime 1x . | tee bench-smoke.out
+# Raw output and the parsed BENCH_5.json are kept for the CI artifact
+# upload (the JSON is what tracks ns/op and allocs/op across PRs).
+go test -run xxx -bench 'BenchmarkPoolIngest$|BenchmarkWindowResults|BenchmarkMonitorTick' \
+	-benchtime 1x -benchmem . | tee bench-smoke.out
+go run ./cmd/benchjson -out BENCH_5.json < bench-smoke.out
 
 # Observability smoke: boot a real collector, scrape its metrics
 # endpoint with `vapro status`, and assert the cross-layer metric names
@@ -46,6 +48,7 @@ for name in vapro_uptime_seconds vapro_intake_staged vapro_intake_batches_total 
 	vapro_wire_seq_gaps_total vapro_net_batches_lost_total \
 	vapro_net_reconnects_total vapro_net_spill_depth \
 	vapro_detect_window_ns vapro_cluster_cache_hits \
+	vapro_cluster_cache_inc_hits vapro_detect_prep_rebuilds_total \
 	vapro_storage_bytes_per_rank_second; do
 	grep -q "$name" /tmp/vapro-metrics.out || {
 		echo "metrics endpoint missing $name"; exit 1; }
