@@ -37,11 +37,11 @@ bench:
 
 # One iteration of the ingestion-plane and monitor-tick benchmarks: a
 # smoke test, not a measurement (see EXPERIMENTS.md for recorded
-# numbers). The parsed numbers land in BENCH_5.json for the CI
+# numbers). The parsed numbers land in BENCH_6.json for the CI
 # artifact, so the perf trajectory is machine-readable across PRs.
 bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkPoolIngest$$|BenchmarkWindowResults|BenchmarkMonitorTick' -benchtime 1x -benchmem . | tee bench-smoke.out
-	$(GO) run ./cmd/benchjson -out BENCH_5.json < bench-smoke.out
+	$(GO) run ./cmd/benchjson -out BENCH_6.json < bench-smoke.out
 
 experiments:
 	$(GO) run ./cmd/vaproexp all

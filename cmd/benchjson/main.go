@@ -35,8 +35,30 @@ type report struct {
 	Benchmarks []bench `json:"benchmarks"`
 }
 
+// keepFastest collapses repeated lines of the same benchmark (as
+// produced by -count=N) into the single fastest one. Minimum-of-runs is
+// the standard noise-robust estimator on shared machines: external
+// interference only ever adds time, so the fastest run is the closest
+// observation of the code's own cost. First-seen order is preserved.
+func keepFastest(in []bench) []bench {
+	idx := make(map[string]int)
+	out := in[:0]
+	for _, b := range in {
+		if i, ok := idx[b.Name]; ok {
+			if b.NsPerOp < out[i].NsPerOp {
+				out[i] = b
+			}
+			continue
+		}
+		idx[b.Name] = len(out)
+		out = append(out, b)
+	}
+	return out
+}
+
 func main() {
 	out := flag.String("out", "", "write JSON here instead of stdout")
+	min := flag.Bool("min", false, "with -count runs, keep only each benchmark's fastest line (noise-robust estimator)")
 	flag.Parse()
 
 	var rep report
@@ -86,6 +108,9 @@ func main() {
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
 		os.Exit(1)
+	}
+	if *min {
+		rep.Benchmarks = keepFastest(rep.Benchmarks)
 	}
 
 	enc, err := json.MarshalIndent(&rep, "", "  ")

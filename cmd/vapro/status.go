@@ -131,6 +131,15 @@ func renderStatus(s *obs.Snapshot) string {
 	fmt.Fprintf(&b, "cluster   cache %.1f%% hit (%.0f hits, %.0f misses, %.0f evictions, %.0f entries)\n",
 		hitRate, hits, misses, val(s, "vapro_cluster_cache_evictions"), val(s, "vapro_cluster_cache_entries"))
 
+	// The sublinear steady-state planes: how much per-tick work the
+	// incremental paths absorbed vs paid in full.
+	fmt.Fprintf(&b, "steady    store appends %.0f (compactions %.0f)   region cells carried %.0f / regrown %.0f\n",
+		val(s, "vapro_detect_store_appends_total"), val(s, "vapro_detect_store_compactions_total"),
+		val(s, "vapro_detect_region_cells_carried_total"), val(s, "vapro_detect_region_cells_regrown_total"))
+	fmt.Fprintf(&b, "          view cursor advances %.0f / epoch rebases %.0f   ols rank-1 %.0f / refactors %.0f\n",
+		val(s, "vapro_view_cursor_advances_total"), val(s, "vapro_view_epoch_rebases_total"),
+		val(s, "vapro_ols_rank1_updates_total"), val(s, "vapro_ols_refactors_total"))
+
 	fmt.Fprintf(&b, "client    interceptions %.0f   dropped %.0f   bytes out %s   flushes %.0f\n",
 		val(s, "vapro_client_interceptions_total"), val(s, "vapro_client_dropped_total"),
 		humanBytes(val(s, "vapro_client_bytes_out_total")), val(s, "vapro_client_flushes_total"))

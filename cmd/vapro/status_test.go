@@ -63,6 +63,9 @@ func TestStatusRenderFromLivePool(t *testing.T) {
 		"detect    windows",
 		"latency p50",
 		"cluster",
+		"steady    store appends",
+		"view cursor advances",
+		"ols rank-1",
 		"client    interceptions",
 	} {
 		if !strings.Contains(out, want) {

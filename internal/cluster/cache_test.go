@@ -133,7 +133,7 @@ func TestCacheGenerationBumpTouchesOnlyGrownElement(t *testing.T) {
 		g.Add(trace.Fragment{Rank: 0, Kind: trace.Comp, From: 1, State: 2,
 			Counters: trace.CountersView{TotIns: 1_000_000}, Elapsed: 100})
 		g.Add(trace.Fragment{Rank: 0, Kind: trace.Comm, State: 2,
-			Args: trace.Args{Op: "Send", Bytes: 1024}, Elapsed: 10})
+			Args: trace.Args{Op: trace.Op("Send"), Bytes: 1024}, Elapsed: 10})
 	}
 	e := g.Edge(trace.EdgeKey{From: 1, To: 2})
 	v := g.Vertex(2)

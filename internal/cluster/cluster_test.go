@@ -20,7 +20,7 @@ func compFrag(ins uint64, elapsed int64) trace.Fragment {
 func commFrag(bytes, peer, tag int) trace.Fragment {
 	return trace.Fragment{
 		Kind: trace.Comm,
-		Args: trace.Args{Op: "Send", Bytes: bytes, Peer: peer, Tag: tag},
+		Args: trace.Args{Op: trace.Op("Send"), Bytes: bytes, Peer: peer, Tag: tag},
 	}
 }
 

@@ -36,6 +36,7 @@ package cluster
 import (
 	"cmp"
 	"slices"
+	"sort"
 
 	"vapro/internal/stg"
 	"vapro/internal/trace"
@@ -100,6 +101,14 @@ type incState struct {
 	// runStart[len(clusters)] == n. Valid because 1-D clusters are
 	// contiguous runs of the sorted order.
 	runStart []int32
+	// assign is the grow-only backing array behind the Assign slices of
+	// the Results produced so far. An advance whose patches all land in
+	// the appended suffix (every dirty run kept its index and the tail
+	// did not shift) extends it in place and hands out a longer
+	// length-capped view — older Results only see their own prefix, so
+	// sharing is safe. Any advance that must rewrite a prefix entry
+	// clones to a fresh array first and adopts that as the new backing.
+	assign []int
 }
 
 // newIncState captures the incremental state matching a batch Result.
@@ -168,23 +177,35 @@ func (s *incState) update(frags []trace.Fragment, prev Result, opt Options) (Res
 	}
 	slices.SortStableFunc(batch, func(a, b int32) int { return cmp.Compare(norms[a], norms[b]) })
 
-	// Merge the batch into the order, in place and from the back. On
-	// equal norms the old fragment takes the earlier slot (its index is
-	// smaller than every new index).
+	// Merge the batch into the order. Each insertion point among the old
+	// elements comes from a binary search (on a tie the old fragment goes
+	// first — its index is smaller than every new index), then the
+	// displaced old spans shift right in chunks. The byte traffic is the
+	// same as an element-wise backward walk, but without a norm compare
+	// and branch per moved element.
+	inserted := make([]int32, k) // final positions of the batch, ascending
+	ipos := make([]int32, k)     // insertion points among the old order
+	for j := 0; j < k; j++ {
+		nb := norms[batch[j]]
+		lo, hi := 0, s.n
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if norms[s.order[mid]] <= nb {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		ipos[j] = int32(lo)
+		inserted[j] = int32(lo + j)
+	}
 	s.order = append(s.order, batch...)
 	order := s.order
-	inserted := make([]int32, k) // final positions of the batch, ascending
-	io, ib, w := s.n-1, k-1, total-1
-	for ib >= 0 {
-		if io >= 0 && norms[order[io]] > norms[batch[ib]] {
-			order[w] = order[io]
-			io--
-		} else {
-			order[w] = batch[ib]
-			inserted[ib] = int32(w)
-			ib--
-		}
-		w--
+	moveHi := int32(s.n) // old positions [ipos[j], moveHi) still to shift
+	for j := k - 1; j >= 0; j-- {
+		copy(order[int(ipos[j])+j+1:int(moveHi)+j+1], order[ipos[j]:moveHi])
+		order[inserted[j]] = batch[j]
+		moveHi = ipos[j]
 	}
 
 	// The recompute starts at the run containing the predecessor of the
@@ -269,13 +290,14 @@ func (s *incState) update(frags []trace.Fragment, prev Result, opt Options) (Res
 		// absorbed candidates are exactly the contiguous span where
 		// norms[cand]-norms[seed] <= seedNorm*Threshold (for a zero
 		// seed norm both sides are 0, matching Run's zero special
-		// case).
+		// case). The norms are sorted along order, so the absorb
+		// predicate is monotone and the cut is a binary search away —
+		// the run's length no longer prices its recompute.
 		sn := norms[order[pos]]
 		maxDist := sn * t
-		e := pos
-		for e < total && norms[order[e]]-sn <= maxDist {
-			e++
-		}
+		e := pos + sort.Search(total-pos, func(i int) bool {
+			return norms[order[pos+i]]-sn > maxDist
+		})
 		mids = append(mids, midRun{a: int32(pos), b: int32(e)})
 		work += e - pos
 		pos = e
@@ -335,8 +357,25 @@ func (s *incState) update(frags []trace.Fragment, prev Result, opt Options) (Res
 			oldIdx = matchPtr
 		}
 		members := make([]int, r.b-r.a)
-		for p := r.a; p < r.b; p++ {
-			members[p-r.a] = int(order[p])
+		if oldIdx >= 0 {
+			// Grown run: splice the old (immutable) membership around the
+			// insertion points in chunks instead of widening every entry
+			// back out of the order array one by one.
+			oc := prev.Clusters[oldIdx].Members
+			op, np := 0, 0
+			for j := insStart; j < ai; j++ {
+				gap := int(inserted[j]-r.a) - np
+				copy(members[np:np+gap], oc[op:op+gap])
+				np += gap
+				op += gap
+				members[np] = int(batch[j])
+				np++
+			}
+			copy(members[np:], oc[op:])
+		} else {
+			for p := r.a; p < r.b; p++ {
+				members[p-r.a] = int(order[p])
+			}
 		}
 		c := Cluster{
 			Members:  members,
@@ -359,25 +398,63 @@ func (s *incState) update(frags []trace.Fragment, prev Result, opt Options) (Res
 	}
 	clusters = append(clusters, prev.Clusters[tailOld:]...)
 
-	assign := make([]int, total)
-	copy(assign, prev.Assign)
-	for i, r := range mids {
-		ci := r0 + i
-		if r.skip && ci == int(r.oldIdx) {
-			continue // index unchanged, old assignments still correct
-		}
-		for _, m := range clusters[ci].Members {
-			assign[m] = ci
+	// assign: when every dirty run kept its cluster index and the tail
+	// did not shift, the only entries that differ from prev.Assign are
+	// the k appended members — extend the shared grow-only backing in
+	// place (older Results hold length-capped prefixes of it, which the
+	// suffix writes cannot reach) and skip the O(n) prefix copy
+	// entirely. Otherwise clone prev's entries into a fresh array, apply
+	// the full patch set, and adopt the clone as the new backing.
+	shared := shift == 0 && s.assign != nil && len(prev.Assign) == s.n &&
+		(s.n == 0 || &prev.Assign[0] == &s.assign[0])
+	if shared {
+		for i := range mids {
+			if dirty[i].OldIndex != r0+i {
+				shared = false
+				break
+			}
 		}
 	}
-	if shift != 0 {
-		for ci := tailNew; ci < nc; ci++ {
+	var assign []int
+	if shared {
+		s.assign = append(s.assign, make([]int, k)...)
+		assign = s.assign
+		for i := range mids {
+			ci := r0 + i
+			for _, p := range dirty[i].AddedPos {
+				assign[clusters[ci].Members[p]] = ci
+			}
+		}
+	} else {
+		// append with a full-sliced base reallocates — growslice does not
+		// zero noscan memory, so the cost is one memmove of the prefix,
+		// not a zero+copy of the whole array.
+		assign = append(prev.Assign[:s.n:s.n], make([]int, k)...)
+		for i, r := range mids {
+			ci := r0 + i
+			if r.skip && ci == int(r.oldIdx) {
+				continue // index unchanged, old assignments still correct
+			}
+			if dr := dirty[i]; dr.OldIndex == ci {
+				for _, p := range dr.AddedPos {
+					assign[clusters[ci].Members[p]] = ci
+				}
+				continue
+			}
 			for _, m := range clusters[ci].Members {
 				assign[m] = ci
 			}
 		}
+		if shift != 0 {
+			for ci := tailNew; ci < nc; ci++ {
+				for _, m := range clusters[ci].Members {
+					assign[m] = ci
+				}
+			}
+		}
+		s.assign = assign
 	}
-	res := Result{Clusters: clusters, Assign: assign, Small: small}
+	res := Result{Clusters: clusters, Assign: assign[:total:total], Small: small}
 
 	// Commit the state.
 	newRunStart := make([]int32, 0, nc+1)

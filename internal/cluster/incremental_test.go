@@ -110,7 +110,7 @@ func TestIncrementalEquivalenceFuzz(t *testing.T) {
 				}
 				if rng.Intn(40) == 0 {
 					f.Kind = trace.Comm
-					f.Args = trace.Args{Op: "Send", Bytes: 1024}
+					f.Args = trace.Args{Op: trace.Op("Send"), Bytes: 1024}
 				}
 				frags = append(frags, f)
 				now += int64(rng.Intn(50))

@@ -37,6 +37,12 @@ type Options struct {
 	// Intake tunes the server intake path (staging shards, background
 	// merging, backpressure).
 	Intake IntakeOptions
+	// DisableDeltaView is the escape hatch for the delta-append merged
+	// view: when set, every changed multi-server element is rebuilt by
+	// full concatenation (the legacy path), which bumps its epoch and
+	// sends its analysis back through the batch plane. Results are
+	// unchanged either way.
+	DisableDeltaView bool
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -175,52 +181,80 @@ func (p *Pool) FragmentCount() int {
 // mergedView is the incrementally maintained union of every server's
 // STG. Each element's version in the view is the sum of the servers'
 // element generation counts (= the element's total append count), so a
-// refresh re-concatenates only the elements that actually grew, and an
+// refresh touches only the elements that actually grew, and an
 // unchanged pool refreshes in O(elements) version checks instead of
-// O(total fragments). Elements held by a single server skip the
-// concatenation entirely and hand the server's own (append-only) slice
-// to the view — PutEdge/PutVertex then see a pointer-verified prefix
-// extension and keep the element's generation epoch, which is what lets
-// the incremental clustering + prep planes stay warm across refreshes.
+// O(total fragments).
+//
+// Elements held by a single server hand the server's own (append-only)
+// slice to the view; PutEdgeLog/PutVertexLog keep the element's
+// generation epoch across the server's reallocations, which is what
+// lets the incremental clustering + prep planes stay warm. Elements
+// held by several servers keep a view-owned append log with a cursor
+// per server: a refresh appends each server's new suffix in fixed
+// server order (ExtendEdge/ExtendVertex), so the element's epoch stays
+// warm too — the old full re-concatenation bumped the epoch every
+// period and pushed every cross-server element back through the batch
+// plane. A rebase (full concat, epoch bump) happens only on the first
+// multi-server sighting, a server epoch change, a shrink, or the
+// DisableDeltaView hatch.
 type mergedView struct {
-	graph   *stg.Graph
-	edgeVer map[trace.EdgeKey]uint64
-	vertVer map[uint64]uint64
+	graph     *stg.Graph
+	edgeVer   map[trace.EdgeKey]uint64
+	vertVer   map[uint64]uint64
+	edgeElems map[trace.EdgeKey]*viewElem
+	vertElems map[uint64]*viewElem
 }
 
 func newMergedView() *mergedView {
 	return &mergedView{
-		graph:   stg.New(),
-		edgeVer: make(map[trace.EdgeKey]uint64),
-		vertVer: make(map[uint64]uint64),
+		graph:     stg.New(),
+		edgeVer:   make(map[trace.EdgeKey]uint64),
+		vertVer:   make(map[uint64]uint64),
+		edgeElems: make(map[trace.EdgeKey]*viewElem),
+		vertElems: make(map[uint64]*viewElem),
 	}
 }
 
+// viewElem is the per-element merge state: how much of each server's
+// append log is already in the view, and whether the view element's
+// backing array is view-owned. Extending in place is only legal on an
+// owned array — an element aliasing a server slice could otherwise
+// append into the server's spare capacity and clobber its log.
+type viewElem struct {
+	cursors []int    // per server: fragments already folded into the view
+	epochs  []uint64 // per server: epoch those cursors were taken against
+	owned   bool     // view owns the backing array (multi-server log)
+}
+
+// viewAccum is one element's per-refresh snapshot across servers,
+// indexed by server so the delta cursors line up refresh to refresh.
 type viewAccum struct {
-	ver   uint64
-	kind  trace.Kind
-	parts [][]trace.Fragment
+	ver    uint64
+	kind   trace.Kind
+	parts  [][]trace.Fragment
+	epochs []uint64
 }
 
 // refreshView folds the servers' current graphs into the merged view.
 // Per-server fragment slices are snapshotted (length-bounded) under the
 // server lock; stg appends never mutate the snapshotted prefix, so the
-// concatenation can run without holding any server lock. Caller holds
-// p.amu.
+// merge can run without holding any server lock. Caller holds p.amu.
 func (p *Pool) refreshView() *stg.Graph {
 	v := p.view
+	ns := len(p.servers)
 	eacc := make(map[trace.EdgeKey]*viewAccum)
 	vacc := make(map[uint64]*viewAccum)
-	for _, s := range p.servers {
+	for si, s := range p.servers {
 		s.mu.Lock()
 		for _, e := range s.graph.Edges() {
 			a := eacc[e.Key]
 			if a == nil {
-				a = &viewAccum{}
+				a = &viewAccum{parts: make([][]trace.Fragment, ns), epochs: make([]uint64, ns)}
 				eacc[e.Key] = a
 			}
 			a.ver += e.Gen.Count
-			a.parts = append(a.parts, e.Fragments[:len(e.Fragments):len(e.Fragments)])
+			a.parts[si] = e.Fragments[:len(e.Fragments):len(e.Fragments)]
+			a.epochs[si] = e.Gen.Epoch
 		}
 		for _, vx := range s.graph.Vertices() {
 			a := vacc[vx.Key]
@@ -228,41 +262,120 @@ func (p *Pool) refreshView() *stg.Graph {
 				// The first server holding the vertex decides its kind,
 				// matching a from-scratch merge (vertex kind comes from
 				// the first fragment added).
-				a = &viewAccum{kind: vx.Kind}
+				a = &viewAccum{kind: vx.Kind, parts: make([][]trace.Fragment, ns), epochs: make([]uint64, ns)}
 				vacc[vx.Key] = a
 			}
 			a.ver += vx.Gen.Count
-			a.parts = append(a.parts, vx.Fragments[:len(vx.Fragments):len(vx.Fragments)])
+			a.parts[si] = vx.Fragments[:len(vx.Fragments):len(vx.Fragments)]
+			a.epochs[si] = vx.Gen.Epoch
 		}
 		s.graph.EachName(v.graph.SetName)
 		s.mu.Unlock()
 	}
 	for k, a := range eacc {
-		if v.edgeVer[k] != a.ver {
-			v.graph.PutEdge(k, viewFrags(a.parts))
-			v.edgeVer[k] = a.ver
+		if v.edgeVer[k] == a.ver {
+			continue
 		}
+		applyView(p.opt.DisableDeltaView, p.met, a, v.edgeElems, k,
+			func(frags []trace.Fragment) { v.graph.PutEdge(k, frags) },
+			func(frags []trace.Fragment) { v.graph.PutEdgeLog(k, frags) },
+			func(frags []trace.Fragment) { v.graph.ExtendEdge(k, frags) },
+			func() { delete(v.edgeElems, k) })
+		v.edgeVer[k] = a.ver
 	}
 	for k, a := range vacc {
-		if v.vertVer[k] != a.ver {
-			v.graph.PutVertex(k, a.kind, viewFrags(a.parts))
-			v.vertVer[k] = a.ver
+		if v.vertVer[k] == a.ver {
+			continue
 		}
+		applyView(p.opt.DisableDeltaView, p.met, a, v.vertElems, k,
+			func(frags []trace.Fragment) { v.graph.PutVertex(k, a.kind, frags) },
+			func(frags []trace.Fragment) { v.graph.PutVertexLog(k, a.kind, frags) },
+			func(frags []trace.Fragment) { v.graph.ExtendVertex(k, a.kind, frags) },
+			func() { delete(v.vertElems, k) })
+		v.vertVer[k] = a.ver
 	}
 	return v.graph
 }
 
-// viewFrags turns the snapshotted parts into the view's fragment slice.
-// A single part is handed through as-is: the server's slice only ever
-// grows in place (stg appends never mutate the snapshotted prefix), so
-// successive refreshes present Put with a prefix-preserving extension
-// and the element's generation epoch survives. Multi-server elements
-// must interleave-concatenate, which rebuilds the backing array and
-// (correctly) bumps the epoch — their analysis takes the batch path.
-func viewFrags(parts [][]trace.Fragment) []trace.Fragment {
-	if len(parts) == 1 {
-		return parts[0]
+// applyView folds one changed element's snapshot into the view, choosing
+// between the aliased single-server log, the delta-append owned log,
+// and the full-concat rebase. put/putLog/extend close over the element
+// key; drop removes the element's merge state (hatch path).
+func applyView[K comparable](hatch bool, met *Metrics, a *viewAccum, elems map[K]*viewElem, k K,
+	put, putLog, extend func([]trace.Fragment), drop func()) {
+	if hatch {
+		// Legacy path: full concatenation for every changed element. The
+		// merge state is dropped so a later re-enable rebases from
+		// scratch instead of delta-appending onto unknown content.
+		put(viewConcat(a.parts))
+		drop()
+		return
 	}
+	holder := -1
+	holders := 0
+	for si, part := range a.parts {
+		if len(part) > 0 {
+			holder = si
+			holders++
+		}
+	}
+	if holders == 0 {
+		return
+	}
+	elem := elems[k]
+	if elem == nil {
+		elem = &viewElem{cursors: make([]int, len(a.parts)), epochs: make([]uint64, len(a.parts))}
+		elems[k] = elem
+	}
+	if holders == 1 {
+		// Single server: alias its append log. PutEdgeLog/PutVertexLog
+		// keep the view element's epoch across the server's slice
+		// reallocations (the caller-asserted logical prefix), so the
+		// analysis planes stay warm even at power-of-2 growth boundaries.
+		putLog(a.parts[holder])
+		elem.owned = false
+		for si := range elem.cursors {
+			elem.cursors[si] = len(a.parts[si])
+			elem.epochs[si] = a.epochs[si]
+		}
+		return
+	}
+	ok := elem.owned
+	if ok {
+		for si, part := range a.parts {
+			if elem.cursors[si] > len(part) || (elem.cursors[si] > 0 && elem.epochs[si] != a.epochs[si]) {
+				ok = false // a server rebased or shrank under the cursor
+				break
+			}
+		}
+	}
+	if !ok {
+		// First multi-server sighting (or a server-side rebase): rebuild
+		// the view element as a fresh owned concat. PutEdge sees a
+		// non-prefix replacement and bumps the epoch — the one analysis
+		// pass after a rebase runs batch, then the log is warm again.
+		put(viewConcat(a.parts))
+		elem.owned = true
+		for si := range elem.cursors {
+			elem.cursors[si] = len(a.parts[si])
+			elem.epochs[si] = a.epochs[si]
+		}
+		met.ViewEpochRebases.Inc()
+		return
+	}
+	for si, part := range a.parts {
+		if d := part[elem.cursors[si]:]; len(d) > 0 {
+			extend(d)
+			elem.cursors[si] = len(part)
+			elem.epochs[si] = a.epochs[si]
+			met.ViewCursorAdvances.Inc()
+		}
+	}
+}
+
+// viewConcat concatenates the snapshotted parts into a fresh slice the
+// view owns.
+func viewConcat(parts [][]trace.Fragment) []trace.Fragment {
 	n := 0
 	for _, p := range parts {
 		n += len(p)
@@ -314,6 +427,21 @@ func (p *Pool) WindowResults() []*WindowResult {
 		})
 	}
 	return out
+}
+
+// RunWindow analyzes one explicit window over the incrementally merged
+// view: drain the servers, fold their growth into the view (delta
+// appends for warm elements), and run the persistent analyzer. This is
+// the steady-state tick a driver loop pays per period — with warm
+// elements it costs O(new data), not O(resident fragments).
+func (p *Pool) RunWindow(start, end int64) *detect.Result {
+	p.drainAll()
+	p.amu.Lock()
+	defer p.amu.Unlock()
+	g := p.refreshView()
+	dopt := p.opt.Detect
+	dopt.Outages = p.seq.Outages()
+	return p.an.RunWindow(g, p.ranks, dopt, start, end)
 }
 
 // WindowResult is one analysis period's outcome.

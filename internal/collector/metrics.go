@@ -51,6 +51,20 @@ type Metrics struct {
 	NetSpillDepth    *obs.Gauge   // batches currently spilled awaiting a connection
 	NetSpillPeak     *obs.Gauge   // high-water mark of the spill queue
 
+	// View is the delta-append merged view's surface: cursor advances
+	// are refreshes that appended a server's new suffix in place (epoch
+	// kept warm), epoch rebases are full re-concatenations (first
+	// multi-server sighting, server-side rebase, or the hatch).
+	ViewCursorAdvances *obs.Counter
+	ViewEpochRebases   *obs.Counter
+
+	// OLS is the monitor's streaming-regression surface: rank-1 updates
+	// are fragments folded into warm per-cluster regression moments;
+	// refactors are cluster moment sets rebuilt from scratch (first
+	// sighting, epoch bump, non-append clustering change, or the hatch).
+	OLSRank1Updates *obs.Counter
+	OLSRefactors    *obs.Counter
+
 	// Detect is the per-window analysis surface (latency, stage spans).
 	Detect *detect.Metrics
 	// Client is the interposition-layer surface shared by traced ranks.
@@ -112,6 +126,14 @@ func NewMetrics() *Metrics {
 			"batches currently spilled awaiting a connection"),
 		NetSpillPeak: reg.Gauge("vapro_net_spill_peak", "net",
 			"high-water mark of the spill queue"),
+		ViewCursorAdvances: reg.Counter("vapro_view_cursor_advances_total", "view",
+			"merged-view refreshes that delta-appended a server's new suffix in place"),
+		ViewEpochRebases: reg.Counter("vapro_view_epoch_rebases_total", "view",
+			"merged-view elements rebuilt by full concatenation (epoch bumped)"),
+		OLSRank1Updates: reg.Counter("vapro_ols_rank1_updates_total", "ols",
+			"fragments folded into warm regression moments by rank-1 updates"),
+		OLSRefactors: reg.Counter("vapro_ols_refactors_total", "ols",
+			"per-cluster regression moment sets rebuilt from scratch"),
 		Detect: detect.NewMetrics(reg),
 		Client: interpose.NewMetrics(reg),
 	}

@@ -45,6 +45,14 @@ type Monitor struct {
 	nextStart sim.Time
 	events    []Event
 	stage     int
+
+	// olsStreams holds each edge's warm per-cluster regression moments
+	// (see monitor_ols.go), maintained by the analyzer's cluster-delta
+	// hook. Guarded by olsMu, NOT m.mu: the hook fires from the window
+	// analysis's worker pool while analyzeWindowLocked holds m.mu.
+	olsMu      sync.Mutex
+	olsStreams map[cluster.Key]*elemMoments
+	olsFactors []diagnose.Factor
 }
 
 // MonitorOptions configures the online loop.
@@ -66,6 +74,12 @@ type MonitorOptions struct {
 	Classes []detect.Class
 	// MaxStage caps how far the progressive arming may descend.
 	MaxStage int
+	// DisableStreamingOLS is the escape hatch for the streaming §4.2
+	// quantification: when set, the monitor keeps no warm regression
+	// moments and DiagnoseEvent quantifies with the batch QuantifyOLS
+	// over the collected cluster populations (the legacy path). The two
+	// paths are pinned equivalent by TestMonitorStreamingOLSEquivalence.
+	DisableStreamingOLS bool
 }
 
 // DefaultMonitorOptions mirrors the offline defaults.
@@ -109,17 +123,20 @@ func NewMonitor(pool *Pool, opt MonitorOptions) *Monitor {
 		opt.MaxStage = 3
 	}
 	m := &Monitor{
-		pool:     pool,
-		opt:      opt,
-		graph:    stg.New(),
-		analyzer: detect.NewAnalyzer(),
-		rankHigh: make(map[int]sim.Time),
-		stage:    1,
+		pool:       pool,
+		opt:        opt,
+		graph:      stg.New(),
+		analyzer:   detect.NewAnalyzer(),
+		rankHigh:   make(map[int]sim.Time),
+		stage:      1,
+		olsStreams: make(map[cluster.Key]*elemMoments),
+		olsFactors: olsFactorsFor(opt.MaxStage),
 	}
 	// The monitor's analyzer is where windows actually run with a
 	// monitor in front: point the detect instrumentation and the
 	// cache-derived metrics at it (replacing the pool's registrations).
 	m.analyzer.SetMetrics(pool.met.Detect)
+	m.analyzer.SetClusterDeltaHook(m.observeClustering)
 	m.registerMonitorDerived()
 	return m
 }
@@ -298,6 +315,7 @@ func (m *Monitor) DiagnoseEvent(ev *Event, opt diagnose.Options) *diagnose.Repor
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var clusters [][]trace.Fragment
+	var edges []*stg.Edge
 	seen := map[trace.EdgeKey]bool{}
 	for _, s := range ev.Regions[0].Samples {
 		if !s.ClusterRef.IsEdge || seen[s.ClusterRef.Edge] {
@@ -308,6 +326,7 @@ func (m *Monitor) DiagnoseEvent(ev *Event, opt diagnose.Options) *diagnose.Repor
 		if e == nil {
 			continue
 		}
+		edges = append(edges, e)
 		cl := m.analyzer.Cache().Run(cluster.EdgeKey(e.Key), e.Gen, e.Fragments, m.opt.Detect.Cluster)
 		for ci := range cl.Clusters {
 			if !cl.Clusters[ci].Fixed {
@@ -319,6 +338,13 @@ func (m *Monitor) DiagnoseEvent(ev *Event, opt diagnose.Options) *diagnose.Repor
 			}
 			clusters = append(clusters, sub)
 		}
+	}
+	// When every involved edge has warm regression moments at the
+	// current generation, the §4.2 quantification answers from them
+	// instead of refitting over the resident populations; otherwise the
+	// default batch QuantifyOLS runs unchanged.
+	if q := m.streamQuantifier(edges); q != nil {
+		opt.Quantifier = q
 	}
 	return diagnose.New(opt).Run(diagnose.SliceSource(clusters))
 }

@@ -1,0 +1,187 @@
+package collector
+
+import (
+	"vapro/internal/cluster"
+	"vapro/internal/diagnose"
+	"vapro/internal/stg"
+	"vapro/internal/trace"
+)
+
+// Streaming §4.2 quantification: the monitor keeps each edge cluster's
+// regression moments (diagnose.ClusterMoments) warm as the cluster
+// population grows, driven by the detect analyzer's cluster-delta hook.
+// When DiagnoseEvent later needs the OLS quantification, the moments
+// are already pooled — no walk over the resident fragment populations —
+// so the diagnosis cost of a steady-state tick stops scaling with how
+// much data is resident. The moment-form quantification is pinned
+// against the batch QuantifyOLS by the equivalence fuzz in
+// internal/diagnose.
+
+// elemMoments is one edge's warm regression state: a moment accumulator
+// per cluster of the edge's last-seen clustering, parallel to
+// Result.Clusters.
+type elemMoments struct {
+	gen     stg.Gen
+	streams []*diagnose.ClusterMoments
+	fixed   []bool
+}
+
+// olsFactorsFor returns the factor set the monitor accumulates moments
+// for: the OS factors reachable within maxStage, matching what the
+// progressive controller will feed the quantifier.
+func olsFactorsFor(maxStage int) []diagnose.Factor {
+	var out []diagnose.Factor
+	for _, f := range diagnose.OSFactors() {
+		if f.Stage() <= maxStage {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func sameFactors(a, b []diagnose.Factor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func buildClusterMoments(factors []diagnose.Factor, frags []trace.Fragment, members []int) *diagnose.ClusterMoments {
+	cm := diagnose.NewClusterMoments(factors)
+	for _, idx := range members {
+		cm.Add(&frags[idx])
+	}
+	return cm
+}
+
+// observeClustering is the analyzer hook: fired for every element
+// clustering a window analysis consults, concurrently from the pass's
+// workers. It advances the edge's warm moments by the clustering Delta
+// — rank-1 Adds for appended members of grown clusters, carried
+// pointers for untouched clusters — and rebuilds from scratch when the
+// delta does not connect to the recorded generation.
+func (m *Monitor) observeClustering(key cluster.Key, gen stg.Gen, frags []trace.Fragment, res cluster.Result, d cluster.Delta) {
+	if !key.IsEdge || m.opt.DisableStreamingOLS {
+		return
+	}
+	m.olsMu.Lock()
+	defer m.olsMu.Unlock()
+	em := m.olsStreams[key]
+	if em != nil && em.gen == gen {
+		return // unchanged element (or a repeat consult of this generation)
+	}
+	if em == nil {
+		em = &elemMoments{}
+		m.olsStreams[key] = em
+	}
+	if !d.Full && em.gen == d.From && len(em.streams) > 0 {
+		if m.advanceMoments(em, frags, res, d) {
+			em.gen = gen
+			return
+		}
+	}
+	// No usable relationship to the recorded state: rebuild every
+	// cluster's moments from its membership.
+	em.streams = make([]*diagnose.ClusterMoments, len(res.Clusters))
+	em.fixed = make([]bool, len(res.Clusters))
+	for i := range res.Clusters {
+		em.streams[i] = buildClusterMoments(m.olsFactors, frags, res.Clusters[i].Members)
+		em.fixed[i] = res.Clusters[i].Fixed
+	}
+	em.gen = gen
+	m.pool.met.OLSRefactors.Add(uint64(len(res.Clusters)))
+}
+
+// advanceMoments patches em's streams by the delta. Returns false if an
+// index falls outside the recorded state (the caller then rebuilds).
+func (m *Monitor) advanceMoments(em *elemMoments, frags []trace.Fragment, res cluster.Result, d cluster.Delta) bool {
+	old := em.streams
+	if d.Prefix > len(old) || d.TailOld > len(old) {
+		return false
+	}
+	streams := make([]*diagnose.ClusterMoments, len(res.Clusters))
+	fixed := make([]bool, len(res.Clusters))
+	var adds, rebuilt uint64
+	for i := range res.Clusters {
+		switch {
+		case i < d.Prefix:
+			streams[i] = old[i]
+		case i >= d.TailNew:
+			oi := i - d.TailNew + d.TailOld
+			if oi < 0 || oi >= len(old) {
+				return false
+			}
+			streams[i] = old[oi]
+		default:
+			if i-d.Prefix >= len(d.Dirty) {
+				return false
+			}
+			dr := d.Dirty[i-d.Prefix]
+			members := res.Clusters[i].Members
+			if dr.OldIndex >= 0 && dr.OldIndex < len(old) {
+				cm := old[dr.OldIndex]
+				for _, pos := range dr.AddedPos {
+					if int(pos) >= len(members) {
+						return false
+					}
+					cm.Add(&frags[members[pos]])
+				}
+				adds += uint64(len(dr.AddedPos))
+				streams[i] = cm
+			} else {
+				streams[i] = buildClusterMoments(m.olsFactors, frags, members)
+				rebuilt++
+			}
+		}
+		fixed[i] = res.Clusters[i].Fixed
+	}
+	em.streams, em.fixed = streams, fixed
+	if adds > 0 {
+		m.pool.met.OLSRank1Updates.Add(adds)
+	}
+	if rebuilt > 0 {
+		m.pool.met.OLSRefactors.Add(rebuilt)
+	}
+	return true
+}
+
+// streamQuantifier returns a diagnose quantifier backed by the warm
+// moments of the given edges, or nil when the streaming plane cannot
+// serve this diagnosis (hatch on, a stream missing or at a stale
+// generation) — the caller then leaves the default batch QuantifyOLS in
+// place. Caller holds m.mu; edges must come from the monitor's graph so
+// their Gen fields describe the populations the diagnosis will walk.
+func (m *Monitor) streamQuantifier(edges []*stg.Edge) func([][]trace.Fragment, []diagnose.Factor) *diagnose.OLSQuant {
+	if m.opt.DisableStreamingOLS {
+		return nil
+	}
+	var streams []*diagnose.ClusterMoments
+	m.olsMu.Lock()
+	for _, e := range edges {
+		em := m.olsStreams[cluster.EdgeKey(e.Key)]
+		if em == nil || em.gen != e.Gen {
+			m.olsMu.Unlock()
+			return nil
+		}
+		for ci, cm := range em.streams {
+			if em.fixed[ci] {
+				streams = append(streams, cm)
+			}
+		}
+	}
+	m.olsMu.Unlock()
+	want := m.olsFactors
+	return func(clusters [][]trace.Fragment, kept []diagnose.Factor) *diagnose.OLSQuant {
+		if !sameFactors(kept, want) {
+			// The diagnosis runs at a different stage depth than the
+			// moments were accumulated for: fall back to the batch fit.
+			return diagnose.QuantifyOLS(clusters, kept)
+		}
+		return diagnose.QuantifyMoments(streams, kept)
+	}
+}

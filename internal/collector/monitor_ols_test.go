@@ -1,0 +1,230 @@
+package collector
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vapro/internal/diagnose"
+	"vapro/internal/stg"
+	"vapro/internal/trace"
+)
+
+func olsClose(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return math.Float64bits(a) == math.Float64bits(b)
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return math.Abs(a-b) <= tol*scale
+}
+
+// feedOLSMonitor streams a deterministic 4-rank run with OS-noise
+// counters planted on every fragment (so the §4.2 quantification has
+// signal) and a 2x slowdown on rank 2 during [40ms, 70ms) (so windows
+// produce events).
+func feedOLSMonitor(m *Monitor, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for rank := 0; rank < 4; rank++ {
+		t := int64(0)
+		var batch []trace.Fragment
+		for t < 100_000_000 {
+			susp := rng.Int63n(50_000)
+			soft := uint64(rng.Intn(30))
+			hard := uint64(rng.Intn(5))
+			vol := uint64(rng.Intn(20))
+			invol := uint64(rng.Intn(8))
+			sig := uint64(rng.Intn(3))
+			el := int64(1_000_000) + susp + int64(soft)*1_000 + int64(hard)*20_000 +
+				int64(vol)*800 + int64(invol)*4_000 + rng.Int63n(10_000)
+			if rank == 2 && t >= 40_000_000 && t < 70_000_000 {
+				el *= 2
+			}
+			batch = append(batch, trace.Fragment{
+				Rank: rank, Kind: trace.Comp, From: 1, State: 2,
+				Start: t, Elapsed: el,
+				Counters: trace.CountersView{
+					TotIns: 1_000_000, Cycles: 500_000,
+					SuspensionNS: susp, SoftPF: soft, HardPF: hard,
+					VolCS: vol, InvolCS: invol, Signals: sig,
+				},
+			})
+			t += el
+			if len(batch) == 8 {
+				m.Consume(rank, batch)
+				batch = nil
+			}
+		}
+		m.Consume(rank, batch)
+	}
+	m.Flush()
+}
+
+// eventEdges replicates DiagnoseEvent's edge collection so the test can
+// verify the streaming quantifier actually serves the event (rather
+// than silently falling back to the batch path).
+func eventEdges(m *Monitor, ev *Event) []*stg.Edge {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var edges []*stg.Edge
+	seen := map[trace.EdgeKey]bool{}
+	for _, s := range ev.Regions[0].Samples {
+		if !s.ClusterRef.IsEdge || seen[s.ClusterRef.Edge] {
+			continue
+		}
+		seen[s.ClusterRef.Edge] = true
+		if e := m.graph.Edge(s.ClusterRef.Edge); e != nil {
+			edges = append(edges, e)
+		}
+	}
+	return edges
+}
+
+// TestMonitorStreamingOLSEquivalence pins the streaming §4.2 plane to
+// the batch one: two monitors fed the identical run — one quantifying
+// from warm moments, one with the hatch set — must detect the same
+// events, produce the same formula-based diagnosis, and agree on the
+// statistical quantification within floating-point reassociation.
+// MaxStage 2 keeps the factor set full-rank (the stage-3 leaves are
+// exact summands of their parents, where drop order is rounding-
+// dependent by nature — see the diagnose equivalence fuzz).
+func TestMonitorStreamingOLSEquivalence(t *testing.T) {
+	run := func(hatch bool) (*Monitor, []Event, *diagnose.Report) {
+		pool := NewPool(4, DefaultOptions())
+		opt := monOpts(4)
+		opt.MaxStage = 2
+		opt.DisableStreamingOLS = hatch
+		m := NewMonitor(pool, opt)
+		feedOLSMonitor(m, 777)
+		events := m.Drain()
+		if len(events) == 0 {
+			t.Fatal("monitor produced no events")
+		}
+		dopt := diagnose.DefaultOptions()
+		dopt.MaxStage = 2
+		rep := m.DiagnoseEvent(&events[0], dopt)
+		if rep == nil {
+			t.Fatal("no diagnosis")
+		}
+		return m, events, rep
+	}
+	ms, evS, repS := run(false)
+	mh, evH, repH := run(true)
+
+	// Detection is independent of the quantification plane.
+	if len(evS) != len(evH) {
+		t.Fatalf("event counts differ: %d streaming vs %d hatch", len(evS), len(evH))
+	}
+	for i := range evS {
+		if evS[i].WindowStart != evH[i].WindowStart || evS[i].WindowEnd != evH[i].WindowEnd ||
+			len(evS[i].Regions) != len(evH[i].Regions) {
+			t.Fatalf("event %d differs: %+v vs %+v", i, evS[i], evH[i])
+		}
+	}
+
+	// The streaming monitor must actually have served the event from
+	// warm moments, and its counters must show the plane at work.
+	if q := ms.streamQuantifier(eventEdges(ms, &evS[0])); q == nil {
+		t.Fatal("streaming quantifier unavailable for the diagnosed event")
+	}
+	if ms.pool.met.OLSRank1Updates.Load() == 0 {
+		t.Fatal("streaming monitor performed no rank-1 moment updates")
+	}
+	if ms.pool.met.OLSRefactors.Load() == 0 {
+		t.Fatal("streaming monitor recorded no initial moment builds")
+	}
+	if mh.pool.met.OLSRank1Updates.Load() != 0 || mh.pool.met.OLSRefactors.Load() != 0 {
+		t.Fatal("hatch monitor touched the streaming plane")
+	}
+
+	// Formula-based diagnosis is identical; the OLS quantification
+	// agrees within reassociation tolerance.
+	if repS.AbnormalFrags != repH.AbnormalFrags || repS.NormalFrags != repH.NormalFrags ||
+		repS.AnalyzedNS != repH.AnalyzedNS || repS.TotalSlowdownNS != repH.TotalSlowdownNS {
+		t.Fatalf("formula diagnosis differs: %+v vs %+v", repS, repH)
+	}
+	qs, qh := repS.OLS, repH.OLS
+	if (qs == nil) != (qh == nil) {
+		t.Fatalf("OLS presence differs: %v vs %v", qs, qh)
+	}
+	if qs == nil {
+		t.Fatal("diagnosis produced no OLS quantification")
+	}
+	if len(qs.Dropped) != len(qh.Dropped) {
+		t.Fatalf("dropped sets differ: %v vs %v", qs.Dropped, qh.Dropped)
+	}
+	for i := range qs.Dropped {
+		if qs.Dropped[i] != qh.Dropped[i] {
+			t.Fatalf("dropped[%d]: %v vs %v", i, qs.Dropped[i], qh.Dropped[i])
+		}
+	}
+	if !olsClose(qs.FGStat, qh.FGStat, 1e-6) || !olsClose(qs.FGPValue, qh.FGPValue, 1e-6) ||
+		!olsClose(qs.R2, qh.R2, 1e-6) {
+		t.Fatalf("fit differs: FG (%v,%v) R2 %v vs FG (%v,%v) R2 %v",
+			qs.FGStat, qs.FGPValue, qs.R2, qh.FGStat, qh.FGPValue, qh.R2)
+	}
+	if len(qs.PValue) != len(qh.PValue) || len(qs.TimePerUnit) != len(qh.TimePerUnit) {
+		t.Fatalf("factor sets differ: %v vs %v", qs, qh)
+	}
+	for f, wp := range qh.PValue {
+		gp, ok := qs.PValue[f]
+		if !ok || !olsClose(gp, wp, 1e-6) {
+			t.Fatalf("PValue[%v]: %v (ok=%v) vs %v", f, gp, ok, wp)
+		}
+	}
+	for f, wv := range qh.TimePerUnit {
+		gv, ok := qs.TimePerUnit[f]
+		if !ok || !olsClose(gv, wv, 1e-6) {
+			t.Fatalf("TimePerUnit[%v]: %v (ok=%v) vs %v", f, gv, ok, wv)
+		}
+	}
+
+	// At least one factor must have been quantified — otherwise the
+	// equivalence above is vacuous.
+	if len(qs.TimePerUnit) == 0 {
+		t.Fatal("no factor quantified; the workload should expose OS-noise signal")
+	}
+}
+
+// TestMonitorStreamingOLSStaleFallback: an edge that grew after the
+// last window analysis has moments at an older generation — the
+// streaming plane must refuse to serve it rather than quantify stale
+// data.
+func TestMonitorStreamingOLSStaleFallback(t *testing.T) {
+	pool := NewPool(4, DefaultOptions())
+	opt := monOpts(4)
+	opt.MaxStage = 2
+	m := NewMonitor(pool, opt)
+	feedOLSMonitor(m, 778)
+	events := m.Drain()
+	if len(events) == 0 {
+		t.Fatal("no events")
+	}
+	edges := eventEdges(m, &events[0])
+	if q := m.streamQuantifier(edges); q == nil {
+		t.Fatal("quantifier should be warm after Flush")
+	}
+	// Grow the edge past the analyzed generation without closing a new
+	// window: only rank 0 reports, so no window completes and no
+	// analysis refreshes the moments.
+	m.Consume(0, []trace.Fragment{{
+		Rank: 0, Kind: trace.Comp, From: 1, State: 2,
+		Start: 200_000_000, Elapsed: 1_000_000,
+		Counters: trace.CountersView{TotIns: 1_000_000},
+	}})
+	edges = eventEdges(m, &events[0])
+	if q := m.streamQuantifier(edges); q != nil {
+		t.Fatal("stale moments served: generation check failed")
+	}
+	// DiagnoseEvent still works via the batch fallback.
+	dopt := diagnose.DefaultOptions()
+	dopt.MaxStage = 2
+	if rep := m.DiagnoseEvent(&events[0], dopt); rep == nil || rep.OLS == nil {
+		t.Fatal("batch fallback did not produce a diagnosis")
+	}
+}

@@ -173,7 +173,7 @@ func TestWireFragmentFidelity(t *testing.T) {
 		Rank: 0, Kind: trace.Comm, From: 7, State: 9,
 		Start: 123, Elapsed: 456,
 		Counters: trace.CountersView{TotIns: 11, Cycles: 22, SlotsDRAM: 33, InvolCS: 44},
-		Args:     trace.Args{Op: "Send", Bytes: 1024, Peer: 3, Tag: 5},
+		Args:     trace.Args{Op: trace.Op("Send"), Bytes: 1024, Peer: 3, Tag: 5},
 		Static:   true, Truth: 99,
 	}
 	conn, _ := net.Dial("tcp", ln.Addr().String())

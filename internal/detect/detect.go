@@ -49,8 +49,19 @@ type Options struct {
 	// generation change re-clusters and re-normalizes from scratch.
 	// Results are bit-identical either way; this exists to benchmark
 	// the incremental plane against its baseline and as an escape
-	// hatch.
+	// hatch. It is the master switch — it also disables the chunked
+	// sample store and incremental region growing below.
 	DisableIncremental bool
+	// DisableSampleStore forces the flat prep representation: sample
+	// populations are kept as contiguous per-class arrays rebuilt (or
+	// merge-patched) per advance instead of the chunked append-only
+	// store. Results are bit-identical either way.
+	DisableSampleStore bool
+	// DisableIncrementalRegions forces region growing to run from
+	// scratch every window instead of carrying unchanged regions over
+	// from the previous window's overlap. Results are bit-identical
+	// either way.
+	DisableIncrementalRegions bool
 }
 
 // Outage is one rank's data-loss interval in virtual time: batches
@@ -245,10 +256,24 @@ type Analyzer struct {
 	mu    sync.Mutex
 	preps map[cluster.Key]*prepElem
 
+	// regionCarry holds each class's region-growing carry-over (see
+	// regions_inc.go). Stage-2 workers each own exactly one class slot,
+	// so the fixed array needs no locking.
+	regionCarry [numClasses]*regionCarryState
+
 	// met, when set via SetMetrics, receives per-pass latency and
 	// per-stage span observations; clock is its worker-side scratch.
 	met   *Metrics
 	clock stageClock
+
+	// clusterHook, when set, observes every clustering a detection pass
+	// consulted, together with the Delta relating it to the previous
+	// generation. The monitor's streaming-OLS plane hangs off this to
+	// keep per-cluster regression moments warm without a second
+	// clustering pass. Called from stage-1 workers CONCURRENTLY — the
+	// handler must do its own locking (and must not call back into the
+	// Analyzer, which would deadlock on the pass's internal locks).
+	clusterHook func(key cluster.Key, gen stg.Gen, frags []trace.Fragment, res cluster.Result, d cluster.Delta)
 }
 
 // NewAnalyzer returns an Analyzer with an empty clustering cache.
@@ -260,6 +285,18 @@ func NewAnalyzer() *Analyzer {
 // diagnosis drill-down in core, the monitor's event diagnosis) reuse
 // the same per-element clusterings detection computed.
 func (a *Analyzer) Cache() *cluster.Cache { return a.cache }
+
+// SetClusterDeltaHook registers fn to observe each element clustering a
+// pass consults: the element key, the generation analyzed, the fragment
+// population, the (shared, read-only) clustering and the Delta from the
+// previous generation. An unchanged element reports its own generation
+// as Delta.From with nothing dirty; an incremental advance reports the
+// previous generation, so a consumer pinned to it can patch derived
+// state by the delta and rebuild otherwise. fn is called concurrently
+// from the pass's worker pool.
+func (a *Analyzer) SetClusterDeltaHook(fn func(key cluster.Key, gen stg.Gen, frags []trace.Fragment, res cluster.Result, d cluster.Delta)) {
+	a.clusterHook = fn
+}
 
 // Run clusters every STG edge and vertex of g, normalizes performance
 // within each fixed cluster, and builds heat maps and variance regions
@@ -309,6 +346,12 @@ func (o *elemOut) sampleCount(c int) int {
 		return 0
 	}
 	if o.whole[c] {
+		if o.prep.storeMode() {
+			if Class(c) == o.prep.class {
+				return o.prep.liveCount
+			}
+			return 0
+		}
 		return len(o.prep.samples[c])
 	}
 	return len(o.sel[c])
@@ -400,6 +443,22 @@ func (a *Analyzer) run(g *stg.Graph, ranks int, opt Options, start, end, origin 
 			continue
 		}
 		for c := 0; c < numClasses; c++ {
+			if o.prep.storeMode() {
+				// Store-backed elements materialize lazily: Perf,
+				// Covered and the cluster index are derived from
+				// current cluster state as samples are copied out.
+				if Class(c) != o.prep.class {
+					continue
+				}
+				if o.whole[c] {
+					if o.prep.liveCount > 0 {
+						res.Samples[Class(c)] = o.prep.appendAllStore(res.Samples[Class(c)])
+					}
+				} else if len(o.sel[c]) > 0 {
+					res.Samples[Class(c)] = o.prep.appendStore(res.Samples[Class(c)], o.sel[c])
+				}
+				continue
+			}
 			if o.whole[c] {
 				if len(o.prep.samples[c]) > 0 {
 					res.Samples[Class(c)] = append(res.Samples[Class(c)], o.prep.samples[c]...)
@@ -450,7 +509,7 @@ func (a *Analyzer) run(g *stg.Graph, ranks int, opt Options, start, end, origin 
 		}
 		h.markStale(opt.Outages)
 		maps[c] = h
-		regions[c] = growRegions(h, samples, opt)
+		regions[c] = a.growRegionsFor(Class(c), h, samples, opt)
 	})
 	for c := 0; c < numClasses; c++ {
 		if maps[c] != nil {

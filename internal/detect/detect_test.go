@@ -144,10 +144,10 @@ func TestClassSeparation(t *testing.T) {
 				Counters: trace.CountersView{TotIns: 1000, Cycles: 500}})
 			g.Add(trace.Fragment{Rank: rank, Kind: trace.Comm, State: 2,
 				Start: int64(i)*2_000_000 + 1_000_000, Elapsed: 500_000,
-				Args: trace.Args{Op: "Send", Bytes: 1024}})
+				Args: trace.Args{Op: trace.Op("Send"), Bytes: 1024}})
 			g.Add(trace.Fragment{Rank: rank, Kind: trace.IO, State: 3,
 				Start: int64(i)*2_000_000 + 1_500_000, Elapsed: 250_000,
-				Args: trace.Args{Op: "read", Bytes: 4096}})
+				Args: trace.Args{Op: trace.Op("read"), Bytes: 4096}})
 		}
 	}
 	res := Run(g, 2, opts())

@@ -133,10 +133,10 @@ func runEquivSchedule(t *testing.T, seed int64, advances, rebuilds *atomic.Uint6
 				f.State = vstates[rng.Intn(len(vstates))]
 				if rng.Intn(2) == 0 {
 					f.Kind = trace.Comm
-					f.Args = trace.Args{Op: "Allreduce", Bytes: 1 << uint(rng.Intn(4))}
+					f.Args = trace.Args{Op: trace.Op("Allreduce"), Bytes: 1 << uint(rng.Intn(4))}
 				} else {
 					f.Kind = trace.IO
-					f.Args = trace.Args{Op: "write", Bytes: 4096}
+					f.Args = trace.Args{Op: trace.Op("write"), Bytes: 4096}
 				}
 			} else {
 				f.Kind = trace.Comp

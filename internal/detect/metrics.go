@@ -38,6 +38,19 @@ type Metrics struct {
 	// DirtySpanPct is the distribution of the dirty-span ratio (percent
 	// of the sorted order each incremental advance recomputed).
 	DirtySpanPct *obs.Histogram
+	// StoreAppends counts samples appended to chunked sample stores
+	// (both initial builds and incremental advances).
+	StoreAppends *obs.Counter
+	// StoreCompactions counts store rebuilds forced by the dead-sample
+	// threshold (an advance retired too much; the element re-emitted
+	// into a fresh store).
+	StoreCompactions *obs.Counter
+	// RegionCellsCarried counts heat-map cells whose region membership
+	// was carried over from the previous window unchanged.
+	RegionCellsCarried *obs.Counter
+	// RegionCellsRegrown counts heat-map cells the region-growing pass
+	// actually revisited (changed, shifted out of overlap, or batch).
+	RegionCellsRegrown *obs.Counter
 }
 
 // NewMetrics registers the detection metrics into reg.
@@ -56,6 +69,14 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		DirtySpanPct: reg.Histogram("vapro_detect_dirty_span_pct", "detect",
 			"dirty-span ratio of incremental advances (percent of sorted order recomputed)",
 			[]int64{1, 2, 5, 10, 25, 50, 100}),
+		StoreAppends: reg.Counter("vapro_detect_store_appends_total", "detect",
+			"samples appended to chunked sample stores"),
+		StoreCompactions: reg.Counter("vapro_detect_store_compactions_total", "detect",
+			"sample-store rebuilds forced by the dead-sample threshold"),
+		RegionCellsCarried: reg.Counter("vapro_detect_region_cells_carried_total", "detect",
+			"heat-map cells carried over from the previous window's regions"),
+		RegionCellsRegrown: reg.Counter("vapro_detect_region_cells_regrown_total", "detect",
+			"heat-map cells revisited by region growing"),
 	}
 }
 

@@ -159,10 +159,10 @@ func TestMixedKindVertexClassedPerFragment(t *testing.T) {
 		// fragments as Communication too.
 		g.Add(trace.Fragment{Rank: 0, Kind: trace.Comm, State: 9,
 			Start: int64(i) * 2_000_000, Elapsed: 500_000,
-			Args: trace.Args{Op: "Send", Bytes: 1024}})
+			Args: trace.Args{Op: trace.Op("Send"), Bytes: 1024}})
 		g.Add(trace.Fragment{Rank: 0, Kind: trace.IO, State: 9,
 			Start: int64(i)*2_000_000 + 1_000_000, Elapsed: 250_000,
-			Args: trace.Args{Op: "read", Bytes: 65536}})
+			Args: trace.Args{Op: trace.Op("read"), Bytes: 65536}})
 	}
 	res := detect.Run(g, 1, detect.DefaultOptions())
 	if n := len(res.Samples[detect.Communication]); n != 10 {

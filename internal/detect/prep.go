@@ -64,6 +64,31 @@ type prepElem struct {
 	spanOff []int32
 	// cstate[ci] is cluster ci's normalization state.
 	cstate []clustState
+
+	// Chunked-store representation (see store.go), used instead of
+	// samples/sampleIdx/fragIdx/spanOff for 1-D computation elements
+	// when the store path is enabled. store == nil means flat.
+	store *sampleStore
+	// ids[ci] is cluster ci's stable id; slotOf[id] maps an id back to
+	// its current cluster index (-1 once retired). minFrag caches the
+	// normalized coverage threshold.
+	ids     []int32
+	slotOf  []int32
+	nextID  int32
+	minFrag int
+	// liveCount is store.n minus retired samples — the store-mode
+	// whole-population sample count.
+	liveCount int
+	// sampleSeg/fragSeg are the segmented span indexes over store
+	// positions / fragment indexes.
+	sampleSeg segIndex
+	fragSeg   segIndex
+	// wholeOrder caches the canonical order of all live positions,
+	// invalidated per advance, rebuilt lazily on the merge stage.
+	wholeOrder []int32
+	// storeCompactPending is set when an advance refused because dead
+	// samples would exceed the compaction threshold; prepFor rebuilds.
+	storeCompactPending bool
 }
 
 // clustState tracks what one cluster's emission depends on, so an
@@ -79,6 +104,14 @@ type clustState struct {
 	best    int64
 	fixedNS int64
 	perRank map[int]int
+
+	// Store-mode extras (zero/nil on the flat path): perRankNS sums
+	// elapsed per rank so a coverage crossing can flip a rank's whole
+	// prior contribution without revisiting stored samples; nStored
+	// counts the cluster's samples living in the store (for delta
+	// validation and retirement accounting).
+	perRankNS map[int]int64
+	nStored   int32
 }
 
 // spanIndex answers "which spans overlap [start, end)" over a fixed set
@@ -198,27 +231,49 @@ func (a *Analyzer) prepFor(key cluster.Key, gen stg.Gen, frags []trace.Fragment,
 	if met != nil {
 		a.clock.clusterNS.Add(since(t0))
 	}
+	if h := a.clusterHook; h != nil {
+		h(key, gen, frags, cl, d)
+	}
 	a.mu.Lock()
 	p := a.preps[key]
 	a.mu.Unlock()
-	if p != nil && p.gen == gen && p.nfrags == len(frags) && p.copt == opt.Cluster {
+	// A store-backed prep is never served or advanced once the store
+	// path is disabled (the escape hatches must produce flat-path
+	// behavior); the reverse direction keeps a warm flat prep — it is
+	// equally correct and re-enables the store on the next rebuild.
+	storeOff := opt.DisableIncremental || opt.DisableSampleStore
+	if p != nil && p.gen == gen && p.nfrags == len(frags) && p.copt == opt.Cluster &&
+		!(storeOff && p.storeMode()) {
 		return p
 	}
 	if met != nil {
 		t0 = time.Now()
+	}
+	var storeN0 int32
+	if p != nil && p.storeMode() {
+		storeN0 = p.store.n
 	}
 	if p != nil && !opt.DisableIncremental && p.advance(frags, cl, d, opt, gen) {
 		if met != nil {
 			a.clock.normNS.Add(since(t0))
 			met.PrepIncremental.Inc()
 			met.DirtySpanPct.Observe(int64(d.Ratio*100 + 0.5))
+			if p.storeMode() {
+				met.StoreAppends.Add(uint64(p.store.n - storeN0))
+			}
 		}
 		return p
+	}
+	if met != nil && p != nil && p.storeCompactPending {
+		met.StoreCompactions.Inc()
 	}
 	p = buildPrep(frags, cl, ref, opt, gen)
 	if met != nil {
 		a.clock.normNS.Add(since(t0))
 		met.PrepRebuilds.Inc()
+		if p.storeMode() {
+			met.StoreAppends.Add(uint64(p.store.n))
+		}
 	}
 	a.mu.Lock()
 	a.preps[key] = p
@@ -230,6 +285,9 @@ func (a *Analyzer) prepFor(key cluster.Key, gen stg.Gen, frags []trace.Fragment,
 // normalizeElement does with an unbounded window) and indexes the
 // outputs for window slicing.
 func buildPrep(frags []trace.Fragment, cl cluster.Result, ref ClusterRef, opt Options, gen stg.Gen) *prepElem {
+	if storeEligible(frags, opt) {
+		return buildPrepStore(frags, cl, ref, opt, gen)
+	}
 	p := &prepElem{gen: gen, nfrags: len(frags), copt: opt.Cluster, ref: ref}
 	minFrag := opt.Cluster.MinFragments
 	if minFrag <= 0 {
@@ -341,6 +399,10 @@ func buildPrep(frags []trace.Fragment, cl cluster.Result, ref ClusterRef, opt Op
 // positions. The merge step copies each selected sample exactly once
 // into the final right-sized result slice.
 func (p *prepElem) window(start, end int64, out *elemOut) {
+	if p.storeMode() {
+		p.windowStore(start, end, out)
+		return
+	}
 	out.prep = p
 	out.fixedClusters = p.fixedClusters
 	out.smallClusters = p.smallClusters

@@ -188,7 +188,7 @@ func equivGraph() *stg.Graph {
 				Rank: rank, Kind: k, State: 3,
 				Start:   int64(i)*8_000_000 + int64(rank),
 				Elapsed: 400_000 + int64(i%4)*1000,
-				Args:    trace.Args{Op: "Allreduce", Bytes: 1 << 14},
+				Args:    trace.Args{Op: trace.Op("Allreduce"), Bytes: 1 << 14},
 			})
 		}
 	}
@@ -276,7 +276,7 @@ func TestPrepEquivalenceAfterGrowth(t *testing.T) {
 		g.Add(trace.Fragment{
 			Rank: rank, Kind: trace.Comm, State: 3,
 			Start: 82_000_000 + int64(rank), Elapsed: 500_000,
-			Args: trace.Args{Op: "Allreduce", Bytes: 1 << 14},
+			Args: trace.Args{Op: trace.Op("Allreduce"), Bytes: 1 << 14},
 		})
 	}
 	check()

@@ -39,6 +39,12 @@ import (
 // the whole population. Every piece lands bit-identical to a rebuild —
 // pinned by the analyzer equivalence fuzz.
 func (p *prepElem) advance(frags []trace.Fragment, cl cluster.Result, d cluster.Delta, opt Options, gen stg.Gen) bool {
+	if p.storeMode() {
+		if opt.DisableSampleStore {
+			return false // representation mismatch: rebuild flat
+		}
+		return p.advanceStore(frags, cl, d, opt, gen)
+	}
 	if d.Full || !p.singleClass || p.cstate == nil || p.copt != opt.Cluster || d.From != p.gen {
 		return false
 	}

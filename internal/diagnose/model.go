@@ -115,6 +115,14 @@ func StageOne() []Factor {
 	return []Factor{FrontendBound, BadSpeculation, Retiring, BackendBound, Suspension}
 }
 
+// OSFactors lists the suspension-related factors §4.2 quantifies
+// statistically, in the order the progressive controller feeds them to
+// the quantifier (filtered by stage before use).
+func OSFactors() []Factor {
+	return []Factor{Suspension, PageFault, ContextSwitch, Signal,
+		SoftPageFault, HardPageFault, VoluntaryCS, InvoluntaryCS}
+}
+
 // RequiredGroup returns the counter group a factor's quantification
 // needs armed — this is what the progressive controller asks clients to
 // switch to when it refines into the factor.

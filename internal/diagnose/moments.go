@@ -1,0 +1,382 @@
+package diagnose
+
+import (
+	"math"
+	"sort"
+
+	"vapro/internal/stats"
+	"vapro/internal/trace"
+)
+
+// ClusterMoments accumulates one fixed-workload cluster's contribution
+// to the §4.2 pooled regression in moment form: raw second moments of
+// v = [1, f1..fk, elapsed] plus per-column min/max. The per-cluster
+// [0,1] normalization that buildOLSData applies fragment-by-fragment is
+// an affine map, so it can be applied to the moments at solve time
+// (normalized moments = T·M·T' for the triangular T built from the
+// current lo/span) — which is what lets a cluster grow by rank-1 Adds
+// while the quantification stays equivalent to refitting from scratch.
+//
+// Raw values are shifted by the first-seen member's values so the
+// accumulated products stay small (Start- and TotIns-sized magnitudes
+// would otherwise eat the mantissa and break the 1e-9 equivalence).
+type ClusterMoments struct {
+	factors []Factor
+	n       int
+	m       []float64 // (k+2)×(k+2) row-major moments of the shifted v
+	shift   []float64 // first member's raw [f1..fk, y]
+	lo, hi  []float64 // raw per-column min/max [f1..fk, y]
+	buf     []float64 // scratch v, preallocated so Add never allocates
+}
+
+// NewClusterMoments returns an accumulator for the given factor set.
+func NewClusterMoments(factors []Factor) *ClusterMoments {
+	k := len(factors)
+	d := k + 2
+	c := &ClusterMoments{
+		factors: factors,
+		m:       make([]float64, d*d),
+		shift:   make([]float64, k+1),
+		lo:      make([]float64, k+1),
+		hi:      make([]float64, k+1),
+		buf:     make([]float64, d),
+	}
+	for j := range c.lo {
+		c.lo[j] = math.MaxFloat64
+		c.hi[j] = -math.MaxFloat64
+	}
+	return c
+}
+
+// N returns the number of fragments accumulated.
+func (c *ClusterMoments) N() int { return c.n }
+
+// Add folds one cluster member into the moments. It never allocates.
+func (c *ClusterMoments) Add(frag *trace.Fragment) {
+	k := len(c.factors)
+	d := k + 2
+	v := c.buf
+	v[0] = 1
+	for j, f := range c.factors {
+		raw := Metric(f, frag)
+		if c.n == 0 {
+			c.shift[j] = raw
+		}
+		c.lo[j] = math.Min(c.lo[j], raw)
+		c.hi[j] = math.Max(c.hi[j], raw)
+		v[j+1] = raw - c.shift[j]
+	}
+	y := float64(frag.Elapsed)
+	if c.n == 0 {
+		c.shift[k] = y
+	}
+	c.lo[k] = math.Min(c.lo[k], y)
+	c.hi[k] = math.Max(c.hi[k], y)
+	v[k+1] = y - c.shift[k]
+	for i := 0; i < d; i++ {
+		row := c.m[i*d:]
+		vi := v[i]
+		for j := 0; j < d; j++ {
+			row[j] += vi * v[j]
+		}
+	}
+	c.n++
+}
+
+// span returns column j's normalization span under buildOLSData's rule
+// (hi−lo, degenerate spans forced to 1) and whether it was degenerate.
+func (c *ClusterMoments) span(j int) (float64, bool) {
+	s := c.hi[j] - c.lo[j]
+	if s <= 0 {
+		return 1, true
+	}
+	return s, false
+}
+
+// normalized returns T·M·T': the moments of [1, x1..xk, y] after the
+// per-cluster [0,1] normalization. Row 0 of T is e0; row j is
+// e_j/span_j − (lo'_j/span_j)·e0 with lo' = lo − shift, because the
+// stored moments are of the shifted values.
+func (c *ClusterMoments) normalized() []float64 {
+	k := len(c.factors)
+	d := k + 2
+	scale := make([]float64, d)
+	off := make([]float64, d)
+	scale[0] = 1
+	for j := 1; j < d; j++ {
+		s, _ := c.span(j - 1)
+		scale[j] = 1 / s
+		off[j] = -(c.lo[j-1] - c.shift[j-1]) / s
+	}
+	// T has one off-diagonal column (the intercept), so T·M·T' expands
+	// cheaply: P[i][j] = si·sj·M[i][j] + si·oj·M[i][0] + oi·sj·M[0][j]
+	// + oi·oj·M[0][0].
+	p := make([]float64, d*d)
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			p[i*d+j] = scale[i]*scale[j]*c.m[i*d+j] +
+				scale[i]*off[j]*c.m[i*d] +
+				off[i]*scale[j]*c.m[j] +
+				off[i]*off[j]*c.m[0]
+		}
+	}
+	return p
+}
+
+// momentData is the pooled normalized moment form of olsData.
+type momentData struct {
+	factors []Factor
+	k       int
+	n       int
+	p       []float64 // (k+2)×(k+2) pooled normalized moments
+	// degenerate[j]: every contributing cluster had no variation in
+	// factor j — the moment-form equivalent of a constant column.
+	degenerate []bool
+	yNormSum   float64   // Σ n_c·ySpan_c (mean per-observation y scale ×N)
+	fNormSum   []float64 // per factor: Σ n_c·span_c
+}
+
+// poolMoments folds the per-cluster moments into the pooled design,
+// skipping clusters below the 3-member floor exactly like buildOLSData.
+func poolMoments(streams []*ClusterMoments, factors []Factor) *momentData {
+	k := len(factors)
+	d := k + 2
+	md := &momentData{
+		factors:    factors,
+		k:          k,
+		p:          make([]float64, d*d),
+		degenerate: make([]bool, k+1),
+		fNormSum:   make([]float64, k),
+	}
+	for j := range md.degenerate {
+		md.degenerate[j] = true
+	}
+	for _, c := range streams {
+		if c == nil || c.n < 3 {
+			continue
+		}
+		md.n += c.n
+		cp := c.normalized()
+		for i := range md.p {
+			md.p[i] += cp[i]
+		}
+		for j := 0; j < k; j++ {
+			s, deg := c.span(j)
+			if !deg {
+				md.degenerate[j] = false
+			}
+			md.fNormSum[j] += float64(c.n) * s
+		}
+		ySpan, ydeg := c.span(k)
+		if !ydeg {
+			md.degenerate[k] = false
+		}
+		md.yNormSum += float64(c.n) * ySpan
+	}
+	return md
+}
+
+// cross returns the pooled centered cross-moment Σ(xi−x̄i)(xj−x̄j) of
+// normalized columns i and j (k+2 indexing: 0 intercept, 1..k factors,
+// k+1 elapsed).
+func (md *momentData) cross(i, j int) float64 {
+	d := md.k + 2
+	n := float64(md.n)
+	return md.p[i*d+j] - md.p[i]*md.p[j]/n
+}
+
+// corr is the moment form of stats.Corr over two normalized columns.
+func (md *momentData) corr(i, j int) float64 {
+	sxx, syy := md.cross(i, i), md.cross(j, j)
+	if sxx <= 0 || syy <= 0 {
+		return 0
+	}
+	return md.cross(i, j) / math.Sqrt(sxx*syy)
+}
+
+// farrarGlauber is the moment form of stats.FarrarGlauber over the
+// active columns.
+func (md *momentData) farrarGlauber(cols []int, alpha float64) (stat, p float64, multi bool) {
+	k := len(cols)
+	if k < 2 {
+		return 0, 1, false
+	}
+	r := stats.NewMatrix(k, k)
+	for i := 0; i < k; i++ {
+		r.Set(i, i, 1)
+		for j := i + 1; j < k; j++ {
+			c := md.corr(cols[i], cols[j])
+			r.Set(i, j, c)
+			r.Set(j, i, c)
+		}
+	}
+	det := r.Det()
+	if det <= 0 {
+		return math.Inf(1), 0, true
+	}
+	stat = -(float64(md.n-1) - (2*float64(k)+5)/6) * math.Log(det)
+	if stat < 0 {
+		stat = 0
+	}
+	df := float64(k*(k-1)) / 2
+	p = stats.ChiSquareSF(stat, df)
+	return stat, p, p < alpha
+}
+
+// solve runs SolveMomentOLS regressing column y on the given columns.
+func (md *momentData) solve(cols []int, y int) (*stats.OLSResult, error) {
+	d := md.k + 2
+	kk := len(cols)
+	xtx := make([]float64, (kk+1)*(kk+1))
+	xty := make([]float64, kk+1)
+	at := func(i, j int) float64 { return md.p[i*d+j] }
+	xtx[0] = at(0, 0)
+	xty[0] = at(0, y)
+	for i, ci := range cols {
+		xtx[i+1] = at(0, ci)
+		xtx[(i+1)*(kk+1)] = at(ci, 0)
+		xty[i+1] = at(ci, y)
+		for j, cj := range cols {
+			xtx[(i+1)*(kk+1)+j+1] = at(ci, cj)
+		}
+	}
+	return stats.SolveMomentOLS(md.n, kk, xtx, xty, at(y, y))
+}
+
+// vif is the moment form of stats.VIF over the active columns.
+func (md *momentData) vif(cols []int) []float64 {
+	out := make([]float64, len(cols))
+	for j := range cols {
+		others := make([]int, 0, len(cols)-1)
+		for i, c := range cols {
+			if i != j {
+				others = append(others, c)
+			}
+		}
+		if len(others) == 0 {
+			out[j] = 1
+			continue
+		}
+		res, err := md.solve(others, cols[j])
+		if err != nil {
+			out[j] = math.Inf(1)
+			continue
+		}
+		if res.R2 >= 1 {
+			out[j] = math.Inf(1)
+		} else {
+			out[j] = 1 / (1 - res.R2)
+		}
+	}
+	return out
+}
+
+// QuantifyMoments is QuantifyOLS computed from incrementally maintained
+// cluster moments instead of the flat per-fragment design: the same
+// constant-column screen, the same Farrar–Glauber drop loop with the
+// same VIF rule, the same final fit, significance filter, rescaling and
+// dropped-factor estimation. Results agree with QuantifyOLS to
+// floating-point reassociation (1e-9 relative in the equivalence fuzz);
+// decisions (drops, significance) are identical away from exact
+// threshold ties.
+func QuantifyMoments(streams []*ClusterMoments, factors []Factor) *OLSQuant {
+	q := &OLSQuant{
+		TimePerUnit: make(map[Factor]float64),
+		PValue:      make(map[Factor]float64),
+	}
+	md := poolMoments(streams, factors)
+	if md.n < len(factors)+3 {
+		return q
+	}
+	col := func(f Factor) int {
+		for i, ff := range factors {
+			if ff == f {
+				return i + 1
+			}
+		}
+		return -1
+	}
+	yCol := md.k + 1
+
+	active := make([]Factor, 0, len(factors))
+	for i, f := range factors {
+		if !md.degenerate[i] {
+			active = append(active, f)
+		}
+	}
+	sort.Slice(active, func(i, j int) bool { return active[i] < active[j] })
+
+	cols := func() []int {
+		out := make([]int, len(active))
+		for i, f := range active {
+			out[i] = col(f)
+		}
+		return out
+	}
+	for len(active) >= 2 {
+		stat, p, multi := md.farrarGlauber(cols(), 0.05)
+		q.FGStat, q.FGPValue = stat, p
+		if !multi {
+			break
+		}
+		vifs := md.vif(cols())
+		worst, worstV := 0, -1.0
+		for i, v := range vifs {
+			if math.IsInf(v, 1) {
+				worst, worstV = i, math.Inf(1)
+				break
+			}
+			if v > worstV {
+				worst, worstV = i, v
+			}
+		}
+		if worstV < 5 {
+			break
+		}
+		q.Dropped = append(q.Dropped, active[worst])
+		active = append(active[:worst], active[worst+1:]...)
+	}
+
+	if len(active) == 0 {
+		return q
+	}
+	res, err := md.solve(cols(), yCol)
+	if err != nil {
+		return q
+	}
+	q.R2 = res.R2
+
+	ys := md.yNormSum / float64(md.n)
+	for i, f := range active {
+		q.PValue[f] = res.PValue[i+1]
+		if res.PValue[i+1] >= 0.05 {
+			continue
+		}
+		xsc := md.fNormSum[col(f)-1] / float64(md.n)
+		if xsc == 0 {
+			continue
+		}
+		q.TimePerUnit[f] = res.Coef[i+1] * ys / xsc
+	}
+
+	for _, df := range q.Dropped {
+		best, bestCorr := Factor(-1), 0.0
+		for _, kf := range active {
+			if _, ok := q.TimePerUnit[kf]; !ok {
+				continue
+			}
+			c := md.corr(col(df), col(kf))
+			if math.Abs(c) > math.Abs(bestCorr) {
+				best, bestCorr = kf, c
+			}
+		}
+		if best >= 0 && math.Abs(bestCorr) > 0.5 {
+			xdc := md.fNormSum[col(df)-1] / float64(md.n)
+			xkc := md.fNormSum[col(best)-1] / float64(md.n)
+			if xdc > 0 {
+				q.TimePerUnit[df] = bestCorr * q.TimePerUnit[best] * xkc / xdc
+			}
+		}
+	}
+	return q
+}

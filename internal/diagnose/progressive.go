@@ -22,6 +22,13 @@ type Options struct {
 	// UseOLS enables the statistical quantification for unquantifiable
 	// factors; otherwise their contribution is reported in counts.
 	UseOLS bool
+	// Quantifier overrides how the §4.2 statistical quantification is
+	// computed when UseOLS is set. nil means QuantifyOLS over the
+	// collected clusters; the monitor's streaming plane injects a
+	// moment-based quantifier here so diagnosis reuses incrementally
+	// maintained sufficient statistics instead of refitting from the
+	// flat design.
+	Quantifier func(clusters [][]trace.Fragment, factors []Factor) *OLSQuant
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -263,15 +270,18 @@ func (d *Diagnoser) Run(src Source) *Report {
 	// OLS quantification for unquantifiable factors, fitted on the
 	// full cluster populations (normal + abnormal) as §4.2 does.
 	if d.opt.UseOLS {
-		osFactors := []Factor{Suspension, PageFault, ContextSwitch, Signal,
-			SoftPageFault, HardPageFault, VoluntaryCS, InvoluntaryCS}
+		osFactors := OSFactors()
 		kept := osFactors[:0:0]
 		for _, f := range osFactors {
 			if f.Stage() <= d.opt.MaxStage {
 				kept = append(kept, f)
 			}
 		}
-		rep.OLS = QuantifyOLS(clusters, kept)
+		quant := d.opt.Quantifier
+		if quant == nil {
+			quant = QuantifyOLS
+		}
+		rep.OLS = quant(clusters, kept)
 	}
 
 	// contribution computes a factor's excess over reference summed

@@ -9,6 +9,7 @@ import (
 	"vapro/internal/detect"
 	"vapro/internal/heatmap"
 	"vapro/internal/noise"
+	"vapro/internal/trace"
 	"vapro/internal/sim"
 	"vapro/internal/stats"
 )
@@ -111,9 +112,9 @@ func Fig18(w io.Writer, scale Scale) *Fig18Result {
 				continue
 			}
 			switch f.Args.Op {
-			case "read":
+			case trace.OpRead:
 				r.ReadTimes = append(r.ReadTimes, float64(f.Elapsed)/1e9)
-			case "write":
+			case trace.OpWrite:
 				r.WriteTimes = append(r.WriteTimes, float64(f.Elapsed)/1e9)
 			}
 		}

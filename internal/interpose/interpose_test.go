@@ -113,7 +113,7 @@ func TestCallSitesDistinguished(t *testing.T) {
 	})
 	states := map[uint64]bool{}
 	for _, f := range sink.byKind(trace.Comm) {
-		if f.Args.Op == "Send" {
+		if f.Args.Op == trace.OpSend {
 			states[f.State] = true
 		}
 	}
@@ -281,7 +281,7 @@ func TestIOInterception(t *testing.T) {
 	io := sink.byKind(trace.IO)
 	ops := map[string]int{}
 	for _, f := range io {
-		ops[f.Args.Op]++
+		ops[f.Args.Op.String()]++
 	}
 	if ops["open"] != 1 || ops["read"] != 1 || ops["close"] != 1 {
 		t.Fatalf("IO ops: %v", ops)

@@ -52,7 +52,7 @@ func (t *Traced) Send(dst, tag, bytes int) {
 	st := t.state(1)
 	entry := t.beginExternal(st)
 	t.r.Send(dst, tag, bytes)
-	t.endExternal(st, trace.Comm, entry, trace.Args{Op: "Send", Bytes: bytes, Peer: dst, Tag: tag})
+	t.endExternal(st, trace.Comm, entry, trace.Args{Op: trace.OpSend, Bytes: bytes, Peer: dst, Tag: tag})
 }
 
 // Recv implements rt.Runtime.
@@ -60,7 +60,7 @@ func (t *Traced) Recv(src, tag int) int {
 	st := t.state(1)
 	entry := t.beginExternal(st)
 	n, _ := t.r.Recv(src, tag)
-	t.endExternal(st, trace.Comm, entry, trace.Args{Op: "Recv", Bytes: n, Peer: src, Tag: tag})
+	t.endExternal(st, trace.Comm, entry, trace.Args{Op: trace.OpRecv, Bytes: n, Peer: src, Tag: tag})
 	return n
 }
 
@@ -69,7 +69,7 @@ func (t *Traced) Sendrecv(dst, sendTag, bytes, src, recvTag int) int {
 	st := t.state(1)
 	entry := t.beginExternal(st)
 	n, _ := t.r.Sendrecv(dst, sendTag, bytes, src, recvTag)
-	t.endExternal(st, trace.Comm, entry, trace.Args{Op: "Sendrecv", Bytes: bytes, Peer: dst, Tag: sendTag})
+	t.endExternal(st, trace.Comm, entry, trace.Args{Op: trace.OpSendrecv, Bytes: bytes, Peer: dst, Tag: sendTag})
 	return n
 }
 
@@ -78,7 +78,7 @@ func (t *Traced) Isend(dst, tag, bytes int) rt.Req {
 	st := t.state(1)
 	entry := t.beginExternal(st)
 	q := t.r.Isend(dst, tag, bytes)
-	t.endExternal(st, trace.Comm, entry, trace.Args{Op: "Isend", Bytes: bytes, Peer: dst, Tag: tag})
+	t.endExternal(st, trace.Comm, entry, trace.Args{Op: trace.OpIsend, Bytes: bytes, Peer: dst, Tag: tag})
 	return q
 }
 
@@ -87,7 +87,7 @@ func (t *Traced) Irecv(src, tag int) rt.Req {
 	st := t.state(1)
 	entry := t.beginExternal(st)
 	q := t.r.Irecv(src, tag)
-	t.endExternal(st, trace.Comm, entry, trace.Args{Op: "Irecv", Bytes: 0, Peer: src, Tag: tag})
+	t.endExternal(st, trace.Comm, entry, trace.Args{Op: trace.OpIrecv, Bytes: 0, Peer: src, Tag: tag})
 	return q
 }
 
@@ -97,7 +97,7 @@ func (t *Traced) Wait(q rt.Req) {
 	entry := t.beginExternal(st)
 	req := q.(*mpi.Request)
 	t.r.Wait(req)
-	t.endExternal(st, trace.Comm, entry, trace.Args{Op: "Wait", Bytes: req.Bytes()})
+	t.endExternal(st, trace.Comm, entry, trace.Args{Op: trace.OpWait, Bytes: req.Bytes()})
 }
 
 // Waitall implements rt.Runtime.
@@ -110,7 +110,7 @@ func (t *Traced) Waitall(qs []rt.Req) {
 		t.r.Wait(req)
 		total += req.Bytes()
 	}
-	t.endExternal(st, trace.Comm, entry, trace.Args{Op: "Waitall", Bytes: total, Mode: len(qs)})
+	t.endExternal(st, trace.Comm, entry, trace.Args{Op: trace.OpWaitall, Bytes: total, Mode: len(qs)})
 }
 
 // Barrier implements rt.Runtime.
@@ -118,7 +118,7 @@ func (t *Traced) Barrier() {
 	st := t.state(1)
 	entry := t.beginExternal(st)
 	t.r.Barrier()
-	t.endExternal(st, trace.Sync, entry, trace.Args{Op: "Barrier", Peer: -1})
+	t.endExternal(st, trace.Sync, entry, trace.Args{Op: trace.OpBarrier, Peer: -1})
 }
 
 // Bcast implements rt.Runtime.
@@ -126,7 +126,7 @@ func (t *Traced) Bcast(root, bytes int) {
 	st := t.state(1)
 	entry := t.beginExternal(st)
 	t.r.Bcast(root, bytes)
-	t.endExternal(st, trace.Comm, entry, trace.Args{Op: "Bcast", Bytes: bytes, Peer: root, Mode: t.r.Size()})
+	t.endExternal(st, trace.Comm, entry, trace.Args{Op: trace.OpBcast, Bytes: bytes, Peer: root, Mode: t.r.Size()})
 }
 
 // Reduce implements rt.Runtime.
@@ -134,7 +134,7 @@ func (t *Traced) Reduce(root, bytes int) {
 	st := t.state(1)
 	entry := t.beginExternal(st)
 	t.r.Reduce(root, bytes)
-	t.endExternal(st, trace.Comm, entry, trace.Args{Op: "Reduce", Bytes: bytes, Peer: root, Mode: t.r.Size()})
+	t.endExternal(st, trace.Comm, entry, trace.Args{Op: trace.OpReduce, Bytes: bytes, Peer: root, Mode: t.r.Size()})
 }
 
 // Allreduce implements rt.Runtime.
@@ -142,7 +142,7 @@ func (t *Traced) Allreduce(bytes int) {
 	st := t.state(1)
 	entry := t.beginExternal(st)
 	t.r.Allreduce(bytes)
-	t.endExternal(st, trace.Comm, entry, trace.Args{Op: "Allreduce", Bytes: bytes, Peer: -1, Mode: t.r.Size()})
+	t.endExternal(st, trace.Comm, entry, trace.Args{Op: trace.OpAllreduce, Bytes: bytes, Peer: -1, Mode: t.r.Size()})
 }
 
 // Alltoall implements rt.Runtime.
@@ -150,7 +150,7 @@ func (t *Traced) Alltoall(bytesPerRank int) {
 	st := t.state(1)
 	entry := t.beginExternal(st)
 	t.r.Alltoall(bytesPerRank)
-	t.endExternal(st, trace.Comm, entry, trace.Args{Op: "Alltoall", Bytes: bytesPerRank, Peer: -1, Mode: t.r.Size()})
+	t.endExternal(st, trace.Comm, entry, trace.Args{Op: trace.OpAlltoall, Bytes: bytesPerRank, Peer: -1, Mode: t.r.Size()})
 }
 
 // Allgather implements rt.Runtime.
@@ -158,7 +158,7 @@ func (t *Traced) Allgather(bytesPerRank int) {
 	st := t.state(1)
 	entry := t.beginExternal(st)
 	t.r.Allgather(bytesPerRank)
-	t.endExternal(st, trace.Comm, entry, trace.Args{Op: "Allgather", Bytes: bytesPerRank, Peer: -1, Mode: t.r.Size()})
+	t.endExternal(st, trace.Comm, entry, trace.Args{Op: trace.OpAllgather, Bytes: bytesPerRank, Peer: -1, Mode: t.r.Size()})
 }
 
 // Gather implements rt.Runtime.
@@ -166,7 +166,7 @@ func (t *Traced) Gather(root, bytesPerRank int) {
 	st := t.state(1)
 	entry := t.beginExternal(st)
 	t.r.Gather(root, bytesPerRank)
-	t.endExternal(st, trace.Comm, entry, trace.Args{Op: "Gather", Bytes: bytesPerRank, Peer: root, Mode: t.r.Size()})
+	t.endExternal(st, trace.Comm, entry, trace.Args{Op: trace.OpGather, Bytes: bytesPerRank, Peer: root, Mode: t.r.Size()})
 }
 
 // Open implements rt.Runtime.
@@ -198,7 +198,7 @@ func (t *Traced) Open(path string, mode vfs.OpenMode) (int, error) {
 		fd = t.nextFD
 		t.files[fd] = f
 	}
-	t.endExternal(st, trace.IO, entry, trace.Args{Op: "open", FD: fd, Mode: int(mode)})
+	t.endExternal(st, trace.IO, entry, trace.Args{Op: trace.OpOpen, FD: fd, Mode: int(mode)})
 	return fd, err
 }
 
@@ -222,7 +222,7 @@ func (t *Traced) ReadF(fd, n int) int {
 			got = g
 		}
 	}
-	t.endExternal(st, trace.IO, entry, trace.Args{Op: "read", Bytes: n, FD: fd})
+	t.endExternal(st, trace.IO, entry, trace.Args{Op: trace.OpRead, Bytes: n, FD: fd})
 	return got
 }
 
@@ -234,7 +234,7 @@ func (t *Traced) WriteF(fd, n int) {
 		d := f.Write(n, t.r.Node(), t.r.Clock(), t.r.RNG())
 		t.r.Advance(d)
 	}
-	t.endExternal(st, trace.IO, entry, trace.Args{Op: "write", Bytes: n, FD: fd})
+	t.endExternal(st, trace.IO, entry, trace.Args{Op: trace.OpWrite, Bytes: n, FD: fd})
 }
 
 // SeekF implements rt.Runtime: client-side, not intercepted.
@@ -257,7 +257,7 @@ func (t *Traced) CloseF(fd int) {
 		}
 		delete(t.files, fd)
 	}
-	t.endExternal(st, trace.IO, entry, trace.Args{Op: "close", FD: fd})
+	t.endExternal(st, trace.IO, entry, trace.Args{Op: trace.OpClose, FD: fd})
 }
 
 // Probe implements rt.Runtime: a user-defined explicit invocation. It
@@ -284,7 +284,7 @@ func (t *Traced) Probe(name string) {
 	}
 	segLen := t.r.Clock().Sub(t.segStart)
 	entry := t.beginExternal(st)
-	t.endExternal(st, trace.Probe, entry, trace.Args{Op: "probe"})
+	t.endExternal(st, trace.Probe, entry, trace.Args{Op: trace.OpProbe})
 	// Binary exponential backoff: if fragments are too short, double
 	// the stride; if comfortably long, decay it.
 	if t.opt.BackoffThreshold > 0 {

@@ -1,0 +1,127 @@
+package stats
+
+import "math"
+
+// StreamOLS maintains the sufficient statistics of an ordinary-least-
+// squares fit — X'X, X'y, y'y with an intercept in position 0 — under
+// rank-1 observation updates, so a growing population costs O(k²) per
+// added observation and the model is solved only on demand. It exists
+// for the steady-state diagnosis plane: cluster populations grow by a
+// few fragments per window, and refitting from the flat design matrix
+// was the last per-tick cost proportional to resident data.
+//
+// Solve answers from the moment equations rather than residual sums, so
+// its output matches the batch OLS to floating-point reassociation (the
+// equivalence tests pin a 1e-9 relative tolerance, not bit identity).
+type StreamOLS struct {
+	k   int
+	n   int
+	xtx []float64 // (k+1)×(k+1) row-major, symmetric
+	xty []float64 // k+1
+	yty float64
+}
+
+// NewStreamOLS returns an accumulator for k explanatory variables.
+func NewStreamOLS(k int) *StreamOLS {
+	return &StreamOLS{
+		k:   k,
+		xtx: make([]float64, (k+1)*(k+1)),
+		xty: make([]float64, k+1),
+	}
+}
+
+// N returns the number of observations added.
+func (s *StreamOLS) N() int { return s.n }
+
+// K returns the number of explanatory variables.
+func (s *StreamOLS) K() int { return s.k }
+
+// Add folds one observation (x, y) into the moments. len(x) must be k.
+// It never allocates — this is the per-fragment hot path.
+func (s *StreamOLS) Add(x []float64, y float64) {
+	d := s.k + 1
+	// Row 0: intercept column (value 1).
+	s.xtx[0]++
+	for j := 1; j < d; j++ {
+		s.xtx[j] += x[j-1]
+	}
+	for i := 1; i < d; i++ {
+		xi := x[i-1]
+		row := s.xtx[i*d:]
+		row[0] += xi
+		for j := 1; j < d; j++ {
+			row[j] += xi * x[j-1]
+		}
+	}
+	s.xty[0] += y
+	for j := 1; j < d; j++ {
+		s.xty[j] += x[j-1] * y
+	}
+	s.yty += y * y
+	s.n++
+}
+
+// Solve fits the model from the accumulated moments.
+func (s *StreamOLS) Solve() (*OLSResult, error) {
+	return SolveMomentOLS(s.n, s.k, s.xtx, s.xty, s.yty)
+}
+
+// SolveMomentOLS fits y = Xb + e from the moment form: n observations,
+// k explanatory variables, xtx the (k+1)×(k+1) row-major X'X with the
+// intercept in position 0, xty = X'y, yty = y'y. The degeneracy rules,
+// standard errors, t statistics and p-values mirror OLS exactly; the
+// fit-quality sums are computed from the moments (rss = y'y − b·X'y,
+// tss = y'y − n·ȳ²), which is the algebraic identity of the batch
+// residual loops.
+func SolveMomentOLS(n, k int, xtx, xty []float64, yty float64) (*OLSResult, error) {
+	d := k + 1
+	if n < k+2 || len(xtx) != d*d || len(xty) != d {
+		return nil, ErrDegenerate
+	}
+	m := NewMatrix(d, d)
+	copy(m.Data, xtx)
+	inv, err := m.Inverse()
+	if err != nil {
+		return nil, ErrDegenerate
+	}
+	coef := inv.MulVec(xty)
+
+	rss := yty
+	for j := 0; j < d; j++ {
+		rss -= coef[j] * xty[j]
+	}
+	if rss < 0 {
+		rss = 0 // reassociation noise on a perfect fit
+	}
+	ym := xty[0] / float64(n)
+	tss := yty - float64(n)*ym*ym
+	if tss < 0 {
+		tss = 0
+	}
+	df := n - d
+	sigma2 := rss / float64(df)
+	res := &OLSResult{
+		Coef:   coef,
+		StdErr: make([]float64, d),
+		TStat:  make([]float64, d),
+		PValue: make([]float64, d),
+		DF:     df,
+		N:      n,
+	}
+	if tss > 0 {
+		res.R2 = 1 - rss/tss
+		res.AdjR2 = 1 - (1-res.R2)*float64(n-1)/float64(df)
+	}
+	for j := 0; j < d; j++ {
+		se := math.Sqrt(sigma2 * inv.At(j, j))
+		res.StdErr[j] = se
+		if se > 0 {
+			res.TStat[j] = coef[j] / se
+			res.PValue[j] = StudentTSF2(res.TStat[j], float64(df))
+		} else {
+			res.TStat[j] = math.Inf(1)
+			res.PValue[j] = 0
+		}
+	}
+	return res, nil
+}

@@ -140,6 +140,26 @@ func (g *Graph) Name(key uint64) string {
 	return fmt.Sprintf("state(%x)", key)
 }
 
+// growFrags appends src to dst, growing large logs with 2x headroom
+// instead of the runtime's ~1.25x. A fragment log is an append-only
+// array that lives for the whole run: with a growth factor g every
+// element is copied 1/(g-1) times on average, so doubling cuts the
+// steady-state realloc memmove (and the page faults of mapping each
+// fresh multi-megabyte array) 4x compared to the runtime policy. The
+// headroom costs at most one extra log's worth of memory, which is
+// cheap because Fragment is pointer-free — the collector neither scans
+// nor pre-zeroes the spare capacity. Small logs keep the runtime policy
+// (their realloc traffic is negligible and most elements stay small).
+func growFrags(dst []trace.Fragment, src ...trace.Fragment) []trace.Fragment {
+	const headroomMin = 32 << 10 // elements; ~3.5MB — realloc starts to hurt
+	if n := len(dst) + len(src); n > cap(dst) && len(dst) >= headroomMin {
+		grown := make([]trace.Fragment, len(dst), 2*n)
+		copy(grown, dst)
+		dst = grown
+	}
+	return append(dst, src...)
+}
+
 // Add attaches one fragment: computation fragments to the edge
 // (From→State), everything else to the vertex State.
 func (g *Graph) Add(f trace.Fragment) {
@@ -151,7 +171,7 @@ func (g *Graph) Add(f trace.Fragment) {
 			e = &Edge{Key: k, MinStart: f.Start, MaxEnd: f.End()}
 			g.edges[k] = e
 		}
-		e.Fragments = append(e.Fragments, f)
+		e.Fragments = growFrags(e.Fragments, f)
 		e.Gen.Count++
 		e.MinStart = min(e.MinStart, f.Start)
 		e.MaxEnd = max(e.MaxEnd, f.End())
@@ -162,7 +182,7 @@ func (g *Graph) Add(f trace.Fragment) {
 		v = &Vertex{Key: f.State, Kind: f.Kind, MinStart: f.Start, MaxEnd: f.End()}
 		g.vertices[f.State] = v
 	}
-	v.Fragments = append(v.Fragments, f)
+	v.Fragments = growFrags(v.Fragments, f)
 	v.Gen.Count++
 	v.MinStart = min(v.MinStart, f.Start)
 	v.MaxEnd = max(v.MaxEnd, f.End())
@@ -176,6 +196,24 @@ func fragBounds(frags []trace.Fragment) (minStart, maxEnd int64) {
 	}
 	minStart, maxEnd = frags[0].Start, frags[0].End()
 	for i := 1; i < len(frags); i++ {
+		minStart = min(minStart, frags[i].Start)
+		maxEnd = max(maxEnd, frags[i].End())
+	}
+	return minStart, maxEnd
+}
+
+// extendBounds advances an element's envelope across a replacement that
+// kept the old fragments as a prefix: the old bounds still cover the
+// prefix, so only the appended suffix needs scanning. A non-prefix
+// replacement (oldN=0 included) falls back to the full scan. This keeps
+// the per-refresh cost of the collector's merged view proportional to
+// the delta — re-deriving the envelope of a million-fragment log on
+// every period was the last O(population) term in the view refresh.
+func extendBounds(minStart, maxEnd int64, oldN int, frags []trace.Fragment) (int64, int64) {
+	if oldN == 0 {
+		return fragBounds(frags)
+	}
+	for i := oldN; i < len(frags); i++ {
 		minStart = min(minStart, frags[i].Start)
 		maxEnd = max(maxEnd, frags[i].End())
 	}
@@ -214,9 +252,14 @@ func (g *Graph) PutVertex(key uint64, kind trace.Kind, frags []trace.Fragment) {
 	}
 	v.Kind = kind
 	g.frags += len(frags) - len(v.Fragments)
+	oldEpoch, oldN := v.Gen.Epoch, len(v.Fragments)
 	v.Gen = putGen(v.Gen, v.Fragments, frags)
 	v.Fragments = frags
-	v.MinStart, v.MaxEnd = fragBounds(frags)
+	if v.Gen.Epoch == oldEpoch {
+		v.MinStart, v.MaxEnd = extendBounds(v.MinStart, v.MaxEnd, oldN, frags)
+	} else {
+		v.MinStart, v.MaxEnd = fragBounds(frags)
+	}
 }
 
 // PutEdge wholesale-replaces (or creates) an edge (see PutVertex).
@@ -227,9 +270,117 @@ func (g *Graph) PutEdge(key trace.EdgeKey, frags []trace.Fragment) {
 		g.edges[key] = e
 	}
 	g.frags += len(frags) - len(e.Fragments)
+	oldEpoch, oldN := e.Gen.Epoch, len(e.Fragments)
 	e.Gen = putGen(e.Gen, e.Fragments, frags)
 	e.Fragments = frags
-	e.MinStart, e.MaxEnd = fragBounds(frags)
+	if e.Gen.Epoch == oldEpoch {
+		e.MinStart, e.MaxEnd = extendBounds(e.MinStart, e.MaxEnd, oldN, frags)
+	} else {
+		e.MinStart, e.MaxEnd = fragBounds(frags)
+	}
+}
+
+// putLogGen is putGen for callers that assert frags logically extends
+// the previous log: the pointer-prefix proof is waived, only a shrink
+// still rebases. PutVertexLog's doc explains when the assertion holds.
+func putLogGen(old Gen, oldFrags, frags []trace.Fragment) Gen {
+	if len(frags) >= len(oldFrags) {
+		return Gen{Epoch: old.Epoch, Count: uint64(len(frags))}
+	}
+	return Gen{Epoch: old.Epoch + 1, Count: uint64(len(frags))}
+}
+
+// PutVertexLog replaces a vertex like PutVertex, with the caller
+// asserting that the previous fragments form a logical prefix of frags
+// — the slice came from the same append-only log, merely observed
+// later. The epoch is preserved even when the log's backing array moved
+// (an append that reallocated defeats putGen's pointer proof), so
+// incremental consumers stay on the delta path across reallocations.
+// A shrink still rebases defensively. The collector's merged view uses
+// this for single-server elements, whose per-server logs it verifies
+// by epoch and cursor accounting.
+func (g *Graph) PutVertexLog(key uint64, kind trace.Kind, frags []trace.Fragment) {
+	v, ok := g.vertices[key]
+	if !ok {
+		v = &Vertex{Key: key}
+		g.vertices[key] = v
+	}
+	v.Kind = kind
+	g.frags += len(frags) - len(v.Fragments)
+	oldEpoch, oldN := v.Gen.Epoch, len(v.Fragments)
+	v.Gen = putLogGen(v.Gen, v.Fragments, frags)
+	v.Fragments = frags
+	if v.Gen.Epoch == oldEpoch {
+		// The caller asserted the old log is a logical prefix of frags,
+		// so the old envelope covers it and only the suffix is new.
+		v.MinStart, v.MaxEnd = extendBounds(v.MinStart, v.MaxEnd, oldN, frags)
+	} else {
+		v.MinStart, v.MaxEnd = fragBounds(frags)
+	}
+}
+
+// PutEdgeLog replaces an edge under the same append-only-source
+// assertion as PutVertexLog.
+func (g *Graph) PutEdgeLog(key trace.EdgeKey, frags []trace.Fragment) {
+	e, ok := g.edges[key]
+	if !ok {
+		e = &Edge{Key: key}
+		g.edges[key] = e
+	}
+	g.frags += len(frags) - len(e.Fragments)
+	oldEpoch, oldN := e.Gen.Epoch, len(e.Fragments)
+	e.Gen = putLogGen(e.Gen, e.Fragments, frags)
+	e.Fragments = frags
+	if e.Gen.Epoch == oldEpoch {
+		// See PutVertexLog: the asserted prefix keeps the old envelope.
+		e.MinStart, e.MaxEnd = extendBounds(e.MinStart, e.MaxEnd, oldN, frags)
+	} else {
+		e.MinStart, e.MaxEnd = fragBounds(frags)
+	}
+}
+
+// ExtendVertex appends newFrags to a vertex's own log (creating the
+// vertex if needed). Unlike PutVertex the graph keeps ownership of the
+// element's slice and the epoch is preserved by construction — an
+// extend IS a run of appends, exactly like Add, just batched. The
+// collector's delta-append merged view uses this to keep cross-server
+// elements' epochs warm: each refresh appends only the per-server
+// suffixes its cursors report as new.
+func (g *Graph) ExtendVertex(key uint64, kind trace.Kind, newFrags []trace.Fragment) {
+	if len(newFrags) == 0 {
+		return
+	}
+	v, ok := g.vertices[key]
+	if !ok {
+		v = &Vertex{Key: key, Kind: kind, MinStart: newFrags[0].Start, MaxEnd: newFrags[0].End()}
+		g.vertices[key] = v
+	}
+	g.frags += len(newFrags)
+	v.Fragments = growFrags(v.Fragments, newFrags...)
+	v.Gen.Count += uint64(len(newFrags))
+	for i := range newFrags {
+		v.MinStart = min(v.MinStart, newFrags[i].Start)
+		v.MaxEnd = max(v.MaxEnd, newFrags[i].End())
+	}
+}
+
+// ExtendEdge appends newFrags to an edge's own log (see ExtendVertex).
+func (g *Graph) ExtendEdge(key trace.EdgeKey, newFrags []trace.Fragment) {
+	if len(newFrags) == 0 {
+		return
+	}
+	e, ok := g.edges[key]
+	if !ok {
+		e = &Edge{Key: key, MinStart: newFrags[0].Start, MaxEnd: newFrags[0].End()}
+		g.edges[key] = e
+	}
+	g.frags += len(newFrags)
+	e.Fragments = growFrags(e.Fragments, newFrags...)
+	e.Gen.Count += uint64(len(newFrags))
+	for i := range newFrags {
+		e.MinStart = min(e.MinStart, newFrags[i].Start)
+		e.MaxEnd = max(e.MaxEnd, newFrags[i].End())
+	}
 }
 
 // Bounds returns the [min Start, max End) envelope over every fragment

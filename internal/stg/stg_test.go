@@ -253,3 +253,95 @@ func TestMergeNames(t *testing.T) {
 		t.Fatal("merge dropped names")
 	}
 }
+
+func TestExtendPreservesEpoch(t *testing.T) {
+	g := New()
+	// Extend on a missing element behaves like a run of Adds.
+	g.ExtendEdge(trace.EdgeKey{From: 1, To: 2}, []trace.Fragment{
+		fragComp(0, 1, 2, 0, 10), fragComp(1, 1, 2, 5, 10),
+	})
+	e := g.Edge(trace.EdgeKey{From: 1, To: 2})
+	if e == nil || e.Gen != (Gen{Epoch: 0, Count: 2}) {
+		t.Fatalf("extend-create gen: %+v", e)
+	}
+	if e.MinStart != 0 || e.MaxEnd != 15 {
+		t.Fatalf("extend-create bounds: [%d,%d)", e.MinStart, e.MaxEnd)
+	}
+	// Repeated extends keep the epoch no matter how often the backing
+	// array reallocates, and bounds/counts track every append.
+	for i := 0; i < 100; i++ {
+		g.ExtendEdge(e.Key, []trace.Fragment{fragComp(0, 1, 2, int64(20+i*10), 10)})
+	}
+	if e.Gen != (Gen{Epoch: 0, Count: 102}) {
+		t.Fatalf("extend gen after growth: %+v", e.Gen)
+	}
+	if e.MaxEnd != 20+99*10+10 {
+		t.Fatalf("extend bounds after growth: %d", e.MaxEnd)
+	}
+	if g.NumFragments() != 102 {
+		t.Fatalf("fragment accounting: %d", g.NumFragments())
+	}
+	// Empty extends are no-ops (no watermark movement).
+	g.ExtendEdge(e.Key, nil)
+	if e.Gen.Count != 102 {
+		t.Fatal("empty extend moved the watermark")
+	}
+
+	g.ExtendVertex(7, trace.Comm, []trace.Fragment{fragComm(0, 7, 0, 5)})
+	g.ExtendVertex(7, trace.Comm, []trace.Fragment{fragComm(1, 7, 10, 5)})
+	v := g.Vertex(7)
+	if v == nil || v.Gen != (Gen{Epoch: 0, Count: 2}) || v.Kind != trace.Comm {
+		t.Fatalf("vertex extend: %+v", v)
+	}
+	if v.MinStart != 0 || v.MaxEnd != 15 {
+		t.Fatalf("vertex extend bounds: [%d,%d)", v.MinStart, v.MaxEnd)
+	}
+}
+
+func TestExtendMatchesAdd(t *testing.T) {
+	// A graph grown by ExtendEdge batches must be indistinguishable —
+	// gen, bounds, fragments — from one grown by per-fragment Add.
+	a, b := New(), New()
+	batch := []trace.Fragment{
+		fragComp(0, 1, 2, 0, 10), fragComp(1, 1, 2, 3, 4), fragComp(0, 1, 2, 20, 1),
+	}
+	for _, f := range batch {
+		a.Add(f)
+	}
+	b.ExtendEdge(trace.EdgeKey{From: 1, To: 2}, batch)
+	ae, be := a.Edge(trace.EdgeKey{From: 1, To: 2}), b.Edge(trace.EdgeKey{From: 1, To: 2})
+	if ae.Gen != be.Gen || ae.MinStart != be.MinStart || ae.MaxEnd != be.MaxEnd || len(ae.Fragments) != len(be.Fragments) {
+		t.Fatalf("extend != add: %+v vs %+v", ae, be)
+	}
+}
+
+func TestPutLogKeepsEpochAcrossRealloc(t *testing.T) {
+	g := New()
+	log := []trace.Fragment{fragComp(0, 1, 2, 0, 10)}
+	g.PutEdgeLog(trace.EdgeKey{From: 1, To: 2}, log)
+	e := g.Edge(trace.EdgeKey{From: 1, To: 2})
+	epoch := e.Gen.Epoch
+	// A grown copy with a DIFFERENT backing array: PutEdge would rebase
+	// (pointer proof fails), PutEdgeLog trusts the caller's assertion.
+	grown := make([]trace.Fragment, 0, 8)
+	grown = append(grown, log...)
+	grown = append(grown, fragComp(0, 1, 2, 10, 10))
+	g.PutEdgeLog(e.Key, grown)
+	if e.Gen != (Gen{Epoch: epoch, Count: 2}) {
+		t.Fatalf("put-log rebased on realloc: %+v", e.Gen)
+	}
+	// A shrink is not an append-only advance: defensive rebase.
+	g.PutEdgeLog(e.Key, grown[:1:1])
+	if e.Gen.Epoch == epoch {
+		t.Fatal("put-log kept the epoch across a shrink")
+	}
+
+	g.PutVertexLog(9, trace.IO, []trace.Fragment{{Rank: 0, Kind: trace.IO, State: 9, Start: 0, Elapsed: 5}})
+	v := g.Vertex(9)
+	vepoch := v.Gen.Epoch
+	regrown := []trace.Fragment{v.Fragments[0], {Rank: 1, Kind: trace.IO, State: 9, Start: 5, Elapsed: 5}}
+	g.PutVertexLog(9, trace.IO, regrown)
+	if v.Gen != (Gen{Epoch: vepoch, Count: 2}) {
+		t.Fatalf("vertex put-log rebased: %+v", v.Gen)
+	}
+}

@@ -9,6 +9,7 @@ package trace
 import (
 	"fmt"
 	"hash/fnv"
+	"sync"
 )
 
 // Kind classifies a fragment by what produced it.
@@ -80,16 +81,91 @@ func PathState(s Site, path []Site) State {
 // interception (the STG source vertex).
 var EntryState = State{Key: 0, Name: "<entry>"}
 
+// OpSym is an interned operation name ("Send", "Allreduce", "read",
+// ...). Operations come from a tiny fixed vocabulary but ride along on
+// every fragment, so storing the string itself would make Fragment a
+// pointer-carrying type — and fragment logs are the dominant resident
+// arrays of a long run. Keeping Fragment pointer-free means the garbage
+// collector never scans (and slice growth never pre-zeroes) the
+// million-fragment logs: on a busy collector that is the difference
+// between O(batch) and O(resident) background cost per tick. The zero
+// OpSym is the empty name.
+type OpSym uint32
+
+// opInterner is the process-wide Op vocabulary. Reads vastly outnumber
+// writes (the vocabulary stops growing almost immediately), so lookups
+// take an RLock.
+var opInterner = struct {
+	sync.RWMutex
+	ids   map[string]OpSym
+	names []string
+}{ids: map[string]OpSym{"": 0}, names: []string{""}}
+
+// Op interns an operation name. Symbols are process-global and never
+// released; the vocabulary is the set of intercepted call names, which
+// is small and fixed.
+func Op(name string) OpSym {
+	opInterner.RLock()
+	s, ok := opInterner.ids[name]
+	opInterner.RUnlock()
+	if ok {
+		return s
+	}
+	opInterner.Lock()
+	defer opInterner.Unlock()
+	if s, ok := opInterner.ids[name]; ok {
+		return s
+	}
+	s = OpSym(len(opInterner.names))
+	opInterner.names = append(opInterner.names, name)
+	opInterner.ids[name] = s
+	return s
+}
+
+// String returns the interned operation name.
+func (s OpSym) String() string {
+	opInterner.RLock()
+	defer opInterner.RUnlock()
+	if int(s) < len(opInterner.names) {
+		return opInterner.names[s]
+	}
+	return fmt.Sprintf("op(%d)", uint32(s))
+}
+
+// Pre-interned symbols for the interposition layer's fixed vocabulary,
+// so the per-interception hot path never touches the interner lock.
+var (
+	OpSend      = Op("Send")
+	OpRecv      = Op("Recv")
+	OpSendrecv  = Op("Sendrecv")
+	OpIsend     = Op("Isend")
+	OpIrecv     = Op("Irecv")
+	OpWait      = Op("Wait")
+	OpWaitall   = Op("Waitall")
+	OpBarrier   = Op("Barrier")
+	OpBcast     = Op("Bcast")
+	OpReduce    = Op("Reduce")
+	OpAllreduce = Op("Allreduce")
+	OpAlltoall  = Op("Alltoall")
+	OpAllgather = Op("Allgather")
+	OpGather    = Op("Gather")
+	OpOpen      = Op("open")
+	OpRead      = Op("read")
+	OpWrite     = Op("write")
+	OpClose     = Op("close")
+	OpProbe     = Op("probe")
+)
+
 // Args carries the invocation arguments that approximate communication
 // and IO workload (message size, peers, file descriptor, IO size, op).
 // Unused fields are zero. Arguments become clustering dimensions.
 type Args struct {
-	Op    string // operation name: "Send", "Allreduce", "read", ...
-	Bytes int    // message or IO size
-	Peer  int    // src/dst rank or root; -1 when not applicable
-	Tag   int    // message tag
-	FD    int    // file descriptor for IO
-	Mode  int    // IO open mode / collective scope
+	Op    OpSym // interned operation name: Op("Send"), Op("read"), ...
+	Bytes int   // message or IO size
+	Peer  int   // src/dst rank or root; -1 when not applicable
+	Tag   int   // message tag
+	FD    int   // file descriptor for IO
+	Mode  int   // IO open mode / collective scope
 }
 
 // Fragment is one execution of a code snippet with its performance data.

@@ -208,8 +208,9 @@ func appendFrags(dst []byte, rank int, frags []Fragment) []byte {
 			}
 			dst = binary.AppendUvarint(dst, bitmap)
 			if bitmap&(1<<0) != 0 {
-				dst = binary.AppendUvarint(dst, uint64(len(f.Args.Op)))
-				dst = append(dst, f.Args.Op...)
+				op := f.Args.Op.String()
+				dst = binary.AppendUvarint(dst, uint64(len(op)))
+				dst = append(dst, op...)
 			}
 			if bitmap&(1<<1) != 0 {
 				dst = binary.AppendUvarint(dst, zigzag(int64(f.Args.Bytes)))
@@ -397,7 +398,7 @@ func DecodeBatchMeta(data []byte) (meta BatchMeta, frags []Fragment, err error) 
 				break
 			}
 			if bitmap&(1<<0) != 0 {
-				prevArgs.Op = string(r.bytes(int(r.uvarint())))
+				prevArgs.Op = Op(string(r.bytes(int(r.uvarint()))))
 			}
 			if bitmap&(1<<1) != 0 {
 				prevArgs.Bytes = int(unzigzag(r.uvarint()))

@@ -36,7 +36,7 @@ func randCounters(rng *rand.Rand) CountersView {
 }
 
 func randFragment(rng *rand.Rand, rank int) Fragment {
-	ops := []string{"", "Send", "Recv", "Allreduce", "write"}
+	ops := []OpSym{Op(""), Op("Send"), Op("Recv"), Op("Allreduce"), Op("write")}
 	f := Fragment{
 		Rank:    rank,
 		Kind:    Kind(rng.Intn(6)), // includes one out-of-range kind
@@ -232,7 +232,7 @@ func TestWireHostileCounts(t *testing.T) {
 
 func TestWireCorruptInputs(t *testing.T) {
 	good := AppendBatch(nil, 5, []Fragment{
-		{Kind: IO, State: 7, Start: 10, Elapsed: 2, Args: Args{Op: "write", FD: 3}},
+		{Kind: IO, State: 7, Start: 10, Elapsed: 2, Args: Args{Op: Op("write"), FD: 3}},
 		{Kind: Comp, From: 7, State: 9, Start: 12, Elapsed: 5, Counters: CountersView{TotIns: 1}},
 	})
 	if _, _, err := DecodeBatch(nil); err == nil {

@@ -12,7 +12,7 @@ func TestWireSeqRoundTrip(t *testing.T) {
 	frags := []Fragment{
 		{Rank: 3, Kind: Comm, From: 7, State: 9, Start: 123, Elapsed: 456,
 			Counters: CountersView{TotIns: 11, Cycles: 22},
-			Args:     Args{Op: "Send", Bytes: 1024, Peer: 1, Tag: 5}},
+			Args:     Args{Op: Op("Send"), Bytes: 1024, Peer: 1, Tag: 5}},
 		{Rank: 3, Kind: Comp, From: 9, State: 7, Start: 579, Elapsed: 21,
 			Counters: CountersView{TotIns: 13, Cycles: 29}, Static: true, Truth: 4},
 	}
@@ -61,7 +61,7 @@ func TestWireUnsequencedMeta(t *testing.T) {
 // be rejected, exactly like the v1 hardening.
 func TestWireSeqTruncation(t *testing.T) {
 	good := AppendBatchSeq(nil, 5, 42, []Fragment{
-		{Kind: IO, State: 7, Start: 10, Elapsed: 2, Args: Args{Op: "write", FD: 3}},
+		{Kind: IO, State: 7, Start: 10, Elapsed: 2, Args: Args{Op: Op("write"), FD: 3}},
 	})
 	for cut := 1; cut < len(good); cut++ {
 		if _, _, err := DecodeBatch(good[:cut]); err == nil {

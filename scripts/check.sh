@@ -20,11 +20,11 @@ go test -race ./internal/mpi ./internal/collector ./internal/core \
 go test -race -count=2 -timeout 60s -run 'TestChaosSoakServerRestarts' \
 	./internal/collector
 # Bench smoke: one iteration, correctness only — no timing is recorded.
-# Raw output and the parsed BENCH_5.json are kept for the CI artifact
+# Raw output and the parsed BENCH_6.json are kept for the CI artifact
 # upload (the JSON is what tracks ns/op and allocs/op across PRs).
 go test -run xxx -bench 'BenchmarkPoolIngest$|BenchmarkWindowResults|BenchmarkMonitorTick' \
 	-benchtime 1x -benchmem . | tee bench-smoke.out
-go run ./cmd/benchjson -out BENCH_5.json < bench-smoke.out
+go run ./cmd/benchjson -out BENCH_6.json < bench-smoke.out
 
 # Observability smoke: boot a real collector, scrape its metrics
 # endpoint with `vapro status`, and assert the cross-layer metric names
@@ -49,7 +49,12 @@ for name in vapro_uptime_seconds vapro_intake_staged vapro_intake_batches_total 
 	vapro_net_reconnects_total vapro_net_spill_depth \
 	vapro_detect_window_ns vapro_cluster_cache_hits \
 	vapro_cluster_cache_inc_hits vapro_detect_prep_rebuilds_total \
-	vapro_storage_bytes_per_rank_second; do
+	vapro_storage_bytes_per_rank_second \
+	vapro_detect_store_appends_total vapro_detect_store_compactions_total \
+	vapro_detect_region_cells_carried_total \
+	vapro_detect_region_cells_regrown_total \
+	vapro_view_cursor_advances_total vapro_view_epoch_rebases_total \
+	vapro_ols_rank1_updates_total vapro_ols_refactors_total; do
 	grep -q "$name" /tmp/vapro-metrics.out || {
 		echo "metrics endpoint missing $name"; exit 1; }
 done
