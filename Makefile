@@ -23,10 +23,11 @@ test:
 race:
 	$(GO) test -race ./internal/mpi ./internal/collector ./internal/core ./internal/interpose ./internal/detect ./internal/cluster ./internal/obs ./internal/faults
 
-# The fault-tolerance soak: kill/restart the wire server 5x under
-# multi-rank load and hold the exact loss-accounting invariant.
+# The fault-tolerance soaks: kill/restart the wire server 5x under
+# multi-rank load (single server), and kill/restart one shard server of
+# 8 (sharded tier) — both hold the exact loss-accounting invariant.
 chaos:
-	$(GO) test -race -count=2 -timeout 60s -run 'TestChaosSoakServerRestarts' ./internal/collector
+	$(GO) test -race -count=2 -timeout 60s -run 'TestChaosSoakServerRestarts|TestChaosShardServerKillRestart' ./internal/collector
 
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/... .
@@ -35,13 +36,20 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# One iteration of the ingestion-plane and monitor-tick benchmarks: a
-# smoke test, not a measurement (see EXPERIMENTS.md for recorded
-# numbers). The parsed numbers land in BENCH_6.json for the CI
-# artifact, so the perf trajectory is machine-readable across PRs.
+# One iteration (x3, min kept) of the ingestion-plane, monitor-tick and
+# sharded-tier benchmarks: a smoke test, not a measurement (see
+# EXPERIMENTS.md for recorded numbers). The parsed numbers land in
+# BENCH_7.json for the CI artifact, and benchjson enforces the recorded
+# scale bounds: the PR 6 flat-tick ratio (1M vs 100k resident) and the
+# PR 7 per-shard ratio (2048 ranks × 8 shards vs 256 ranks × 1).
 bench-smoke:
-	$(GO) test -run xxx -bench 'BenchmarkPoolIngest$$|BenchmarkWindowResults|BenchmarkMonitorTick' -benchtime 1x -benchmem . | tee bench-smoke.out
-	$(GO) run ./cmd/benchjson -out BENCH_6.json < bench-smoke.out
+	$(GO) test -run xxx -bench 'BenchmarkPoolIngest$$|BenchmarkWindowResults|BenchmarkMonitorTickIncremental|BenchmarkMonitorTickBatch' -benchtime 1x -benchmem . | tee bench-smoke.out
+	$(GO) test -run xxx -bench 'BenchmarkMonitorTickScale|BenchmarkShardedTickScale' -benchtime 1x -count=3 -benchmem . | tee -a bench-smoke.out
+	$(GO) run ./cmd/benchjson -min -out BENCH_7.json \
+		-assert 'MonitorTickScale/servers=1/resident=1000k<=1.5*MonitorTickScale/servers=1/resident=100k' \
+		-assert 'MonitorTickScale/servers=4/resident=1000k<=1.5*MonitorTickScale/servers=4/resident=100k' \
+		-assert 'ShardedTickScale/shards=8/ranks=2048<=1.5*ShardedTickScale/shards=1/ranks=256@ns_per_shard_tick' \
+		< bench-smoke.out
 
 experiments:
 	$(GO) run ./cmd/vaproexp all

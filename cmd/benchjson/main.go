@@ -10,6 +10,15 @@
 //
 // The -N GOMAXPROCS suffix is stripped from the name. Unknown
 // value/unit pairs (b.ReportMetric) are kept under "metrics".
+//
+// Repeated -assert flags turn the converter into the CI gate for
+// recorded bounds:
+//
+//	-assert 'NameA<=1.5*NameB'             // ns/op ratio bound
+//	-assert 'NameA<=1.5*NameB@ns_per_tick' // custom-metric ratio bound
+//
+// Each assertion fails (nonzero exit, after the JSON is written) when a
+// named benchmark or metric is missing or the bound does not hold.
 package main
 
 import (
@@ -56,9 +65,71 @@ func keepFastest(in []bench) []bench {
 	return out
 }
 
+// assertion is one parsed `A<=FACTOR*B[@metric]` bound.
+type assertion struct {
+	a, b   string
+	factor float64
+	metric string // empty = ns/op
+}
+
+func parseAssertion(s string) (assertion, error) {
+	var as assertion
+	lhs, rhs, ok := strings.Cut(s, "<=")
+	if !ok {
+		return as, fmt.Errorf("benchjson: assertion %q: want A<=FACTOR*B[@metric]", s)
+	}
+	fac, b, ok := strings.Cut(rhs, "*")
+	if !ok {
+		return as, fmt.Errorf("benchjson: assertion %q: want A<=FACTOR*B[@metric]", s)
+	}
+	f, err := strconv.ParseFloat(fac, 64)
+	if err != nil || f <= 0 {
+		return as, fmt.Errorf("benchjson: assertion %q: bad factor %q", s, fac)
+	}
+	if b, m, ok := strings.Cut(b, "@"); ok {
+		as.metric = m
+		as.b = b
+	} else {
+		as.b = b
+	}
+	as.a, as.factor = lhs, f
+	return as, nil
+}
+
+// value resolves an assertion side: the benchmark's ns/op, or its named
+// b.ReportMetric value. ok=false when either is absent.
+func value(rep *report, name, metric string) (float64, bool) {
+	for i := range rep.Benchmarks {
+		if rep.Benchmarks[i].Name != name {
+			continue
+		}
+		if metric == "" {
+			return rep.Benchmarks[i].NsPerOp, true
+		}
+		v, ok := rep.Benchmarks[i].Metrics[metric]
+		return v, ok
+	}
+	return 0, false
+}
+
+type assertList []assertion
+
+func (l *assertList) String() string { return fmt.Sprint(*l) }
+
+func (l *assertList) Set(s string) error {
+	a, err := parseAssertion(s)
+	if err != nil {
+		return err
+	}
+	*l = append(*l, a)
+	return nil
+}
+
 func main() {
 	out := flag.String("out", "", "write JSON here instead of stdout")
 	min := flag.Bool("min", false, "with -count runs, keep only each benchmark's fastest line (noise-robust estimator)")
+	var asserts assertList
+	flag.Var(&asserts, "assert", "bound to enforce, A<=FACTOR*B[@metric]; repeatable, nonzero exit on violation")
 	flag.Parse()
 
 	var rep report
@@ -121,10 +192,36 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	failed := false
+	for _, a := range asserts {
+		unit := "ns/op"
+		if a.metric != "" {
+			unit = a.metric
+		}
+		av, aok := value(&rep, a.a, a.metric)
+		bv, bok := value(&rep, a.b, a.metric)
+		switch {
+		case !aok:
+			fmt.Fprintf(os.Stderr, "benchjson: assert: %s has no %s\n", a.a, unit)
+			failed = true
+		case !bok:
+			fmt.Fprintf(os.Stderr, "benchjson: assert: %s has no %s\n", a.b, unit)
+			failed = true
+		case av > a.factor*bv:
+			fmt.Fprintf(os.Stderr, "benchjson: assert FAILED: %s = %.0f %s > %.2f * %s (= %.0f %s)\n",
+				a.a, av, unit, a.factor, a.b, a.factor*bv, unit)
+			failed = true
+		default:
+			fmt.Fprintf(os.Stderr, "benchjson: assert ok: %s = %.0f %s <= %.2f * %s (= %.0f %s)\n",
+				a.a, av, unit, a.factor, a.b, a.factor*bv, unit)
+		}
+	}
+	if failed {
 		os.Exit(1)
 	}
 }

@@ -22,8 +22,14 @@ func serveMain(args []string) {
 	listen := fs.String("listen", "127.0.0.1:0", "address for the fragment wire listener")
 	metrics := fs.String("metrics", "127.0.0.1:0", "address for the metrics HTTP endpoint (empty disables)")
 	ranks := fs.Int("ranks", 256, "client ranks the pool is provisioned for")
+	shards := fs.Int("shards", 1, "shard servers to run (>1 starts a rank-sharded tier, one wire listener per shard)")
 	drain := fs.Duration("drain", 5*time.Second, "how long shutdown waits for in-flight connections before force-closing them")
 	_ = fs.Parse(args)
+
+	if *shards > 1 {
+		serveSharded(*listen, *metrics, *ranks, *shards, *drain)
+		return
+	}
 
 	opt := collector.DefaultOptions()
 	pool := collector.NewPool(*ranks, opt)
@@ -52,4 +58,57 @@ func serveMain(args []string) {
 	<-sig
 	_ = srv.Close()
 	pool.Close()
+}
+
+// serveSharded runs the rank-sharded tier: one wire listener per shard
+// (shard 0 at -listen, the rest on ephemeral ports), a shared monitor
+// merging the per-shard analyses, and the shard map published to every
+// client through the wire hello. Clients only need any one address to
+// bootstrap — the hello redirects them to their owner.
+func serveSharded(listen, metrics string, ranks, shards int, drain time.Duration) {
+	opt := collector.DefaultOptions()
+	tier := collector.NewShardedPool(ranks, shards, opt)
+	mon := collector.NewShardedMonitor(tier, collector.DefaultMonitorOptions(ranks))
+
+	srvs := make([]*collector.WireServer, shards)
+	addrs := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		bind := "127.0.0.1:0"
+		if i == 0 {
+			bind = listen
+		}
+		ln, err := net.Listen("tcp", bind)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vapro serve:", err)
+			os.Exit(1)
+		}
+		addrs[i] = ln.Addr().String()
+		srvs[i] = collector.ServeWire(ln, mon.WireSink(i))
+		srvs[i].SetDrainTimeout(drain)
+	}
+	if err := tier.Rebalance(addrs); err != nil {
+		fmt.Fprintln(os.Stderr, "vapro serve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wire=%s\n", addrs[0])
+	for i := 1; i < shards; i++ {
+		fmt.Printf("wire%d=%s\n", i, addrs[i])
+	}
+	if metrics != "" {
+		mln, err := net.Listen("tcp", metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vapro serve:", err)
+			os.Exit(1)
+		}
+		srvs[0].ServeMetrics(mln)
+		fmt.Printf("metrics=%s\n", mln.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	for _, srv := range srvs {
+		_ = srv.Close()
+	}
+	tier.Close()
 }

@@ -79,6 +79,28 @@ func renderStatus(s *obs.Snapshot) string {
 	fmt.Fprintf(&b, "vapro collector — up %s, %.0f server(s), %.0f rank(s)\n",
 		humanSeconds(s.UptimeSeconds), val(s, "vapro_servers"), val(s, "vapro_ranks"))
 
+	// The spatial scale-out surface: one summary row for the tier, then
+	// one row per shard. A single-server collector never registers
+	// vapro_shards, so the legacy panel is untouched.
+	if shards := val(s, "vapro_shards"); shards > 0 {
+		fmt.Fprintf(&b, "shards    %.0f   strips merged %.0f   regions stitched %.0f   rebalances %.0f   redirects %.0f   misroutes %.0f\n",
+			shards, val(s, "vapro_shard_strips_merged_total"),
+			val(s, "vapro_shard_regions_stitched_total"),
+			val(s, "vapro_shardmap_rebalances_total"),
+			val(s, "vapro_shard_redirects_total"),
+			val(s, "vapro_shard_misroutes_total"))
+		for i := 0; ; i++ {
+			m := s.Get(fmt.Sprintf("vapro_shard%d_resident_ranks", i))
+			if m == nil {
+				break
+			}
+			fmt.Fprintf(&b, "          shard %d: resident %.0f rank(s)   intake staged %.0f   seq gaps %.0f\n",
+				i, m.Value,
+				val(s, fmt.Sprintf("vapro_shard%d_intake_staged", i)),
+				val(s, fmt.Sprintf("vapro_shard%d_seq_gaps", i)))
+		}
+	}
+
 	fmt.Fprintf(&b, "intake    staged %.0f (peak %.0f)   batches %.0f   fragments %.0f   stalls %.0f\n",
 		val(s, "vapro_intake_staged"), val(s, "vapro_intake_staged_peak"),
 		val(s, "vapro_intake_batches_total"), val(s, "vapro_intake_fragments_total"),

@@ -74,6 +74,67 @@ func TestStatusRenderFromLivePool(t *testing.T) {
 	}
 }
 
+// A sharded tier's snapshot must render the shard summary row plus one
+// row per shard — and the single-server panel must never grow them.
+func TestStatusRenderSharded(t *testing.T) {
+	const ranks, shards = 8, 2
+	opt := collector.DefaultOptions()
+	opt.Period = 10 * sim.Millisecond
+	opt.Overlap = 5 * sim.Millisecond
+	opt.Detect.Window = sim.Millisecond
+	tier := collector.NewShardedPool(ranks, shards, opt)
+	defer tier.Close()
+	for rank := 0; rank < ranks; rank++ {
+		for i := 0; i < 30; i++ {
+			tier.Consume(rank, []trace.Fragment{{
+				Rank: rank, Kind: trace.Comp, From: 1, State: 2,
+				Start: int64(i) * 1_000_000, Elapsed: 900_000,
+				Counters: trace.CountersView{TotIns: 1000, Cycles: 500},
+			}})
+		}
+	}
+	if res := tier.RunWindow(0, 30_000_000); res == nil {
+		t.Fatal("tier window returned nil")
+	}
+
+	mln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: tier.Handler()}
+	go srv.Serve(mln)
+	defer srv.Close()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + mln.Addr().String() + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	out := renderStatus(&snap)
+	for _, want := range []string{
+		"shards    2",
+		"strips merged",
+		"regions stitched",
+		"rebalances",
+		"shard 0: resident",
+		"shard 1: resident",
+		"seq gaps",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sharded status panel missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "shard 2:") {
+		t.Fatalf("panel shows a row for a shard that does not exist:\n%s", out)
+	}
+}
+
 func TestHumanUnits(t *testing.T) {
 	cases := []struct {
 		got, want string

@@ -82,6 +82,15 @@ type Pool struct {
 
 // NewPool builds the server pool for the given number of client ranks.
 func NewPool(ranks int, opt Options) *Pool {
+	return newPoolWith(ranks, opt, nil, true)
+}
+
+// newPoolWith is the shared constructor: the sharded tier builds one
+// plane per shard with a shared Metrics surface (counters aggregate
+// across planes) and derived=false, because the per-pool Func metrics
+// (staged depth, cache counters) would otherwise clobber each other in
+// the shared registry — the tier registers summed equivalents instead.
+func newPoolWith(ranks int, opt Options, met *Metrics, derived bool) *Pool {
 	if opt.Period <= 0 {
 		opt.Period = 15 * sim.Second
 	}
@@ -99,20 +108,25 @@ func NewPool(ranks int, opt Options) *Pool {
 			n = 1
 		}
 	}
+	if met == nil {
+		met = NewMetrics()
+	}
 	p := &Pool{
 		opt:   opt,
 		ranks: ranks,
 		Armed: interpose.NewArmed(sim.GroupBase | sim.GroupTopdownL1 | sim.GroupOS),
 		view:  newMergedView(),
 		an:    detect.NewAnalyzer(),
-		met:   NewMetrics(),
+		met:   met,
 		seq:   NewSeqTracker(),
 	}
 	p.an.SetMetrics(p.met.Detect)
 	for i := 0; i < n; i++ {
 		p.servers = append(p.servers, newServer(i, opt, p.met))
 	}
-	p.registerDerived()
+	if derived {
+		p.registerDerived()
+	}
 	return p
 }
 
@@ -435,13 +449,40 @@ func (p *Pool) WindowResults() []*WindowResult {
 // the steady-state tick a driver loop pays per period — with warm
 // elements it costs O(new data), not O(resident fragments).
 func (p *Pool) RunWindow(start, end int64) *detect.Result {
+	return p.runWindowWith(start, end, p.seq.Outages())
+}
+
+// runWindowWith is RunWindow with the outage set supplied by the
+// caller: the sharded tier passes the union of every shard's loss
+// intervals, so a rank's staleness lands in its owner's strip even
+// when the batch that exposed the loss arrived misrouted elsewhere.
+func (p *Pool) runWindowWith(start, end int64, outages []detect.Outage) *detect.Result {
 	p.drainAll()
 	p.amu.Lock()
 	defer p.amu.Unlock()
 	g := p.refreshView()
 	dopt := p.opt.Detect
-	dopt.Outages = p.seq.Outages()
+	dopt.Outages = outages
 	return p.an.RunWindow(g, p.ranks, dopt, start, end)
+}
+
+// viewBounds drains the servers, folds their growth into the merged
+// view, and returns the view's fragment span. The sharded tier uses it
+// to lay out a global window grid across planes.
+func (p *Pool) viewBounds() (minStart, maxEnd int64, ok bool) {
+	p.drainAll()
+	p.amu.Lock()
+	defer p.amu.Unlock()
+	g := p.refreshView()
+	return g.Bounds()
+}
+
+// viewOverlaps reports whether any element's fragment span intersects
+// [start, end). Callers refresh the view first (viewBounds).
+func (p *Pool) viewOverlaps(start, end int64) bool {
+	p.amu.Lock()
+	defer p.amu.Unlock()
+	return p.view.graph.Overlaps(start, end)
 }
 
 // WindowResult is one analysis period's outcome.

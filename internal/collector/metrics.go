@@ -58,6 +58,17 @@ type Metrics struct {
 	ViewCursorAdvances *obs.Counter
 	ViewEpochRebases   *obs.Counter
 
+	// Shard is the spatial scale-out surface: strip merges and region
+	// stitches per tier tick, shard-map version churn, and the routing
+	// corrections (redirects are clients re-dialed to their owner after
+	// a hello; misroutes are batches that arrived at a non-owning shard
+	// and were delivered anyway).
+	ShardStripsMerged    *obs.Counter
+	ShardRegionsStitched *obs.Counter
+	ShardmapRebalances   *obs.Counter
+	ShardRedirects       *obs.Counter
+	ShardMisroutes       *obs.Counter
+
 	// OLS is the monitor's streaming-regression surface: rank-1 updates
 	// are fragments folded into warm per-cluster regression moments;
 	// refactors are cluster moment sets rebuilt from scratch (first
@@ -130,6 +141,16 @@ func NewMetrics() *Metrics {
 			"merged-view refreshes that delta-appended a server's new suffix in place"),
 		ViewEpochRebases: reg.Counter("vapro_view_epoch_rebases_total", "view",
 			"merged-view elements rebuilt by full concatenation (epoch bumped)"),
+		ShardStripsMerged: reg.Counter("vapro_shard_strips_merged_total", "shard",
+			"per-class heat-map strips combined by the spatial merger"),
+		ShardRegionsStitched: reg.Counter("vapro_shard_regions_stitched_total", "shard",
+			"merged variance regions spanning more than one shard's ranks"),
+		ShardmapRebalances: reg.Counter("vapro_shardmap_rebalances_total", "shard",
+			"shard-map versions published (server set changes)"),
+		ShardRedirects: reg.Counter("vapro_shard_redirects_total", "shard",
+			"clients re-dialed to their owning shard after a hello"),
+		ShardMisroutes: reg.Counter("vapro_shard_misroutes_total", "shard",
+			"batches accepted by a shard that does not own their rank"),
 		OLSRank1Updates: reg.Counter("vapro_ols_rank1_updates_total", "ols",
 			"fragments folded into warm regression moments by rank-1 updates"),
 		OLSRefactors: reg.Counter("vapro_ols_refactors_total", "ols",

@@ -1,0 +1,479 @@
+package collector
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+
+	"vapro/internal/detect"
+	"vapro/internal/interpose"
+	"vapro/internal/sim"
+	"vapro/internal/stg"
+	"vapro/internal/trace"
+)
+
+// Spatial scale-out (DESIGN §12): the plain Pool shards *clients*
+// across servers but one analysis plane still holds every rank, so
+// spatial scale stops where one plane's memory and tick budget stop.
+// The sharded tier splits the rank space itself: a stable hash assigns
+// each rank to an owning shard, every shard runs the full incremental
+// pipeline (staged intake → delta-append merged view → persistent
+// analyzer) over only its resident ranks, and each tier tick merges the
+// per-shard window results spatially — an O(ranks × windows) strip
+// concatenation plus warm region growing over the merged grid — into
+// one global result. Per-shard tick cost tracks resident ranks, not
+// population; merge cost tracks the grid, not the fragment volume.
+
+// splitmix64 is the stable rank hash: the finalizer of the SplitMix64
+// generator, fixed forever so a rank's owner never depends on build,
+// platform, or map iteration order.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ShardOwner maps a rank to its owning shard among shards servers. The
+// assignment is a pure function of (rank, shards): every client and
+// every server computes the same answer from the shard count alone.
+func ShardOwner(rank, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	return int(splitmix64(uint64(rank)) % uint64(shards))
+}
+
+// ShardMap is the published rank→server assignment: a version and the
+// shard servers' dial addresses, in shard order. It travels in the wire
+// hello frame (trace.AppendHello) so clients dial their owning server
+// directly; ownership itself is ShardOwner(rank, len(Addrs)).
+type ShardMap struct {
+	Version uint64
+	Addrs   []string
+}
+
+// Shards returns the shard count the map describes.
+func (m ShardMap) Shards() int { return len(m.Addrs) }
+
+// Owner returns the rank's owning shard under this map.
+func (m ShardMap) Owner(rank int) int { return ShardOwner(rank, len(m.Addrs)) }
+
+// ShardedPool is the rank-sharded server tier: one analysis plane
+// (a full Pool) per shard, a shared arming handle, a shared metrics
+// surface, and a warm spatial merger combining per-shard window
+// results. It implements interpose.Sink — in-process producers route
+// by owner; wire producers get a per-shard sink from WireSink.
+type ShardedPool struct {
+	opt    Options
+	ranks  int
+	met    *Metrics
+	Armed  *interpose.Armed
+	planes []*Pool
+	owner  []int // precomputed ShardOwner per rank
+
+	// mmu guards the published shard map (address set + version).
+	mmu sync.Mutex
+	mp  ShardMap
+
+	// amu serializes tier merges: the Merger's region carry is warm
+	// state threaded from tick to tick.
+	amu    sync.Mutex
+	merger *detect.Merger
+}
+
+// NewShardedPool builds shards analysis planes over a global rank space
+// of size ranks. Each plane is provisioned for its resident ranks only
+// (Servers derives from ClientsPerServer against the resident count),
+// shares the tier's metrics registry and arming handle, and analyzes
+// the global rank axis so its heat-map strips line up for the merge.
+func NewShardedPool(ranks, shards int, opt Options) *ShardedPool {
+	if shards < 1 {
+		shards = 1
+	}
+	if opt.Period <= 0 {
+		opt.Period = 15 * sim.Second
+	}
+	if opt.Overlap <= 0 || opt.Overlap >= opt.Period {
+		opt.Overlap = opt.Period / 2
+	}
+	t := &ShardedPool{
+		opt:    opt,
+		ranks:  ranks,
+		met:    NewMetrics(),
+		Armed:  interpose.NewArmed(sim.GroupBase | sim.GroupTopdownL1 | sim.GroupOS),
+		owner:  make([]int, ranks),
+		mp:     ShardMap{Addrs: make([]string, shards)},
+		merger: detect.NewMerger(),
+	}
+	resident := make([]int, shards)
+	for r := 0; r < ranks; r++ {
+		t.owner[r] = ShardOwner(r, shards)
+		resident[t.owner[r]]++
+	}
+	per := opt.ClientsPerServer
+	if per <= 0 {
+		per = 256
+	}
+	for i := 0; i < shards; i++ {
+		popt := opt
+		popt.Servers = (resident[i] + per - 1) / per
+		if popt.Servers < 1 {
+			popt.Servers = 1
+		}
+		plane := newPoolWith(ranks, popt, t.met, false)
+		plane.Armed = t.Armed
+		t.planes = append(t.planes, plane)
+	}
+	t.registerTierDerived(resident)
+	return t
+}
+
+// Shards returns the shard count.
+func (t *ShardedPool) Shards() int { return len(t.planes) }
+
+// Ranks returns the global rank-space size.
+func (t *ShardedPool) Ranks() int { return t.ranks }
+
+// Owner returns the rank's owning shard (ranks outside the provisioned
+// space still hash consistently).
+func (t *ShardedPool) Owner(rank int) int {
+	if rank >= 0 && rank < len(t.owner) {
+		return t.owner[rank]
+	}
+	return ShardOwner(rank, len(t.planes))
+}
+
+// Plane exposes one shard's analysis plane (tests and the status
+// surface read per-shard state through it).
+func (t *ShardedPool) Plane(shard int) *Pool { return t.planes[shard] }
+
+// ShardMap returns a copy of the published map.
+func (t *ShardedPool) ShardMap() ShardMap {
+	t.mmu.Lock()
+	defer t.mmu.Unlock()
+	return ShardMap{Version: t.mp.Version, Addrs: append([]string(nil), t.mp.Addrs...)}
+}
+
+// Rebalance publishes a new address set (same shard count — ownership
+// is positional) and bumps the map version; subsequent hellos carry it,
+// so reconnecting clients re-attach to the restarted server. A
+// different address count is rejected: changing the shard count moves
+// resident data between planes, which this tier does not do live.
+func (t *ShardedPool) Rebalance(addrs []string) error {
+	if len(addrs) != len(t.planes) {
+		return fmt.Errorf("rebalance: %d addrs for %d shards", len(addrs), len(t.planes))
+	}
+	t.mmu.Lock()
+	defer t.mmu.Unlock()
+	t.mp.Addrs = append([]string(nil), addrs...)
+	t.mp.Version++
+	t.met.ShardmapRebalances.Inc()
+	return nil
+}
+
+// Consume implements interpose.Sink: route to the rank's owning plane.
+func (t *ShardedPool) Consume(rank int, frags []trace.Fragment) {
+	t.planes[t.Owner(rank)].Consume(rank, frags)
+}
+
+// ConsumeSized mirrors Consume for pre-measured wire batches.
+func (t *ShardedPool) ConsumeSized(rank int, frags []trace.Fragment, bytes int) {
+	t.planes[t.Owner(rank)].ConsumeSized(rank, frags, bytes)
+}
+
+// Close stops every plane's background mergers.
+func (t *ShardedPool) Close() {
+	for _, p := range t.planes {
+		p.Close()
+	}
+}
+
+// Metrics returns the tier-wide observability surface (shared by every
+// plane, so layer counters aggregate across shards).
+func (t *ShardedPool) Metrics() *Metrics { return t.met }
+
+// Handler serves the shared registry over HTTP.
+func (t *ShardedPool) Handler() http.Handler { return t.met.Registry.Handler() }
+
+// SeqStateFor returns one shard's sequence tracker (per-shard loss
+// accounting; the tier has no global tracker because sequence spaces
+// are per client connection, which is per shard).
+func (t *ShardedPool) SeqStateFor(shard int) *SeqTracker { return t.planes[shard].seq }
+
+// outageUnion collects every shard's loss intervals. Passing the union
+// to every plane keeps a rank's staleness in its owner's strip even if
+// the batch that exposed the loss was misrouted to another shard.
+func (t *ShardedPool) outageUnion() []detect.Outage {
+	var out []detect.Outage
+	for _, p := range t.planes {
+		out = append(out, p.seq.Outages()...)
+	}
+	return out
+}
+
+// RunWindow is the tier's steady-state tick: fan the window out to
+// every plane's incremental pipeline concurrently, then spatially merge
+// the per-shard results into one global result.
+func (t *ShardedPool) RunWindow(start, end int64) *detect.Result {
+	res, _ := t.RunWindowStats(start, end)
+	return res
+}
+
+// RunWindowStats is RunWindow plus the merge accounting.
+func (t *ShardedPool) RunWindowStats(start, end int64) (*detect.Result, detect.MergeStats) {
+	outages := t.outageUnion()
+	parts := make([]*detect.Result, len(t.planes))
+	var wg sync.WaitGroup
+	for i, p := range t.planes {
+		wg.Add(1)
+		go func(i int, p *Pool) {
+			defer wg.Done()
+			parts[i] = p.runWindowWith(start, end, outages)
+		}(i, p)
+	}
+	wg.Wait()
+	t.amu.Lock()
+	defer t.amu.Unlock()
+	res, stats := t.merger.Merge(parts, t.ranks, t.Owner, t.opt.Detect)
+	t.met.ShardStripsMerged.Add(uint64(stats.Strips))
+	t.met.ShardRegionsStitched.Add(uint64(stats.Stitched))
+	return res, stats
+}
+
+// WindowResults mirrors Pool.WindowResults over the tier: the global
+// window grid spans every plane's data, each window is analyzed
+// per shard and spatially merged.
+func (t *ShardedPool) WindowResults() []*WindowResult {
+	maxEnd := int64(0)
+	any := false
+	for _, p := range t.planes {
+		if _, e, ok := p.viewBounds(); ok && e > maxEnd {
+			maxEnd = e
+			any = true
+		}
+	}
+	if !any || maxEnd <= 0 {
+		return nil
+	}
+	stride := int64(t.opt.Period - t.opt.Overlap)
+	if stride <= 0 {
+		stride = int64(t.opt.Period)
+	}
+	var out []*WindowResult
+	for start := int64(0); start < maxEnd; start += stride {
+		end := start + int64(t.opt.Period)
+		covered := false
+		for _, p := range t.planes {
+			if p.viewOverlaps(start, end) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			continue
+		}
+		res, _ := t.RunWindowStats(start, end)
+		out = append(out, &WindowResult{Start: sim.Time(start), End: sim.Time(end), Result: res})
+	}
+	return out
+}
+
+// Graph merges every plane's servers into one fresh global STG (final
+// whole-run analysis and reports; the caller owns the result).
+func (t *ShardedPool) Graph() *stg.Graph {
+	g := stg.New()
+	for _, p := range t.planes {
+		g.Merge(p.Graph())
+	}
+	return g
+}
+
+// FragmentCount sums resident fragments across planes.
+func (t *ShardedPool) FragmentCount() int {
+	n := 0
+	for _, p := range t.planes {
+		n += p.FragmentCount()
+	}
+	return n
+}
+
+// Stats aggregates transport statistics across planes.
+func (t *ShardedPool) Stats(makespan sim.Duration) Stats {
+	var st Stats
+	for _, p := range t.planes {
+		ps := p.Stats(makespan)
+		st.Servers += ps.Servers
+		st.Fragments += ps.Fragments
+		st.BytesIn += ps.BytesIn
+		st.Batches += ps.Batches
+		st.SeqGaps += ps.SeqGaps
+		st.DupFrames += ps.DupFrames
+		st.Outages += ps.Outages
+		if ps.MaxStagedDepth > st.MaxStagedDepth {
+			st.MaxStagedDepth = ps.MaxStagedDepth
+		}
+	}
+	// Shared-registry counters are tier-wide already; don't sum them
+	// per plane.
+	st.IntakeStalls = t.met.IntakeStalls.Load()
+	st.FramesRejected = t.met.WireFramesRejected.Load()
+	if sec := makespan.Seconds(); sec > 0 && t.ranks > 0 {
+		st.BytesPerRankSecond = float64(st.BytesIn) / sec / float64(t.ranks)
+	}
+	return st
+}
+
+// registerTierDerived publishes the tier-shaped Func metrics: sums over
+// the planes where the plain pool registers its own live values, plus
+// one row of gauges per shard for the status surface.
+func (t *ShardedPool) registerTierDerived(resident []int) {
+	reg := t.met.Registry
+	reg.Func("vapro_shards", "shard",
+		"analysis planes in the sharded tier", func() float64 {
+			return float64(len(t.planes))
+		})
+	reg.Func("vapro_servers", "intake",
+		"server processes across all shards", func() float64 {
+			n := 0
+			for _, p := range t.planes {
+				n += len(p.servers)
+			}
+			return float64(n)
+		})
+	reg.Func("vapro_ranks", "intake",
+		"client ranks the tier was provisioned for", func() float64 {
+			return float64(t.ranks)
+		})
+	reg.Func("vapro_intake_staged", "intake",
+		"batches currently staged across all shards", func() float64 {
+			var n int64
+			for _, p := range t.planes {
+				n += p.stagedNow()
+			}
+			return float64(n)
+		})
+	reg.Func("vapro_storage_bytes_per_rank_second", "intake",
+		"received bytes per rank per wall second (§6.2 storage rate)", func() float64 {
+			sec := reg.Uptime().Seconds()
+			if sec <= 0 || t.ranks == 0 {
+				return 0
+			}
+			return float64(t.met.IntakeBytes.Load()) / sec / float64(t.ranks)
+		})
+	// Cluster-cache counters sum across the planes' analyzers (each
+	// shard memoizes its own resident elements).
+	sum2 := func(f func(p *Pool) (uint64, uint64), first bool) func() float64 {
+		return func() float64 {
+			var a, b uint64
+			for _, p := range t.planes {
+				x, y := f(p)
+				a += x
+				b += y
+			}
+			if first {
+				return float64(a)
+			}
+			return float64(b)
+		}
+	}
+	stats := func(p *Pool) (uint64, uint64) { return p.an.Cache().Stats() }
+	inc := func(p *Pool) (uint64, uint64) { return p.an.Cache().IncStats() }
+	reg.Func("vapro_cluster_cache_hits", "cluster",
+		"analysis passes that reused a memoized clustering (all shards)", sum2(stats, true))
+	reg.Func("vapro_cluster_cache_misses", "cluster",
+		"analysis passes that fully re-clustered an element (all shards)", sum2(stats, false))
+	reg.Func("vapro_cluster_cache_inc_hits", "cluster",
+		"element growths absorbed by delta clustering (all shards)", sum2(inc, true))
+	reg.Func("vapro_cluster_cache_inc_fallbacks", "cluster",
+		"incremental updates that fell back to a full re-cluster (all shards)", sum2(inc, false))
+	reg.Func("vapro_cluster_cache_evictions", "cluster",
+		"memoized clusterings discarded (all shards)", func() float64 {
+			var n uint64
+			for _, p := range t.planes {
+				n += p.an.Cache().Evictions()
+			}
+			return float64(n)
+		})
+	reg.Func("vapro_cluster_cache_entries", "cluster",
+		"elements currently memoized (all shards)", func() float64 {
+			n := 0
+			for _, p := range t.planes {
+				n += p.an.Cache().Len()
+			}
+			return float64(n)
+		})
+	reg.Func("vapro_cluster_cache_stale_rejects", "cluster",
+		"stale-generation cache reads (all shards)", func() float64 {
+			var n uint64
+			for _, p := range t.planes {
+				n += p.an.Cache().StaleRejects()
+			}
+			return float64(n)
+		})
+	for i := range t.planes {
+		i := i
+		reg.Func(fmt.Sprintf("vapro_shard%d_resident_ranks", i), "shard",
+			fmt.Sprintf("ranks owned by shard %d", i), func() float64 {
+				return float64(resident[i])
+			})
+		reg.Func(fmt.Sprintf("vapro_shard%d_intake_staged", i), "shard",
+			fmt.Sprintf("batches currently staged on shard %d", i), func() float64 {
+				return float64(t.planes[i].stagedNow())
+			})
+		reg.Func(fmt.Sprintf("vapro_shard%d_seq_gaps", i), "shard",
+			fmt.Sprintf("batches inferred lost on shard %d", i), func() float64 {
+				return float64(t.planes[i].seq.GapFrames())
+			})
+	}
+}
+
+// WireSink returns the sink one shard's wire server feeds: batches land
+// in that shard's plane, sequence gaps book against that shard's
+// tracker, and the hello carries the current shard map so clients can
+// verify (or discover) their owner.
+func (t *ShardedPool) WireSink(shard int) *ShardSink {
+	return &ShardSink{tier: t, shard: shard}
+}
+
+// ShardSink adapts one shard of a ShardedPool to the wire server's sink
+// interfaces (sized consumption, sequence state, metrics, hello).
+type ShardSink struct {
+	tier  *ShardedPool
+	shard int
+}
+
+// Consume implements interpose.Sink. A batch whose rank the shard does
+// not own is still delivered — its rows won't enter the merged view
+// (the merger copies owner rows only) but its loss accounting and
+// bytes must not vanish — and counted as a misroute.
+func (k *ShardSink) Consume(rank int, frags []trace.Fragment) {
+	k.note(rank)
+	k.tier.planes[k.shard].Consume(rank, frags)
+}
+
+// ConsumeSized mirrors Consume for pre-measured wire batches.
+func (k *ShardSink) ConsumeSized(rank int, frags []trace.Fragment, bytes int) {
+	k.note(rank)
+	k.tier.planes[k.shard].ConsumeSized(rank, frags, bytes)
+}
+
+func (k *ShardSink) note(rank int) {
+	if k.tier.Owner(rank) != k.shard {
+		k.tier.met.ShardMisroutes.Inc()
+	}
+}
+
+// Metrics exposes the shared tier surface to the wire server.
+func (k *ShardSink) Metrics() *Metrics { return k.tier.met }
+
+// SeqState returns this shard's tracker: gap accounting is per shard,
+// and survives the shard's wire-server restarts because the tracker
+// lives on the plane.
+func (k *ShardSink) SeqState() *SeqTracker { return k.tier.planes[k.shard].seq }
+
+// Hello returns the current shard map for the wire handshake.
+func (k *ShardSink) Hello() (version uint64, addrs []string, ok bool) {
+	m := k.tier.ShardMap()
+	return m.Version, m.Addrs, true
+}

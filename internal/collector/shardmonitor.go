@@ -1,0 +1,222 @@
+package collector
+
+import (
+	"sync"
+
+	"vapro/internal/detect"
+	"vapro/internal/sim"
+	"vapro/internal/trace"
+)
+
+// ShardedMonitor is the online loop over a rank-sharded tier: it tracks
+// the global virtual-time watermark across every rank (whichever shard
+// the rank reports through), and when a window completes everywhere it
+// fans the analysis out to the per-shard planes and spatially merges
+// the results — the merged regions, not any single shard's, drive
+// event reporting and progressive counter arming, because the regions
+// worth escalating for are exactly the ones that may straddle shards.
+// Unlike Monitor it keeps no graph of its own: the planes hold the
+// resident data, and their persistent analyzers stay warm across
+// windows.
+type ShardedMonitor struct {
+	tier *ShardedPool
+	opt  MonitorOptions
+
+	mu        sync.Mutex
+	rankHigh  map[int]sim.Time
+	nextStart sim.Time
+	events    []Event
+	stage     int
+}
+
+// NewShardedMonitor wraps a sharded tier with the online analysis
+// loop. The per-window detection options are the tier's (its planes
+// run them); MonitorOptions contributes the windowing, event filters
+// and arming policy.
+func NewShardedMonitor(tier *ShardedPool, opt MonitorOptions) *ShardedMonitor {
+	if opt.Ranks <= 0 {
+		opt.Ranks = tier.ranks
+	}
+	if opt.Period <= 0 {
+		opt.Period = 15 * sim.Second
+	}
+	if opt.Overlap <= 0 || opt.Overlap >= opt.Period {
+		opt.Overlap = opt.Period / 2
+	}
+	if opt.MaxStage <= 0 {
+		opt.MaxStage = 3
+	}
+	return &ShardedMonitor{
+		tier:     tier,
+		opt:      opt,
+		rankHigh: make(map[int]sim.Time),
+		stage:    1,
+	}
+}
+
+// Metrics returns the tier-wide observability surface.
+func (m *ShardedMonitor) Metrics() *Metrics { return m.tier.met }
+
+// Tier returns the wrapped sharded pool.
+func (m *ShardedMonitor) Tier() *ShardedPool { return m.tier }
+
+// Consume implements interpose.Sink: route to the owning plane, then
+// advance the watermark and analyze completed windows.
+func (m *ShardedMonitor) Consume(rank int, frags []trace.Fragment) {
+	m.tier.Consume(rank, frags)
+	m.observe(rank, frags)
+}
+
+// ConsumeSized mirrors Consume for pre-measured wire batches.
+func (m *ShardedMonitor) ConsumeSized(rank int, frags []trace.Fragment, bytes int) {
+	m.tier.ConsumeSized(rank, frags, bytes)
+	m.observe(rank, frags)
+}
+
+func (m *ShardedMonitor) observe(rank int, frags []trace.Fragment) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	high := m.rankHigh[rank]
+	for i := range frags {
+		if e := sim.Time(frags[i].Start + frags[i].Elapsed); e > high {
+			high = e
+		}
+	}
+	m.rankHigh[rank] = high
+	m.analyzeReady()
+}
+
+func (m *ShardedMonitor) watermarkLocked() sim.Time {
+	if len(m.rankHigh) < m.opt.Ranks {
+		return 0
+	}
+	var min sim.Time = 1 << 62
+	for _, t := range m.rankHigh {
+		if t < min {
+			min = t
+		}
+	}
+	return min
+}
+
+func (m *ShardedMonitor) analyzeReady() {
+	stride := m.opt.Period - m.opt.Overlap
+	for {
+		end := m.nextStart.Add(m.opt.Period)
+		if m.watermarkLocked() < end {
+			return
+		}
+		m.analyzeWindowLocked(m.nextStart, end)
+		m.nextStart = m.nextStart.Add(stride)
+	}
+}
+
+func (m *ShardedMonitor) analyzeWindowLocked(start, end sim.Time) {
+	res := m.tier.RunWindow(int64(start), int64(end))
+	classOK := func(c detect.Class) bool {
+		if len(m.opt.Classes) == 0 {
+			return true
+		}
+		for _, want := range m.opt.Classes {
+			if c == want {
+				return true
+			}
+		}
+		return false
+	}
+	var regions []detect.Region
+	for _, reg := range res.Regions {
+		if classOK(reg.Class) && sim.Duration(reg.LossNS) >= m.opt.MinRegionLoss {
+			regions = append(regions, reg)
+		}
+	}
+	if len(regions) == 0 {
+		return
+	}
+	if m.stage < m.opt.MaxStage {
+		m.stage++
+		armed := m.tier.Armed.Get()
+		switch m.stage {
+		case 2:
+			armed |= sim.GroupBackend
+		default:
+			armed |= sim.GroupMemory | sim.GroupExtra
+		}
+		m.tier.Armed.Set(armed)
+	}
+	m.events = append(m.events, Event{
+		WindowStart: start,
+		WindowEnd:   end,
+		Regions:     regions,
+		ArmedAfter:  m.tier.Armed.Get(),
+		Stage:       m.stage,
+	})
+}
+
+// Flush analyzes any remaining partial window at the end of the run.
+func (m *ShardedMonitor) Flush() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var max sim.Time
+	for _, t := range m.rankHigh {
+		if t > max {
+			max = t
+		}
+	}
+	for m.nextStart < max {
+		m.analyzeWindowLocked(m.nextStart, m.nextStart.Add(m.opt.Period))
+		m.nextStart = m.nextStart.Add(m.opt.Period - m.opt.Overlap)
+	}
+}
+
+// Drain returns the events recorded so far and clears the queue.
+func (m *ShardedMonitor) Drain() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := m.events
+	m.events = nil
+	return out
+}
+
+// Stage returns the current progressive stage.
+func (m *ShardedMonitor) Stage() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stage
+}
+
+// WireSink returns the sink one shard's wire server feeds when a
+// monitor fronts the tier: delivery goes to the shard's plane, the
+// watermark advances globally, and the hello carries the shard map.
+func (m *ShardedMonitor) WireSink(shard int) *MonitorShardSink {
+	return &MonitorShardSink{sink: m.tier.WireSink(shard), mon: m}
+}
+
+// MonitorShardSink is a ShardSink that also drives the monitor's
+// watermark, so wire-delivered batches tick windows exactly like
+// in-process ones.
+type MonitorShardSink struct {
+	sink *ShardSink
+	mon  *ShardedMonitor
+}
+
+// Consume implements interpose.Sink.
+func (k *MonitorShardSink) Consume(rank int, frags []trace.Fragment) {
+	k.sink.Consume(rank, frags)
+	k.mon.observe(rank, frags)
+}
+
+// ConsumeSized mirrors Consume for pre-measured wire batches.
+func (k *MonitorShardSink) ConsumeSized(rank int, frags []trace.Fragment, bytes int) {
+	k.sink.ConsumeSized(rank, frags, bytes)
+	k.mon.observe(rank, frags)
+}
+
+// Metrics exposes the shared tier surface.
+func (k *MonitorShardSink) Metrics() *Metrics { return k.sink.Metrics() }
+
+// SeqState returns the shard's tracker.
+func (k *MonitorShardSink) SeqState() *SeqTracker { return k.sink.SeqState() }
+
+// Hello returns the current shard map for the wire handshake.
+func (k *MonitorShardSink) Hello() (uint64, []string, bool) { return k.sink.Hello() }

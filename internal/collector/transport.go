@@ -151,6 +151,16 @@ type metricsProvider interface {
 	Metrics() *Metrics
 }
 
+// helloProvider is implemented by sinks (ShardSink) that publish a
+// shard map: the server writes one hello frame at the top of every
+// accepted connection so the client learns the rank→server assignment
+// and can redirect to its owner. Legacy sinks don't implement it and
+// legacy clients never read from the connection, so the handshake is
+// invisible to both.
+type helloProvider interface {
+	Hello() (version uint64, addrs []string, ok bool)
+}
+
 // WireServer accepts connections and feeds decoded batches into a sink
 // (normally a Pool or Monitor).
 type WireServer struct {
@@ -158,8 +168,9 @@ type WireServer struct {
 	sink interface {
 		Consume(rank int, frags []trace.Fragment)
 	}
-	sized sizedSink   // non-nil when sink implements sizedSink
-	seq   *SeqTracker // non-nil when sink implements seqStater
+	sized sizedSink     // non-nil when sink implements sizedSink
+	seq   *SeqTracker   // non-nil when sink implements seqStater
+	hello helloProvider // non-nil when sink implements helloProvider
 	met   *Metrics
 	mln   net.Listener // metrics HTTP listener, if serving
 	wg    sync.WaitGroup
@@ -187,6 +198,7 @@ func ServeWire(ln net.Listener, sink interface {
 	if mp, ok := sink.(metricsProvider); ok {
 		s.met = mp.Metrics()
 	}
+	s.hello, _ = sink.(helloProvider)
 	if s.met == nil {
 		s.met = NewMetrics() // standalone counting surface
 	}
@@ -263,6 +275,21 @@ func (s *WireServer) serveConn(conn net.Conn) {
 			s.setErr(fmt.Errorf("collector: panic serving connection: %v", p))
 		}
 	}()
+	if s.hello != nil {
+		// Shard handshake: one length-prefixed hello frame, written
+		// before any reads so a shard-aware client can verify ownership
+		// immediately after dialing. A failed write means the client is
+		// gone; the connection dies before consuming anything.
+		if ver, addrs, ok := s.hello.Hello(); ok {
+			payload := trace.AppendHello(nil, ver, addrs)
+			out := binary.AppendUvarint(nil, uint64(len(payload)))
+			out = append(out, payload...)
+			if _, err := conn.Write(out); err != nil {
+				s.setErr(err)
+				return
+			}
+		}
+	}
 	br := bufio.NewReaderSize(conn, 64<<10)
 	var payload []byte // reused across frames, grown only as bytes arrive
 	for {

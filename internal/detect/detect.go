@@ -235,6 +235,12 @@ type Result struct {
 	// Coverage is the fraction of total observed time attributable to
 	// repeated fixed-workload fragments, per class and overall (§6.2).
 	Coverage map[Class]float64
+	// TotalTimeNS / FixedTimeNS are the raw per-class elapsed-time sums
+	// behind Coverage. Exposed so the spatial merger can combine
+	// per-shard results into coverage figures identical to one global
+	// pass (summing exact int64 partials instead of averaging floats).
+	TotalTimeNS map[Class]int64
+	FixedTimeNS map[Class]int64
 	// OverallCoverage weights classes by their total time.
 	OverallCoverage float64
 	// FixedClusters / SmallClusters count cluster populations.
@@ -378,9 +384,11 @@ func (a *Analyzer) run(g *stg.Graph, ranks int, opt Options, start, end, origin 
 		opt.Threshold = 0.85
 	}
 	res := &Result{
-		Maps:     make(map[Class]*HeatMap),
-		Samples:  make(map[Class][]Sample),
-		Coverage: make(map[Class]float64),
+		Maps:        make(map[Class]*HeatMap),
+		Samples:     make(map[Class][]Sample),
+		Coverage:    make(map[Class]float64),
+		TotalTimeNS: make(map[Class]int64),
+		FixedTimeNS: make(map[Class]int64),
 	}
 	met := a.met
 	var t0 time.Time
@@ -480,6 +488,10 @@ func (a *Analyzer) run(g *stg.Graph, ranks int, opt Options, start, end, origin 
 		allFixed += fixed[c]
 		if total[c] > 0 {
 			res.Coverage[Class(c)] = float64(fixed[c]) / float64(total[c])
+		}
+		if total[c] != 0 || fixed[c] != 0 {
+			res.TotalTimeNS[Class(c)] = total[c]
+			res.FixedTimeNS[Class(c)] = fixed[c]
 		}
 	}
 	if allTotal > 0 {
@@ -733,6 +745,18 @@ func buildHeatMap(class Class, samples []Sample, ranks int, window sim.Duration,
 	return h
 }
 
+// GrowRegions is the exported batch region grower: 4-connected
+// components of sub-threshold cells over an arbitrary heat map, with
+// samples re-attached and loss quantified. The spatial merger's
+// equivalence tests pin the stitched cross-shard regions bit-identical
+// to this reference run over the merged grid.
+func GrowRegions(h *HeatMap, samples []Sample, opt Options) []Region {
+	if opt.Threshold <= 0 {
+		opt.Threshold = 0.85
+	}
+	return growRegions(h, samples, opt)
+}
+
 // growRegions finds 4-connected components of sub-threshold cells and
 // aggregates their bounding boxes and losses.
 func growRegions(h *HeatMap, samples []Sample, opt Options) []Region {
@@ -794,23 +818,57 @@ func growRegions(h *HeatMap, samples []Sample, opt Options) []Region {
 		}
 	}
 	// Attach member samples and quantify loss.
+	attachSamples(regions, h, samples)
+	return regions
+}
+
+// attachSamples appends each region's member samples (rank within the
+// region's span, time overlapping its window range) and accumulates the
+// quantified loss. It produces exactly what a full scan of the sample
+// slice per region would — same members, same ascending-index order —
+// but via a per-rank bucket index, so the cost is O(samples) plus the
+// regions' actual membership instead of O(regions × samples). The
+// distinction is what keeps a spatially merged grid (thousands of
+// ranks, one region per slow rank) on the linear cost curve.
+func attachSamples(regions []Region, h *HeatMap, samples []Sample) {
+	if len(regions) == 0 || len(samples) == 0 {
+		return
+	}
+	byRank := make([][]int32, h.Ranks)
+	for i := range samples {
+		if r := samples[i].Rank; r >= 0 && r < h.Ranks {
+			byRank[r] = append(byRank[r], int32(i))
+		}
+	}
+	var idxs []int32
 	for ri := range regions {
 		reg := &regions[ri]
 		t0 := int64(h.Origin) + int64(reg.WinMin)*int64(h.Window)
 		t1 := int64(h.Origin) + int64(reg.WinMax+1)*int64(h.Window)
-		for i := range samples {
+		idxs = idxs[:0]
+		for r := reg.RankMin; r <= reg.RankMax && r < h.Ranks; r++ {
+			if r < 0 {
+				continue
+			}
+			for _, i := range byRank[r] {
+				s := &samples[i]
+				if s.Start+s.Elapsed <= t0 || s.Start >= t1 {
+					continue
+				}
+				idxs = append(idxs, i)
+			}
+		}
+		// Multi-rank spans interleave buckets; restore the global scan
+		// order (ascending sample index) before appending.
+		if reg.RankMax > reg.RankMin {
+			sort.Slice(idxs, func(a, b int) bool { return idxs[a] < idxs[b] })
+		}
+		for _, i := range idxs {
 			s := &samples[i]
-			if s.Rank < reg.RankMin || s.Rank > reg.RankMax {
-				continue
-			}
-			if s.Start+s.Elapsed <= t0 || s.Start >= t1 {
-				continue
-			}
 			reg.Samples = append(reg.Samples, *s)
 			reg.LossNS += int64((1 - s.Perf) * float64(s.Elapsed))
 		}
 	}
-	return regions
 }
 
 func min64(a, b int64) int64 {

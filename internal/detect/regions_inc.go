@@ -69,7 +69,22 @@ func (a *Analyzer) growRegionsFor(class Class, h *HeatMap, samples []Sample, opt
 // stage-2 per-class fan-out; each class owns its regionCarry slot, so
 // the workers never share state.
 func (a *Analyzer) growRegionsInc(c int, h *HeatMap, samples []Sample, opt Options) []Region {
-	prev := a.regionCarry[c]
+	regions, next, carried, regrown := growRegionsCarry(a.regionCarry[c], h, samples, opt)
+	if met := a.met; met != nil {
+		met.RegionCellsCarried.Add(carried)
+		met.RegionCellsRegrown.Add(regrown)
+	}
+	a.regionCarry[c] = next
+	return regions
+}
+
+// growRegionsCarry is the carry-over core shared by the per-class
+// analyzer slots and the spatial merger's per-class merge state: grow
+// regions over h, carrying forward every previous region whose cells
+// (and 4-neighborhood) are bit-unchanged after the origin shift, and
+// return the next carry basis plus the carried/regrown cell counts for
+// the instrumentation.
+func growRegionsCarry(prev *regionCarryState, h *HeatMap, samples []Sample, opt Options) (regions []Region, next *regionCarryState, carried, regrown uint64) {
 	seen := make([]bool, len(h.Cells))
 
 	// The carry is usable only when the grids are commensurable: same
@@ -93,7 +108,6 @@ func (a *Analyzer) growRegionsInc(c int, h *HeatMap, samples []Sample, opt Optio
 		cells []int32 // new-grid coordinates, BFS order
 	}
 	var kept []placed
-	var carriedCells uint64
 
 	if usable {
 		// changed[ni]: the new cell has no bit-identical counterpart in
@@ -154,7 +168,7 @@ func (a *Analyzer) growRegionsInc(c int, h *HeatMap, samples []Sample, opt Optio
 				},
 				cells: newCells,
 			})
-			carriedCells += uint64(len(pr.cells))
+			carried += uint64(len(pr.cells))
 		}
 	}
 
@@ -168,7 +182,6 @@ func (a *Analyzer) growRegionsInc(c int, h *HeatMap, samples []Sample, opt Optio
 		v := h.At(r, w)
 		return !math.IsNaN(v) && v < opt.Threshold
 	}
-	var regrownCells uint64
 	for r := 0; r < h.Ranks; r++ {
 		for w := 0; w < h.Windows; w++ {
 			idx := r*h.Windows + w
@@ -211,7 +224,7 @@ func (a *Analyzer) growRegionsInc(c int, h *HeatMap, samples []Sample, opt Optio
 					}
 				}
 			}
-			regrownCells += uint64(reg.Cells)
+			regrown += uint64(reg.Cells)
 			if reg.Cells < opt.MinRegionCells {
 				continue
 			}
@@ -225,33 +238,13 @@ func (a *Analyzer) growRegionsInc(c int, h *HeatMap, samples []Sample, opt Optio
 	// re-grown regions.
 	sort.Slice(kept, func(i, j int) bool { return kept[i].cells[0] < kept[j].cells[0] })
 
-	regions := make([]Region, len(kept))
+	regions = make([]Region, len(kept))
 	for i := range kept {
 		regions[i] = kept[i].reg
 	}
 	// Attach member samples and quantify loss — always from the current
 	// window's samples (identical to the batch attach loop).
-	for ri := range regions {
-		reg := &regions[ri]
-		t0 := int64(h.Origin) + int64(reg.WinMin)*int64(h.Window)
-		t1 := int64(h.Origin) + int64(reg.WinMax+1)*int64(h.Window)
-		for i := range samples {
-			s := &samples[i]
-			if s.Rank < reg.RankMin || s.Rank > reg.RankMax {
-				continue
-			}
-			if s.Start+s.Elapsed <= t0 || s.Start >= t1 {
-				continue
-			}
-			reg.Samples = append(reg.Samples, *s)
-			reg.LossNS += int64((1 - s.Perf) * float64(s.Elapsed))
-		}
-	}
-
-	if met := a.met; met != nil {
-		met.RegionCellsCarried.Add(carriedCells)
-		met.RegionCellsRegrown.Add(regrownCells)
-	}
+	attachSamples(regions, h, samples)
 
 	// Record this pass as the next window's carry basis.
 	ns := &regionCarryState{
@@ -277,6 +270,5 @@ func (a *Analyzer) growRegionsInc(c int, h *HeatMap, samples []Sample, opt Optio
 			cells:    k.cells,
 		}
 	}
-	a.regionCarry[c] = ns
-	return regions
+	return regions, ns, carried, regrown
 }

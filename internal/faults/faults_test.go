@@ -238,3 +238,36 @@ func TestFlakySinkAccounting(t *testing.T) {
 		t.Fatalf("delivered %d dropped %d, want 5/5", next.batches, s.Dropped())
 	}
 }
+
+func TestSwitchGatedDialer(t *testing.T) {
+	sw := NewSwitch()
+	dials := 0
+	d := GatedDialer(sw, func() (net.Conn, error) {
+		dials++
+		c, _ := net.Pipe()
+		return c, nil
+	})
+	if conn, err := d(); err != nil || conn == nil {
+		t.Fatalf("up dial: %v", err)
+	} else {
+		conn.Close()
+	}
+	sw.SetDown(true)
+	if !sw.Down() {
+		t.Fatal("switch did not report down")
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := d(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("severed dial %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	sw.SetDown(false)
+	if conn, err := d(); err != nil || conn == nil {
+		t.Fatalf("healed dial: %v", err)
+	} else {
+		conn.Close()
+	}
+	if dials != 2 {
+		t.Fatalf("next dialer called %d times, want 2", dials)
+	}
+}

@@ -1,0 +1,45 @@
+package faults
+
+import (
+	"net"
+	"sync"
+)
+
+// Switch is a shared on/off gate for scripted network partitions: a
+// chaos harness flips it down to sever every dial path that goes
+// through a GatedDialer, and back up to heal the partition. It is safe
+// for concurrent use — producers keep dialing while the harness flips.
+type Switch struct {
+	mu   sync.Mutex
+	down bool
+}
+
+// NewSwitch returns a Switch in the up (passing) state.
+func NewSwitch() *Switch { return &Switch{} }
+
+// SetDown flips the gate: true severs gated dialers, false heals them.
+func (s *Switch) SetDown(down bool) {
+	s.mu.Lock()
+	s.down = down
+	s.mu.Unlock()
+}
+
+// Down reports whether the gate is currently severed.
+func (s *Switch) Down() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.down
+}
+
+// GatedDialer wraps a dialer with a Switch: while the switch is down
+// every dial fails with ErrInjected (the caller's reconnect loop backs
+// off exactly as it would for a dead host); while up, dials delegate
+// to next untouched.
+func GatedDialer(sw *Switch, next func() (net.Conn, error)) func() (net.Conn, error) {
+	return func() (net.Conn, error) {
+		if sw.Down() {
+			return nil, ErrInjected
+		}
+		return next()
+	}
+}

@@ -35,6 +35,10 @@ type Options struct {
 	MaxRows, MaxCols int
 	// ShowLegend appends a shade legend.
 	ShowLegend bool
+	// RowOwner, when set, maps a rank to the shard that owns it; each
+	// row label then carries the owning shard (`s3|  128 |…`) so a
+	// sharded tier's merged map shows where every strip came from.
+	RowOwner func(rank int) int
 }
 
 // DefaultOptions fits an 80-column terminal.
@@ -67,6 +71,9 @@ func Render(h *detect.HeatMap, opt Options) string {
 	fmt.Fprintf(&b, "%s performance heat map (%d ranks × %d windows of %s; worst cell per %dx%d block)\n",
 		h.Class, h.Ranks, h.Windows, h.Window, rStep, cStep)
 	for r0 := 0; r0 < rows; r0 += rStep {
+		if opt.RowOwner != nil {
+			fmt.Fprintf(&b, "s%-3d|", opt.RowOwner(r0))
+		}
 		fmt.Fprintf(&b, "%5d |", r0)
 		for c0 := 0; c0 < cols; c0 += cStep {
 			worst := math.NaN()

@@ -110,3 +110,27 @@ func TestRenderStaleCells(t *testing.T) {
 		t.Fatalf("stale leaked to rank 0: %q", top)
 	}
 }
+
+func TestRenderRowOwner(t *testing.T) {
+	h := grid(4, 8, 1.0)
+	opt := DefaultOptions()
+	opt.RowOwner = func(rank int) int { return rank % 2 }
+	out := Render(h, opt)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("lines: %d\n%s", len(lines), out)
+	}
+	for r, l := range lines[1:5] {
+		want := "s" + string(rune('0'+r%2))
+		if !strings.HasPrefix(l, want) {
+			t.Fatalf("row %d = %q, want owner prefix %q", r, l, want)
+		}
+	}
+	// Without RowOwner the rows stay unprefixed — legacy output intact.
+	plain := Render(h, DefaultOptions())
+	for _, l := range strings.Split(plain, "\n")[1:5] {
+		if strings.HasPrefix(l, "s") {
+			t.Fatalf("unsharded row carries an owner prefix: %q", l)
+		}
+	}
+}

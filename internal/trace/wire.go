@@ -34,8 +34,24 @@ const wireVersion = 1
 // connection or were evicted from a client's spill queue).
 const wireVersionSeq = 2
 
+// wireVersionHello is the server→client hello payload: not a batch at
+// all, but the shard map (version + per-shard server addresses) a
+// sharded server tier announces on every accepted connection, so a
+// client can dial the server that owns its rank directly. It shares the
+// magic/version framing with batches so the one frame a client ever
+// reads is distinguishable from anything a batch decoder would accept.
+const wireVersionHello = 3
+
 // wireMagic is the first byte of every encoded batch.
 const wireMagic = 'V'
+
+// maxHelloAddrs bounds the shard count a hello may claim, rejecting
+// absurd values before allocating (a corrupt hello must not OOM the
+// client library inside the traced application).
+const maxHelloAddrs = 1 << 16
+
+// maxHelloAddrLen bounds one announced address.
+const maxHelloAddrLen = 1 << 10
 
 // numCounterLanes is the number of fields in CountersView.
 const numCounterLanes = 21
@@ -99,6 +115,60 @@ func AppendBatchSeq(dst []byte, rank int, seq uint64, frags []Fragment) []byte {
 	dst = binary.AppendUvarint(dst, uint64(rank))
 	dst = binary.AppendUvarint(dst, seq)
 	return appendFrags(dst, rank, frags)
+}
+
+// AppendHello encodes a shard-map hello onto dst: the map version
+// followed by the per-shard server addresses (index = shard id). The
+// payload is decoded by DecodeHello; IsHello distinguishes it from
+// batch payloads without decoding either.
+func AppendHello(dst []byte, version uint64, addrs []string) []byte {
+	dst = append(dst, wireMagic, wireVersionHello)
+	dst = binary.AppendUvarint(dst, version)
+	dst = binary.AppendUvarint(dst, uint64(len(addrs)))
+	for _, a := range addrs {
+		dst = binary.AppendUvarint(dst, uint64(len(a)))
+		dst = append(dst, a...)
+	}
+	return dst
+}
+
+// IsHello reports whether a frame payload is a shard-map hello rather
+// than a fragment batch.
+func IsHello(payload []byte) bool {
+	return len(payload) >= 2 && payload[0] == wireMagic && payload[1] == wireVersionHello
+}
+
+// DecodeHello decodes a hello payload produced by AppendHello. The
+// whole input must be consumed (hellos ride the same length-prefixed
+// framing as batches).
+func DecodeHello(data []byte) (version uint64, addrs []string, err error) {
+	r := &wireReader{data: data}
+	if m := r.byte(); r.err == nil && m != wireMagic {
+		return 0, nil, fmt.Errorf("trace: bad hello magic %#x", m)
+	}
+	if v := r.byte(); r.err == nil && v != wireVersionHello {
+		return 0, nil, fmt.Errorf("trace: hello version %d, want %d", v, wireVersionHello)
+	}
+	version = r.uvarint()
+	n := r.uvarint()
+	if n > maxHelloAddrs || n > uint64(len(data)) {
+		return 0, nil, fmt.Errorf("trace: hello claims %d shards in %d bytes", n, len(data))
+	}
+	addrs = make([]string, 0, n)
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		l := r.uvarint()
+		if l > maxHelloAddrLen {
+			return 0, nil, fmt.Errorf("trace: hello address of %d bytes", l)
+		}
+		addrs = append(addrs, string(r.bytes(int(l))))
+	}
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	if r.pos != len(data) {
+		return 0, nil, fmt.Errorf("trace: %d trailing bytes after hello", len(data)-r.pos)
+	}
+	return version, addrs, nil
 }
 
 // appendFrags encodes the version-independent tail of a batch: the

@@ -253,3 +253,65 @@ func TestWireCorruptInputs(t *testing.T) {
 		t.Fatal("trailing garbage decoded cleanly")
 	}
 }
+
+func TestHelloRoundTrip(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"127.0.0.1:9000"},
+		{"10.0.0.1:9000", "10.0.0.2:9000", "", "host-3.cluster.local:443"},
+	}
+	for _, addrs := range cases {
+		enc := AppendHello(nil, 42, addrs)
+		if !IsHello(enc) {
+			t.Fatalf("hello %v not recognized as hello", addrs)
+		}
+		ver, got, err := DecodeHello(enc)
+		if err != nil {
+			t.Fatalf("decode hello %v: %v", addrs, err)
+		}
+		if ver != 42 || len(got) != len(addrs) {
+			t.Fatalf("hello %v round-tripped to version %d addrs %v", addrs, ver, got)
+		}
+		for i := range addrs {
+			if got[i] != addrs[i] {
+				t.Fatalf("addr %d: got %q want %q", i, got[i], addrs[i])
+			}
+		}
+	}
+}
+
+func TestHelloBatchDisjoint(t *testing.T) {
+	// A hello must never decode as a batch, and vice versa: the one frame
+	// a client reads is unambiguous against everything a server sends.
+	hello := AppendHello(nil, 1, []string{"a:1", "b:2"})
+	if _, _, err := DecodeBatchMeta(hello); err == nil {
+		t.Fatal("hello decoded as a batch")
+	}
+	batch := AppendBatchSeq(nil, 3, 7, []Fragment{{Kind: Comp, From: 1, State: 2, Start: 10, Elapsed: 5}})
+	if IsHello(batch) {
+		t.Fatal("batch recognized as hello")
+	}
+	if _, _, err := DecodeHello(batch); err == nil {
+		t.Fatal("batch decoded as a hello")
+	}
+}
+
+func TestHelloCorruptInputs(t *testing.T) {
+	good := AppendHello(nil, 9, []string{"127.0.0.1:8000", "127.0.0.1:8001"})
+	for cut := 1; cut < len(good); cut++ {
+		if _, _, err := DecodeHello(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded cleanly", cut)
+		}
+	}
+	if _, _, err := DecodeHello(append(append([]byte{}, good...), 0)); err == nil {
+		t.Fatal("trailing garbage decoded cleanly")
+	}
+	// Hostile counts: huge shard counts and address lengths must be
+	// rejected before allocation.
+	hostile := AppendHello(nil, 1, nil)
+	hostile = hostile[:3] // keep magic+version+version varint, drop count
+	hostile = append(hostile, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01)
+	if _, _, err := DecodeHello(hostile); err == nil {
+		t.Fatal("absurd shard count decoded cleanly")
+	}
+}

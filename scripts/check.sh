@@ -13,18 +13,35 @@ go test -race ./internal/mpi ./internal/collector ./internal/core \
 	./internal/interpose ./internal/detect ./internal/cluster \
 	./internal/obs ./internal/faults
 
-# Chaos stage: the fault-tolerance soak (server killed/restarted 5x
-# under multi-rank load) must hold the exact-loss-accounting invariant
-# (consumed == delivered + sequence gaps) with the race detector on.
-# Runs in well under 30s.
-go test -race -count=2 -timeout 60s -run 'TestChaosSoakServerRestarts' \
+# Chaos stage: the fault-tolerance soaks must hold the exact
+# loss-accounting invariant (consumed == delivered + sequence gaps)
+# with the race detector on — single server killed/restarted 5x under
+# multi-rank load, and one shard server of 8 killed/restarted under the
+# sharded tier (per-shard books, survivors keep ticking, re-attach via
+# the rebalanced shard map). Runs in well under 30s.
+go test -race -count=2 -timeout 60s \
+	-run 'TestChaosSoakServerRestarts|TestChaosShardServerKillRestart' \
 	./internal/collector
-# Bench smoke: one iteration, correctness only — no timing is recorded.
-# Raw output and the parsed BENCH_6.json are kept for the CI artifact
-# upload (the JSON is what tracks ns/op and allocs/op across PRs).
-go test -run xxx -bench 'BenchmarkPoolIngest$|BenchmarkWindowResults|BenchmarkMonitorTick' \
+# Equivalence fuzz: the sharded tier's merged analysis must stay
+# bit-identical to unsharded references across 100 scripted delivery
+# schedules × shard counts {1,2,4,8}, raced.
+go test -race -count=1 -timeout 120s -run 'TestShardedEquivalenceFuzz' \
+	./internal/collector
+# Bench smoke: one iteration each, correctness plus the recorded scale
+# bounds. The scale benchmarks run 3x and benchjson -min keeps each
+# benchmark's fastest line (min-of-runs), then asserts the PR 6
+# flat-tick ratio and the PR 7 per-shard ratio (2048 ranks × 8 shards
+# within 1.5x of 256 ranks × 1 shard per shard-tick). Raw output and
+# the parsed BENCH_7.json are kept for the CI artifact upload.
+go test -run xxx -bench 'BenchmarkPoolIngest$|BenchmarkWindowResults|BenchmarkMonitorTickIncremental|BenchmarkMonitorTickBatch' \
 	-benchtime 1x -benchmem . | tee bench-smoke.out
-go run ./cmd/benchjson -out BENCH_6.json < bench-smoke.out
+go test -run xxx -bench 'BenchmarkMonitorTickScale|BenchmarkShardedTickScale' \
+	-benchtime 1x -count=3 -benchmem . | tee -a bench-smoke.out
+go run ./cmd/benchjson -min -out BENCH_7.json \
+	-assert 'MonitorTickScale/servers=1/resident=1000k<=1.5*MonitorTickScale/servers=1/resident=100k' \
+	-assert 'MonitorTickScale/servers=4/resident=1000k<=1.5*MonitorTickScale/servers=4/resident=100k' \
+	-assert 'ShardedTickScale/shards=8/ranks=2048<=1.5*ShardedTickScale/shards=1/ranks=256@ns_per_shard_tick' \
+	< bench-smoke.out
 
 # Observability smoke: boot a real collector, scrape its metrics
 # endpoint with `vapro status`, and assert the cross-layer metric names
@@ -61,4 +78,35 @@ done
 # The rendered panel must come up on the same endpoint.
 /tmp/vapro-check status -addr "$METRICS_ADDR" | grep -q 'vapro collector'
 kill $SERVE_PID
+trap - EXIT
+
+# Sharded observability smoke: boot the rank-sharded tier (2 shard
+# servers), and assert the spatial scale-out surface — the tier
+# counters plus the per-shard gauge rows — is exposed end to end.
+/tmp/vapro-check serve -shards 2 -ranks 8 -listen 127.0.0.1:0 \
+	-metrics 127.0.0.1:0 >/tmp/vapro-serve-sharded.out 2>&1 &
+SHARD_PID=$!
+trap 'kill $SHARD_PID 2>/dev/null || true' EXIT
+i=0
+while ! grep -q '^metrics=' /tmp/vapro-serve-sharded.out; do
+	i=$((i + 1))
+	[ "$i" -gt 100 ] && { echo "sharded vapro serve never came up"; cat /tmp/vapro-serve-sharded.out; exit 1; }
+	sleep 0.1
+done
+# Both shard listeners must have been announced.
+grep -q '^wire=' /tmp/vapro-serve-sharded.out
+grep -q '^wire1=' /tmp/vapro-serve-sharded.out
+SHARD_METRICS_ADDR=$(sed -n 's/^metrics=//p' /tmp/vapro-serve-sharded.out)
+/tmp/vapro-check status -addr "$SHARD_METRICS_ADDR" -raw prom >/tmp/vapro-shard-metrics.out
+for name in vapro_shards vapro_shard_strips_merged_total \
+	vapro_shard_regions_stitched_total vapro_shardmap_rebalances_total \
+	vapro_shard_redirects_total vapro_shard_misroutes_total \
+	vapro_shard0_resident_ranks vapro_shard1_resident_ranks \
+	vapro_shard0_seq_gaps vapro_shard1_intake_staged; do
+	grep -q "$name" /tmp/vapro-shard-metrics.out || {
+		echo "sharded metrics endpoint missing $name"; exit 1; }
+done
+# The panel grows the shard rows on a sharded endpoint.
+/tmp/vapro-check status -addr "$SHARD_METRICS_ADDR" | grep -q 'shard 1: resident'
+kill $SHARD_PID
 trap - EXIT
