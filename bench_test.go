@@ -26,6 +26,7 @@ import (
 	"vapro/internal/exp"
 	"vapro/internal/interpose"
 	"vapro/internal/noise"
+	"vapro/internal/obs"
 	"vapro/internal/sim"
 	"vapro/internal/stats"
 	"vapro/internal/stg"
@@ -778,4 +779,79 @@ func BenchmarkShardedTickScale(b *testing.B) {
 			benchShardedTickScale(b, cfg.shards, cfg.ranks)
 		})
 	}
+}
+
+func benchShardedTickScaleTraced(b *testing.B, shards, ranks int) {
+	tick := ranks * 40
+	resident := ranks * 500
+	s := newTickStream(ranks, 8)
+	s.comms = 256
+	tier := collector.NewShardedPool(ranks, shards, collector.DefaultOptions())
+	defer tier.Close()
+	perRank := make([][]trace.Fragment, ranks)
+	seqs := make([]uint64, ranks)
+	feed := func(frags []trace.Fragment) {
+		for r := range perRank {
+			perRank[r] = perRank[r][:0]
+		}
+		for _, f := range frags {
+			perRank[f.Rank] = append(perRank[f.Rank], f)
+		}
+		for r, fr := range perRank {
+			if len(fr) == 0 {
+				continue
+			}
+			// The wire server's dispatch, inlined: every batch pays the
+			// sampler check on its shard's tracer; one in 64 takes the
+			// exemplar path through ConsumeTraced.
+			seq := seqs[r]
+			seqs[r]++
+			tr := tier.Plane(tier.Owner(r)).Metrics().Trace
+			if tr.Sample(seq) {
+				tc := collector.TraceCtx{ClientID: uint64(r), Seq: seq, Rank: r, FlushNS: int64(seq + 1)}
+				tr.Record(tc.Key(), r, tc.FlushNS, obs.HopDeliver)
+				tier.ConsumeTraced(r, fr, 0, tc)
+			} else {
+				tier.Consume(r, fr)
+			}
+		}
+	}
+	for fed := 0; fed < resident; fed += tick {
+		n := tick
+		if resident-fed < n {
+			n = resident - fed
+		}
+		feed(s.next(n))
+	}
+	period := int64(500 * sim.Millisecond)
+	wm := s.watermark()
+	tier.RunWindow(wm-period, wm)
+	for i := 0; i < 10; i++ {
+		feed(s.next(tick))
+		wm = s.watermark()
+		tier.RunWindow(wm-period, wm)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		batch := s.next(tick)
+		b.StartTimer()
+		feed(batch)
+		wm = s.watermark()
+		tier.RunWindow(wm-period, wm)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(shards), "ns_per_shard_tick")
+}
+
+// BenchmarkShardedTickScaleTraced is BenchmarkShardedTickScale with
+// batch provenance tracing on at the default 1/64 sampling rate: every
+// batch pays the Sample check, one in 64 walks the exemplar journey
+// path, and each tick completes the pending journeys. CI pins the
+// 8-shard ns_per_shard_tick within 1.05x of the untraced bench.
+func BenchmarkShardedTickScaleTraced(b *testing.B) {
+	b.Run("shards=8/ranks=2048", func(b *testing.B) {
+		benchShardedTickScaleTraced(b, 8, 2048)
+	})
 }

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"vapro/internal/collector"
+	"vapro/internal/trace"
+)
+
+// feedMain is a synthetic load generator for a running collector: one
+// resilient, shard-aware client per rank streams computation fragments
+// through the traced wire protocol, so smoke tests (and humans) can put
+// real batches — with provenance trace contexts — through a live serve
+// deployment and then read them back via `vapro status` / -trace /
+// -fleet.
+func feedMain(args []string) {
+	fs := flag.NewFlagSet("vapro feed", flag.ExitOnError)
+	bootstrap := fs.String("bootstrap", "", "wire address of any shard (the hello redirects each rank to its owner)")
+	ranks := fs.Int("ranks", 4, "client ranks to simulate")
+	batches := fs.Int("batches", 32, "batches to send per rank")
+	frags := fs.Int("frags", 4, "fragments per batch")
+	clientID := fs.Uint64("client", 1, "base trace client id (rank r sends as client+r)")
+	gap := fs.Duration("gap", 0, "pause between a rank's batches")
+	timeout := fs.Duration("timeout", 10*time.Second, "max time to wait for delivery before closing")
+	_ = fs.Parse(args)
+	if *bootstrap == "" {
+		fmt.Fprintln(os.Stderr, "vapro feed: -bootstrap is required")
+		os.Exit(2)
+	}
+
+	// The feed's own registry: client-side hop stamps (flush, enqueue,
+	// write) land here; the server's ring holds the rest of the journey.
+	met := collector.NewMetrics()
+	var wg sync.WaitGroup
+	clients := make([]*collector.ResilientClient, *ranks)
+	for r := 0; r < *ranks; r++ {
+		c := collector.NewResilientClient(
+			collector.ShardDialer(r, []string{*bootstrap}, met),
+			collector.ResilientOptions{MaxSpill: 64})
+		c.SetMetrics(met)
+		c.EnableTrace(*clientID+uint64(r), met.Trace)
+		clients[r] = c
+		wg.Add(1)
+		go func(rank int, c *collector.ResilientClient) {
+			defer wg.Done()
+			for b := 0; b < *batches; b++ {
+				batch := make([]trace.Fragment, *frags)
+				for f := range batch {
+					start := int64(b*(*frags)+f) * 1000
+					batch[f] = trace.Fragment{
+						Rank: rank, Kind: trace.Comp, From: 1, State: 2,
+						Start: start, Elapsed: 500,
+						Counters: trace.CountersView{TotIns: 1000, Cycles: 500},
+					}
+				}
+				c.Consume(rank, batch)
+				if *gap > 0 {
+					time.Sleep(*gap)
+				}
+			}
+		}(r, c)
+	}
+	wg.Wait()
+
+	// Wait for the spill queues to drain (delivery is asynchronous),
+	// then report the loss accounting.
+	deadline := time.Now().Add(*timeout)
+	var sent, lost uint64
+	for {
+		sent, lost = 0, 0
+		for _, c := range clients {
+			st := c.Stats()
+			sent += st.Sent
+			lost += st.Lost
+		}
+		if sent+lost >= uint64(*ranks**batches) || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, c := range clients {
+		_ = c.Close()
+	}
+	fmt.Printf("fed ranks=%d batches=%d sent=%d lost=%d\n", *ranks, *ranks**batches, sent, lost)
+	if sent == 0 {
+		os.Exit(1)
+	}
+}

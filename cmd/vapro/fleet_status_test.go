@@ -1,0 +1,135 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"vapro/internal/collector"
+	"vapro/internal/obs"
+)
+
+// TestRenderTraceJourneys pins the -trace rendering against a
+// deterministic journey: per-hop deltas, the dwell label on the
+// enqueue→write leg, and unreached hops shown as "-".
+func TestRenderTraceJourneys(t *testing.T) {
+	ms := int64(time.Millisecond)
+	ts := obs.TraceSnapshot{
+		Interval: 64, Total: 640, Sampled: 10, HopNames: obs.HopNames[:],
+		Journeys: []obs.Journey{
+			{
+				Key: obs.TraceKey{ClientID: 7, Seq: 128}, Rank: 3, FlushNS: 1000 * ms,
+				// flush, enqueue at flush; write 150ms later (spill);
+				// deliver +1ms, stage +1ms, drain unreached, analyzed unreached.
+				Hops: [obs.NumHops]int64{1000 * ms, 1000 * ms, 1150 * ms, 1151 * ms, 1152 * ms, 0, 0},
+			},
+		},
+	}
+	out := renderTrace(&ts)
+	for _, want := range []string{
+		"interval 1/64, 640 stamped, 10 sampled, 1 held",
+		"client 7 seq 128 rank 3",
+		"span 152.0ms",
+		"write +150.0ms (spill/redial dwell)",
+		"deliver +1.0ms",
+		"drain -",
+		"analyzed -",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace render missing %q:\n%s", want, out)
+		}
+	}
+	// An empty ring renders a hint, not an empty string.
+	empty := renderTrace(&obs.TraceSnapshot{Interval: 64, HopNames: obs.HopNames[:]})
+	if !strings.Contains(empty, "no sampled journeys") {
+		t.Fatalf("empty trace render: %q", empty)
+	}
+}
+
+// TestRenderFleetTable pins the -fleet rendering: every shard gets a
+// row, unreachable shards carry their scrape error, and fleet reasons
+// are listed with shard attribution.
+func TestRenderFleetTable(t *testing.T) {
+	st := &collector.FleetStatus{
+		Source: "fleet", State: obs.HealthDegraded,
+		Reasons: []string{"shard 1: scrape failed: connection refused"},
+		Ranks:   8, Servers: 2, WireFrames: 40, SeqGaps: 1,
+		Scrapes: 6, ScrapeFailures: 1,
+		Shards: []collector.ShardStatus{
+			{Shard: 0, Target: "127.0.0.1:9001", State: obs.HealthOK, ResidentRanks: 4},
+			{Shard: 1, Target: "127.0.0.1:9002", State: obs.HealthUnreachable,
+				Error: "scrape failed: connection refused"},
+		},
+	}
+	out := renderFleet(st)
+	for _, want := range []string{
+		"vapro fleet (fleet) — degraded",
+		"scrapes   6 (failures 1)",
+		"! shard 1: scrape failed",
+		"unreachable",
+		"127.0.0.1:9002",
+		"scrape failed: connection refused",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fleet render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "127.0.0.1:900") != 2 {
+		t.Fatalf("expected both shard rows:\n%s", out)
+	}
+}
+
+// TestFetchFleetStatusFallback: against a fleet endpoint the /fleet
+// schema comes back verbatim; against a plain metrics endpoint the same
+// schema is derived from the snapshot.
+func TestFetchFleetStatusFallback(t *testing.T) {
+	// Plain per-shard endpoint: no /fleet route.
+	reg := obs.NewRegistry()
+	reg.Gauge("vapro_ranks", "collect", "").Set(4)
+	plain := httptest.NewServer(reg.Handler())
+	defer plain.Close()
+	client := &http.Client{Timeout: 2 * time.Second}
+	st, err := fetchFleetStatus(client, strings.TrimPrefix(plain.URL, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Source != "endpoint" || st.Ranks != 4 || len(st.Shards) != 1 {
+		t.Fatalf("derived status: %+v", st)
+	}
+
+	// Fleet scraper endpoint: /fleet served directly.
+	fs := collector.NewFleetScraper([]string{strings.TrimPrefix(plain.URL, "http://")},
+		collector.FleetOptions{Timeout: time.Second})
+	fs.ScrapeOnce()
+	fleet := httptest.NewServer(fs.Handler())
+	defer fleet.Close()
+	st, err = fetchFleetStatus(client, strings.TrimPrefix(fleet.URL, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Source != "fleet" || st.Scrapes != 1 || len(st.Shards) != 1 {
+		t.Fatalf("fleet status: %+v", st)
+	}
+}
+
+// TestStatusRenderShardNoData pins the satellite fix: a tier snapshot
+// that promises more shards than it has rows must render explicit
+// "(no data)" rows instead of silently truncating the table.
+func TestStatusRenderShardNoData(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Gauge("vapro_shards", "shard", "").Set(3)
+	reg.Func("vapro_shard0_resident_ranks", "shard", "", func() float64 { return 4 })
+	// shard 1 and 2 rows are missing from the scrape.
+	snap := reg.Snapshot()
+	out := renderStatus(&snap)
+	if !strings.Contains(out, "shard 0: resident 4") {
+		t.Fatalf("live shard row missing:\n%s", out)
+	}
+	for _, want := range []string{"shard 1: (no data)", "shard 2: (no data)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing explicit no-data row %q:\n%s", want, out)
+		}
+	}
+}

@@ -13,6 +13,8 @@
 //
 //	vapro serve  -listen 127.0.0.1:0 -metrics 127.0.0.1:0   start a collector
 //	vapro status -addr HOST:PORT                            render its live metrics
+//	vapro status -addr HOST:PORT -json|-trace|-fleet        machine schema / batch journeys / fleet health
+//	vapro feed   -bootstrap HOST:PORT -ranks 4 -batches 32  stream synthetic traced batches into it
 package main
 
 import (
@@ -50,6 +52,9 @@ func main() {
 			return
 		case "status":
 			statusMain(os.Args[2:])
+			return
+		case "feed":
+			feedMain(os.Args[2:])
 			return
 		}
 	}

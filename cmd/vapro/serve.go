@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -23,11 +24,12 @@ func serveMain(args []string) {
 	metrics := fs.String("metrics", "127.0.0.1:0", "address for the metrics HTTP endpoint (empty disables)")
 	ranks := fs.Int("ranks", 256, "client ranks the pool is provisioned for")
 	shards := fs.Int("shards", 1, "shard servers to run (>1 starts a rank-sharded tier, one wire listener per shard)")
+	fleet := fs.String("fleet", "", "address for the fleet scraper endpoint (sharded mode; empty disables)")
 	drain := fs.Duration("drain", 5*time.Second, "how long shutdown waits for in-flight connections before force-closing them")
 	_ = fs.Parse(args)
 
 	if *shards > 1 {
-		serveSharded(*listen, *metrics, *ranks, *shards, *drain)
+		serveSharded(*listen, *metrics, *fleet, *ranks, *shards, *drain)
 		return
 	}
 
@@ -65,13 +67,20 @@ func serveMain(args []string) {
 // merging the per-shard analyses, and the shard map published to every
 // client through the wire hello. Clients only need any one address to
 // bootstrap — the hello redirects them to their owner.
-func serveSharded(listen, metrics string, ranks, shards int, drain time.Duration) {
+//
+// Observability comes in three tiers: -metrics serves the tier-merged
+// registry (plus /trace), each shard additionally gets its own metrics
+// listener (printed metrics0=, metrics1=, …) so per-shard truth stays
+// scrapeable, and -fleet starts a FleetScraper polling those per-shard
+// endpoints into the /fleet health surface.
+func serveSharded(listen, metrics, fleet string, ranks, shards int, drain time.Duration) {
 	opt := collector.DefaultOptions()
 	tier := collector.NewShardedPool(ranks, shards, opt)
 	mon := collector.NewShardedMonitor(tier, collector.DefaultMonitorOptions(ranks))
 
 	srvs := make([]*collector.WireServer, shards)
 	addrs := make([]string, shards)
+	shardMet := make([]string, shards)
 	for i := 0; i < shards; i++ {
 		bind := "127.0.0.1:0"
 		if i == 0 {
@@ -100,13 +109,46 @@ func serveSharded(listen, metrics string, ranks, shards int, drain time.Duration
 			fmt.Fprintln(os.Stderr, "vapro serve:", err)
 			os.Exit(1)
 		}
-		srvs[0].ServeMetrics(mln)
+		go func() { _ = (&http.Server{Handler: tier.Handler()}).Serve(mln) }()
 		fmt.Printf("metrics=%s\n", mln.Addr())
+		// Per-shard endpoints: the fleet scraper's targets, and the
+		// ground truth for "fleet sum == Σ shard counters" checks.
+		for i := 0; i < shards; i++ {
+			sln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vapro serve:", err)
+				os.Exit(1)
+			}
+			shardMet[i] = sln.Addr().String()
+			h := mon.WireSink(i).Metrics().Handler()
+			go func() { _ = (&http.Server{Handler: h}).Serve(sln) }()
+			fmt.Printf("metrics%d=%s\n", i, shardMet[i])
+		}
+	}
+	var fstop chan struct{}
+	if fleet != "" {
+		if metrics == "" {
+			fmt.Fprintln(os.Stderr, "vapro serve: -fleet needs -metrics (the per-shard endpoints are its scrape targets)")
+			os.Exit(2)
+		}
+		fln, err := net.Listen("tcp", fleet)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vapro serve:", err)
+			os.Exit(1)
+		}
+		fsc := collector.NewFleetScraper(shardMet, collector.FleetOptions{Interval: time.Second})
+		fstop = make(chan struct{})
+		go fsc.Run(fstop)
+		go func() { _ = (&http.Server{Handler: fsc.Handler()}).Serve(fln) }()
+		fmt.Printf("fleet=%s\n", fln.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	if fstop != nil {
+		close(fstop)
+	}
 	for _, srv := range srvs {
 		_ = srv.Close()
 	}

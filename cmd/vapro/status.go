@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"vapro/internal/collector"
 	"vapro/internal/obs"
 )
 
@@ -17,23 +18,65 @@ import (
 // status snapshot: intake depth, throughput, window analysis latency,
 // cache hit rate, and the §6.2 storage rate. With -raw it dumps the
 // endpoint's body instead (prom or json), which is what scripted
-// consumers grep.
+// consumers grep. -json emits the stable FleetStatus schema (from the
+// endpoint's /fleet view when it has one, else derived from the
+// snapshot), -trace renders the slowest sampled batch journeys, and
+// -fleet renders the fleet health table (repeating every -watch).
 func statusMain(args []string) {
 	fs := flag.NewFlagSet("vapro status", flag.ExitOnError)
-	addr := fs.String("addr", "", "metrics address (host:port) of a running collector")
+	addr := fs.String("addr", "", "metrics address (host:port) of a running collector or fleet endpoint")
 	raw := fs.String("raw", "", "dump the raw endpoint body in this format (prom|json) instead of rendering")
+	jsonOut := fs.Bool("json", false, "emit the machine-readable FleetStatus JSON schema")
+	traceView := fs.Bool("trace", false, "render the slowest recent batch journeys from the endpoint's /trace view")
+	fleetView := fs.Bool("fleet", false, "render the fleet health table from the endpoint's /fleet view")
+	watch := fs.Duration("watch", 0, "with -fleet: re-render every interval until interrupted")
 	timeout := fs.Duration("timeout", 5*time.Second, "fetch timeout")
 	_ = fs.Parse(args)
 	if *addr == "" {
 		fmt.Fprintln(os.Stderr, "vapro status: -addr is required")
 		os.Exit(2)
 	}
+	client := &http.Client{Timeout: *timeout}
+
+	switch {
+	case *traceView:
+		var ts obs.TraceSnapshot
+		if err := fetchJSON(client, *addr, "/trace", &ts); err != nil {
+			fmt.Fprintln(os.Stderr, "vapro status:", err)
+			os.Exit(1)
+		}
+		fmt.Print(renderTrace(&ts))
+		return
+	case *jsonOut:
+		st, err := fetchFleetStatus(client, *addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vapro status:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st)
+		return
+	case *fleetView:
+		for {
+			st, err := fetchFleetStatus(client, *addr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vapro status:", err)
+				os.Exit(1)
+			}
+			fmt.Print(renderFleet(st))
+			if *watch <= 0 {
+				return
+			}
+			time.Sleep(*watch)
+			fmt.Println()
+		}
+	}
 
 	format := "json"
 	if *raw == "prom" {
 		format = "prom"
 	}
-	client := &http.Client{Timeout: *timeout}
 	resp, err := client.Get(fmt.Sprintf("http://%s/metrics?format=%s", *addr, format))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vapro status:", err)
@@ -55,6 +98,109 @@ func statusMain(args []string) {
 		os.Exit(1)
 	}
 	fmt.Print(renderStatus(&snap))
+}
+
+// fetchJSON GETs http://addr<path> and decodes the JSON body.
+func fetchJSON(client *http.Client, addr, path string, out any) error {
+	resp, err := client.Get(fmt.Sprintf("http://%s%s", addr, path))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// fetchFleetStatus returns the endpoint's fleet view: the /fleet JSON
+// when the address hosts a fleet scraper, else the stable schema
+// derived from the metrics snapshot (same shape either way).
+func fetchFleetStatus(client *http.Client, addr string) (*collector.FleetStatus, error) {
+	var st collector.FleetStatus
+	if err := fetchJSON(client, addr, "/fleet", &st); err == nil && st.Source == "fleet" {
+		return &st, nil
+	}
+	var snap obs.Snapshot
+	if err := fetchJSON(client, addr, "/metrics?format=json", &snap); err != nil {
+		return nil, err
+	}
+	derived := collector.FleetStatusFromSnapshot(&snap, nil)
+	return &derived, nil
+}
+
+// renderTrace formats the slowest sampled batch journeys with a
+// per-hop latency breakdown; the enqueue→write leg is labeled as the
+// spill/redial dwell because that is what it measures.
+func renderTrace(ts *obs.TraceSnapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "batch journeys — interval 1/%d, %d stamped, %d sampled, %d held\n",
+		ts.Interval, ts.Total, ts.Sampled, len(ts.Journeys))
+	if len(ts.Journeys) == 0 {
+		b.WriteString("  (no sampled journeys yet)\n")
+		return b.String()
+	}
+	max := len(ts.Journeys)
+	if max > 10 {
+		max = 10
+	}
+	for n, j := range ts.Journeys[:max] {
+		fmt.Fprintf(&b, "#%-2d client %d seq %d rank %d — span %s\n",
+			n+1, j.Key.ClientID, j.Key.Seq, j.Rank, humanNS(float64(j.SpanNS())))
+		prev := j.FlushNS
+		if prev == 0 {
+			prev = j.Hops[0]
+		}
+		var hops []string
+		for h, t := range j.Hops {
+			name := "?"
+			if h < len(ts.HopNames) {
+				name = ts.HopNames[h]
+			}
+			if t == 0 {
+				hops = append(hops, name+" -")
+				continue
+			}
+			d := t - prev
+			if d < 0 {
+				d = 0
+			}
+			leg := fmt.Sprintf("%s +%s", name, humanNS(float64(d)))
+			if h == obs.HopWrite && d > 0 {
+				leg += " (spill/redial dwell)"
+			}
+			hops = append(hops, leg)
+			prev = t
+		}
+		fmt.Fprintf(&b, "    %s\n", strings.Join(hops, " → "))
+	}
+	return b.String()
+}
+
+// renderFleet formats the fleet health table. Every shard the fleet
+// knows about gets a row — unreachable ones carry their scrape error
+// instead of silently vanishing.
+func renderFleet(st *collector.FleetStatus) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "vapro fleet (%s) — %s   ranks %.0f   servers %.0f   frames %.0f   seq gaps %.0f\n",
+		st.Source, st.State, st.Ranks, st.Servers, st.WireFrames, st.SeqGaps)
+	if st.Scrapes > 0 {
+		fmt.Fprintf(&b, "scrapes   %d (failures %d)\n", st.Scrapes, st.ScrapeFailures)
+	}
+	for _, r := range st.Reasons {
+		fmt.Fprintf(&b, "  ! %s\n", r)
+	}
+	fmt.Fprintf(&b, "%-6s %-12s %-22s %9s %7s %8s  %s\n",
+		"shard", "state", "target", "resident", "staged", "seqgaps", "detail")
+	for _, sh := range st.Shards {
+		detail := sh.Error
+		if detail == "" && len(sh.Reasons) > 0 {
+			detail = sh.Reasons[0]
+		}
+		fmt.Fprintf(&b, "%-6d %-12s %-22s %9.0f %7.0f %8.0f  %s\n",
+			sh.Shard, sh.State, sh.Target, sh.ResidentRanks, sh.IntakeStaged, sh.SeqGaps, detail)
+	}
+	return b.String()
 }
 
 // val returns a metric's scalar value, 0 when absent.
@@ -89,10 +235,14 @@ func renderStatus(s *obs.Snapshot) string {
 			val(s, "vapro_shardmap_rebalances_total"),
 			val(s, "vapro_shard_redirects_total"),
 			val(s, "vapro_shard_misroutes_total"))
-		for i := 0; ; i++ {
+		// One row per shard the tier declares — a shard whose row is
+		// missing from the scrape renders as "(no data)" instead of
+		// silently truncating the table at the first gap.
+		for i := 0; i < int(shards); i++ {
 			m := s.Get(fmt.Sprintf("vapro_shard%d_resident_ranks", i))
 			if m == nil {
-				break
+				fmt.Fprintf(&b, "          shard %d: (no data)\n", i)
+				continue
 			}
 			fmt.Fprintf(&b, "          shard %d: resident %.0f rank(s)   intake staged %.0f   seq gaps %.0f\n",
 				i, m.Value,

@@ -440,6 +440,7 @@ func (p *Pool) WindowResults() []*WindowResult {
 			Result: res,
 		})
 	}
+	p.met.Trace.CompleteAnalyze()
 	return out
 }
 
@@ -463,7 +464,10 @@ func (p *Pool) runWindowWith(start, end int64, outages []detect.Outage) *detect.
 	g := p.refreshView()
 	dopt := p.opt.Detect
 	dopt.Outages = outages
-	return p.an.RunWindow(g, p.ranks, dopt, start, end)
+	res := p.an.RunWindow(g, p.ranks, dopt, start, end)
+	// Journeys drained before this tick are now visible to analysis.
+	p.met.Trace.CompleteAnalyze()
+	return res
 }
 
 // viewBounds drains the servers, folds their growth into the merged

@@ -1,0 +1,318 @@
+package collector
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vapro/internal/obs"
+	"vapro/internal/trace"
+)
+
+// wrapDown serves the wrapped handler, or 503 while the flag is set —
+// a shard "kill" that can be reverted on the same address.
+func wrapDown(down *atomic.Bool, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			http.Error(w, "shard down", http.StatusServiceUnavailable)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// TestFleetMergedCountersEqualShardSum is the live consistency check:
+// real wire traffic into a 4-shard tier, each shard's metrics served
+// over real HTTP, a FleetScraper polling them — and the fleet's merged
+// counters must EXACTLY equal the sum of the per-shard counters.
+func TestFleetMergedCountersEqualShardSum(t *testing.T) {
+	const ranks, shards = 8, 4
+	tier := NewShardedPool(ranks, shards, shardTestOptions())
+	defer tier.Close()
+
+	srvs := make([]*WireServer, shards)
+	addrs := make([]string, shards)
+	metSrvs := make([]*httptest.Server, shards)
+	targets := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		srvs[i] = ServeWire(ln, tier.WireSink(i))
+		defer srvs[i].Close()
+		metSrvs[i] = httptest.NewServer(tier.WireSink(i).Metrics().Handler())
+		defer metSrvs[i].Close()
+		targets[i] = strings.TrimPrefix(metSrvs[i].URL, "http://")
+	}
+	if err := tier.Rebalance(addrs); err != nil {
+		t.Fatal(err)
+	}
+
+	clients := make([]*ResilientClient, ranks)
+	for r := 0; r < ranks; r++ {
+		clients[r] = NewResilientClient(
+			ShardDialer(r, append([]string(nil), addrs...), tier.Metrics()),
+			ResilientOptions{MaxSpill: 16})
+		defer clients[r].Close()
+		for n := 0; n < 5; n++ {
+			clients[r].Consume(r, []trace.Fragment{frag(r, int64(n)*1000, 500)})
+		}
+	}
+	// Delivery is asynchronous: wait until every batch landed in a
+	// plane before scraping.
+	deadline := time.Now().Add(5 * time.Second)
+	for tier.FragmentCount() < ranks*5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("delivery stalled: %d/%d fragments", tier.FragmentCount(), ranks*5)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	fs := NewFleetScraper(targets, FleetOptions{})
+	st := fs.ScrapeOnce()
+	if st.State != obs.HealthOK {
+		t.Fatalf("fleet state %v, reasons %v", st.State, st.Reasons)
+	}
+	if st.Scrapes != shards || st.ScrapeFailures != 0 {
+		t.Fatalf("scrapes=%d failures=%d", st.Scrapes, st.ScrapeFailures)
+	}
+
+	// Sum each summed counter over the per-shard endpoints directly and
+	// compare against the fleet's merged registry.
+	merged := fs.Merged()
+	for _, name := range []string{
+		"vapro_wire_frames_total",
+		"vapro_wire_bytes_total",
+		"vapro_intake_batches_total",
+		"vapro_intake_fragments_total",
+	} {
+		var sum float64
+		for i := range metSrvs {
+			snap, err := fs.httpFetch(targets[i])
+			if err != nil {
+				t.Fatalf("shard %d refetch: %v", i, err)
+			}
+			m := snap.Get(name)
+			if m == nil {
+				t.Fatalf("shard %d missing %s", i, name)
+			}
+			sum += m.Value
+		}
+		got := merged.Get(name)
+		if got == nil || got.Value != sum {
+			t.Fatalf("%s: fleet merged %v, shard sum %v", name, got, sum)
+		}
+		if name == "vapro_wire_frames_total" && sum != ranks*5 {
+			t.Fatalf("wire frames %v, want %d", sum, ranks*5)
+		}
+	}
+
+	// The stable JSON schema round-trips through the /fleet endpoint.
+	rr := httptest.NewRecorder()
+	fs.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/fleet", nil))
+	var round FleetStatus
+	if err := json.Unmarshal(rr.Body.Bytes(), &round); err != nil {
+		t.Fatalf("fleet JSON: %v", err)
+	}
+	if round.Source != "fleet" || len(round.Shards) != shards {
+		t.Fatalf("fleet status round-trip: %+v", round)
+	}
+	if round.WireFrames != ranks*5 {
+		t.Fatalf("fleet wire frames %v, want %d", round.WireFrames, ranks*5)
+	}
+	// The merged registry endpoint still speaks Prometheus.
+	rr = httptest.NewRecorder()
+	fs.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics?format=prom", nil))
+	if !strings.Contains(rr.Body.String(), "vapro_wire_frames_total") {
+		t.Fatal("fleet prometheus view missing wire counter")
+	}
+}
+
+// TestFleetKillDegradeRecover drives the health surface: a killed shard
+// endpoint must surface as unreachable with the scrape error, degrade
+// the fleet with shard attribution, and clear on recovery. A majority
+// outage goes critical.
+func TestFleetKillDegradeRecover(t *testing.T) {
+	const shards = 2
+	var down [shards]atomic.Bool
+	targets := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		i := i
+		reg := obs.NewRegistry()
+		reg.Counter("vapro_wire_frames_total", "wire", "frames").Add(uint64(10 * (i + 1)))
+		srv := httptest.NewServer(wrapDown(&down[i], reg.Handler()))
+		defer srv.Close()
+		targets[i] = strings.TrimPrefix(srv.URL, "http://")
+	}
+
+	fs := NewFleetScraper(targets, FleetOptions{Timeout: time.Second})
+	if st := fs.ScrapeOnce(); st.State != obs.HealthOK {
+		t.Fatalf("healthy fleet reports %v: %v", st.State, st.Reasons)
+	}
+
+	// Kill shard 1: it must show up unreachable — not vanish — and the
+	// fleet must degrade with the shard named in the reason.
+	down[1].Store(true)
+	st := fs.ScrapeOnce()
+	if st.State != obs.HealthDegraded {
+		t.Fatalf("one dead shard of two: fleet %v, want degraded", st.State)
+	}
+	if len(st.Shards) != shards {
+		t.Fatalf("dead shard dropped from status: %+v", st.Shards)
+	}
+	row := st.Shards[1]
+	if row.State != obs.HealthUnreachable || row.Error == "" {
+		t.Fatalf("dead shard row: %+v", row)
+	}
+	found := false
+	for _, r := range st.Reasons {
+		if strings.HasPrefix(r, "shard 1: scrape failed") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fleet reasons missing shard attribution: %v", st.Reasons)
+	}
+	// Last-known data survives the outage: the merged view still counts
+	// shard 1's frames, and its status row keeps the stale snapshot.
+	merged := fs.Merged()
+	if m := merged.Get("vapro_wire_frames_total"); m == nil || m.Value != 30 {
+		t.Fatalf("merged frames during outage: %+v", m)
+	}
+	if st.ScrapeFailures != 1 {
+		t.Fatalf("scrape failures %d, want 1", st.ScrapeFailures)
+	}
+
+	// Majority outage is critical.
+	down[0].Store(true)
+	if st := fs.ScrapeOnce(); st.State != obs.HealthCritical {
+		t.Fatalf("all shards dead: fleet %v, want critical", st.State)
+	}
+
+	// Recovery clears everything.
+	down[0].Store(false)
+	down[1].Store(false)
+	st = fs.ScrapeOnce()
+	if st.State != obs.HealthOK {
+		t.Fatalf("recovered fleet reports %v: %v", st.State, st.Reasons)
+	}
+	if st.Shards[1].Error != "" || st.Shards[1].State != obs.HealthOK {
+		t.Fatalf("recovered shard row: %+v", st.Shards[1])
+	}
+}
+
+// TestFleetHealthRuleFires checks a rule evaluated over scraped series:
+// a shard whose spill depth crosses the critical threshold drives both
+// the shard row and the fleet state, with the rule named in the reason.
+func TestFleetHealthRuleFires(t *testing.T) {
+	depth := int64(0)
+	fetch := func(string) (obs.Snapshot, error) {
+		reg := obs.NewRegistry()
+		reg.Gauge("vapro_net_spill_depth", "net", "spilled batches").Set(depth)
+		return reg.Snapshot(), nil
+	}
+	var tick int64
+	fs := NewFleetScraper([]string{"a"}, FleetOptions{
+		Fetch: fetch,
+		Now:   func() int64 { tick += int64(time.Second); return tick },
+	})
+	if st := fs.ScrapeOnce(); st.State != obs.HealthOK {
+		t.Fatalf("empty spill: %v", st.State)
+	}
+	depth = 600 // critical threshold is 512
+	st := fs.ScrapeOnce()
+	if st.State != obs.HealthCritical {
+		t.Fatalf("deep spill: fleet %v, want critical (reasons %v)", st.State, st.Reasons)
+	}
+	if len(st.Reasons) == 0 || !strings.Contains(st.Reasons[0], "spill-depth") {
+		t.Fatalf("reasons: %v", st.Reasons)
+	}
+	if fs.health.Load() != int64(obs.HealthCritical) {
+		t.Fatal("vapro_fleet_health gauge not updated")
+	}
+	depth = 0
+	if st := fs.ScrapeOnce(); st.State != obs.HealthOK {
+		t.Fatalf("drained spill: %v (%v)", st.State, st.Reasons)
+	}
+}
+
+// TestFleetStatusFromSnapshot pins the single-endpoint fallback of the
+// stable schema: a tier snapshot yields one row per shard, and a row
+// the tier promised but the scrape lacks reads "no data" instead of
+// being silently dropped.
+func TestFleetStatusFromSnapshot(t *testing.T) {
+	tier := NewShardedPool(8, 4, shardTestOptions())
+	defer tier.Close()
+	for r := 0; r < 8; r++ {
+		tier.Consume(r, []trace.Fragment{frag(r, 0, 100)})
+	}
+	snap := tier.MergedSnapshot()
+	st := FleetStatusFromSnapshot(&snap, nil)
+	if st.Source != "endpoint" {
+		t.Fatalf("source %q", st.Source)
+	}
+	if len(st.Shards) != 4 {
+		t.Fatalf("shard rows: %d", len(st.Shards))
+	}
+	var resident float64
+	for _, row := range st.Shards {
+		resident += row.ResidentRanks
+	}
+	if resident != 8 {
+		t.Fatalf("resident ranks across rows: %v", resident)
+	}
+
+	// A snapshot claiming more shards than it has rows for: the missing
+	// row must be explicit.
+	reg := obs.NewRegistry()
+	reg.Gauge("vapro_shards", "shard", "shards").Set(2)
+	reg.Func("vapro_shard0_resident_ranks", "shard", "ranks", func() float64 { return 3 })
+	partial := reg.Snapshot()
+	st = FleetStatusFromSnapshot(&partial, nil)
+	if len(st.Shards) != 2 {
+		t.Fatalf("partial rows: %d", len(st.Shards))
+	}
+	if st.Shards[1].State != obs.HealthUnreachable || st.Shards[1].Error != "no data" {
+		t.Fatalf("missing row not surfaced: %+v", st.Shards[1])
+	}
+
+	// A plain pool snapshot yields one synthetic row.
+	p := NewPool(4, DefaultOptions())
+	defer p.Close()
+	ps := p.met.Registry.Snapshot()
+	st = FleetStatusFromSnapshot(&ps, nil)
+	if len(st.Shards) != 1 || st.Shards[0].Shard != 0 {
+		t.Fatalf("pool rows: %+v", st.Shards)
+	}
+}
+
+// TestFleetSetTargets checks rebalance behavior: history is kept for
+// unchanged addresses and reset for moved shards.
+func TestFleetSetTargets(t *testing.T) {
+	fetch := func(target string) (obs.Snapshot, error) {
+		reg := obs.NewRegistry()
+		reg.Counter("vapro_wire_frames_total", "wire", "frames").Add(1)
+		return reg.Snapshot(), nil
+	}
+	fs := NewFleetScraper([]string{"a", "b"}, FleetOptions{Fetch: fetch})
+	fs.ScrapeOnce()
+	keep := fs.shards[0]
+	fs.SetTargets([]string{"a", "c"})
+	if fs.shards[0] != keep {
+		t.Fatal("unchanged target lost its history")
+	}
+	if fs.shards[1].snap != nil || fs.shards[1].target != "c" {
+		t.Fatalf("moved target kept stale state: %+v", fs.shards[1])
+	}
+	if got := fmt.Sprint(len(fs.shards)); got != "2" {
+		t.Fatalf("targets: %s", got)
+	}
+}

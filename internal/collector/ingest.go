@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"vapro/internal/obs"
 	"vapro/internal/stg"
 	"vapro/internal/trace"
 )
@@ -46,9 +47,11 @@ func (o IntakeOptions) normalized() IntakeOptions {
 // arrival stamp: drains apply batches in seq order, so a sequential
 // feeder produces exactly the graph the old directly-locked path built.
 type stagedBatch struct {
-	seq   uint64
-	bytes int
-	frags []trace.Fragment
+	seq    uint64
+	bytes  int
+	frags  []trace.Fragment
+	tc     TraceCtx // provenance of a sampled traced batch
+	traced bool
 }
 
 type intakeShard struct {
@@ -112,12 +115,22 @@ func (s *Server) consume(rank int, frags []trace.Fragment) {
 // consumeSized stages a batch whose encoded size is already known (the
 // wire server measured the payload it decoded).
 func (s *Server) consumeSized(rank int, frags []trace.Fragment, bytes int) {
+	s.stage(rank, frags, bytes, TraceCtx{}, false)
+}
+
+// stage is the shared staging path; traced batches carry their
+// provenance context into the staged entry so the drain can stamp the
+// remaining journey hops.
+func (s *Server) stage(rank int, frags []trace.Fragment, bytes int, tc TraceCtx, traced bool) {
 	cp := make([]trace.Fragment, len(frags))
 	copy(cp, frags)
 	sh := &s.shards[uint(rank)%uint(len(s.shards))]
 	sh.mu.Lock()
-	sh.batches = append(sh.batches, stagedBatch{seq: s.seq.Add(1), bytes: bytes, frags: cp})
+	sh.batches = append(sh.batches, stagedBatch{seq: s.seq.Add(1), bytes: bytes, frags: cp, tc: tc, traced: traced})
 	sh.mu.Unlock()
+	if traced {
+		s.met.Trace.Record(tc.Key(), tc.Rank, tc.FlushNS, obs.HopStage)
+	}
 	n := s.staged.Add(1)
 	s.met.IntakeBatches.Inc()
 	s.met.IntakeFragments.Add(uint64(len(cp)))
@@ -176,6 +189,10 @@ func (s *Server) drainLocked() {
 		s.graph.AddBatch(all[i].frags)
 		s.bytesIn += int64(all[i].bytes)
 		s.batches++
+		if all[i].traced {
+			tc := all[i].tc
+			s.met.Trace.MarkDrained(tc.Key(), tc.Rank, tc.FlushNS)
+		}
 	}
 	s.staged.Add(int64(-len(all)))
 	s.met.IntakeDrains.Inc()

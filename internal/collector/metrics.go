@@ -80,6 +80,10 @@ type Metrics struct {
 	Detect *detect.Metrics
 	// Client is the interposition-layer surface shared by traced ranks.
 	Client *interpose.Metrics
+
+	// Trace is the batch provenance sampler: exemplar journeys of wire
+	// batches from client flush to first analyzed tick.
+	Trace *obs.Trace
 }
 
 // NewMetrics builds a registry with every collector metric registered.
@@ -157,16 +161,26 @@ func NewMetrics() *Metrics {
 			"per-cluster regression moment sets rebuilt from scratch"),
 		Detect: detect.NewMetrics(reg),
 		Client: interpose.NewMetrics(reg),
+		Trace:  obs.NewTrace(reg, "trace", 0, 0),
 	}
 	return m
+}
+
+// Handler serves the metrics surface over HTTP: the registry at every
+// path except /trace, which serves the exemplar journey ring as JSON.
+func (m *Metrics) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", m.Registry.Handler())
+	mux.Handle("/trace", obs.TraceHandler(m.Trace.Snapshot))
+	return mux
 }
 
 // Metrics returns the pool's observability surface.
 func (p *Pool) Metrics() *Metrics { return p.met }
 
 // Handler serves the pool's registry over HTTP (Prometheus text or
-// JSON; see obs.Registry.Handler).
-func (p *Pool) Handler() http.Handler { return p.met.Registry.Handler() }
+// JSON; see obs.Registry.Handler) plus /trace (exemplar journeys).
+func (p *Pool) Handler() http.Handler { return p.met.Handler() }
 
 // stagedNow sums the servers' current staged backlogs.
 func (p *Pool) stagedNow() int64 {

@@ -165,6 +165,14 @@ func (m *Monitor) ConsumeSized(rank int, frags []trace.Fragment, bytes int) {
 	m.observe(rank, frags)
 }
 
+// ConsumeTraced mirrors ConsumeSized for sampled traced batches: the
+// provenance context rides through the pool's staging path while the
+// monitor's own half proceeds unchanged.
+func (m *Monitor) ConsumeTraced(rank int, frags []trace.Fragment, bytes int, tc TraceCtx) {
+	m.pool.ConsumeTraced(rank, frags, bytes, tc)
+	m.observe(rank, frags)
+}
+
 // observe is the monitor's own half of consumption: merge, advance the
 // watermark, analyze completed windows.
 func (m *Monitor) observe(rank int, frags []trace.Fragment) {
@@ -219,6 +227,8 @@ func (m *Monitor) analyzeWindowLocked(start, end sim.Time) {
 	dopt := m.opt.Detect
 	dopt.Outages = m.pool.seq.Outages()
 	res := m.analyzer.RunWindow(m.graph, m.opt.Ranks, dopt, int64(start), int64(end))
+	// Journeys drained before this tick are now visible to analysis.
+	m.pool.met.Trace.CompleteAnalyze()
 	classOK := func(c detect.Class) bool {
 		if len(m.opt.Classes) == 0 {
 			return true

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"vapro/internal/obs"
 	"vapro/internal/trace"
 )
 
@@ -55,8 +56,10 @@ func DefaultResilientOptions() ResilientOptions {
 
 // spillEntry is one encoded frame awaiting delivery.
 type spillEntry struct {
-	rank int
-	buf  []byte
+	rank    int
+	buf     []byte
+	key     obs.TraceKey // journey key of a sampled traced batch
+	sampled bool
 }
 
 // ResilientStats is a point-in-time snapshot of the client's loss
@@ -104,6 +107,12 @@ type ResilientClient struct {
 	closed        bool
 	everConnected bool
 	met           *Metrics
+
+	// Batch provenance tracing: when enabled, every frame is encoded in
+	// the traced wire variant (client id + flush ns), and sampled batches
+	// get their flush/enqueue/write hops stamped into tracer.
+	traceID uint64
+	tracer  *obs.Trace
 
 	seqs       map[int]uint64
 	consumed   uint64
@@ -161,6 +170,20 @@ func (c *ResilientClient) SetMetrics(m *Metrics) {
 	c.mu.Unlock()
 }
 
+// EnableTrace switches the client to the traced wire variant: every
+// frame carries clientID and the flush wall time, and batches sampled
+// by tr get flush/enqueue/write hops stamped into its exemplar ring.
+// In-process deployments pass the server pool's tracer so one ring
+// holds the whole journey; across processes the client uses its own
+// ring and the server reconstructs flush→deliver from the wire context.
+// Call before traffic.
+func (c *ResilientClient) EnableTrace(clientID uint64, tr *obs.Trace) {
+	c.mu.Lock()
+	c.traceID = clientID
+	c.tracer = tr
+	c.mu.Unlock()
+}
+
 // Consume implements interpose.Sink: it stamps the batch with the
 // rank's next sequence number, encodes it, and enqueues it for the
 // writer. It never blocks on the network. If the spill queue is full
@@ -191,7 +214,20 @@ func (c *ResilientClient) Consume(rank int, frags []trace.Fragment) {
 		c.loseLocked(c.queue[victim].rank)
 		c.queue = append(c.queue[:victim], c.queue[victim+1:]...)
 	}
-	c.queue = append(c.queue, spillEntry{rank: rank, buf: encodeFrame(rank, seq, frags)})
+	ent := spillEntry{rank: rank}
+	if c.tracer != nil {
+		flushNS := c.clock.Now().UnixNano()
+		ent.buf = encodeFrameTraced(rank, seq, c.traceID, flushNS, frags)
+		if c.tracer.Sample(seq) {
+			ent.key = obs.TraceKey{ClientID: c.traceID, Seq: seq}
+			ent.sampled = true
+			c.tracer.Record(ent.key, rank, flushNS, obs.HopFlush)
+			c.tracer.Record(ent.key, rank, flushNS, obs.HopEnqueue)
+		}
+	} else {
+		ent.buf = encodeFrame(rank, seq, frags)
+	}
+	c.queue = append(c.queue, ent)
 	c.noteDepthLocked()
 	c.cond.Signal()
 }
@@ -222,6 +258,19 @@ func (c *ResilientClient) noteDepthLocked() {
 func encodeFrame(rank int, seq uint64, frags []trace.Fragment) []byte {
 	buf := make([]byte, binary.MaxVarintLen64, binary.MaxVarintLen64+64+len(frags)*32)
 	buf = trace.AppendBatchSeq(buf, rank, seq, frags)
+	return prefixFrame(buf)
+}
+
+// encodeFrameTraced is encodeFrame for the traced (v4) wire variant.
+func encodeFrameTraced(rank int, seq, clientID uint64, flushNS int64, frags []trace.Fragment) []byte {
+	buf := make([]byte, binary.MaxVarintLen64, binary.MaxVarintLen64+64+len(frags)*32)
+	buf = trace.AppendBatchTraced(buf, rank, seq, clientID, flushNS, frags)
+	return prefixFrame(buf)
+}
+
+// prefixFrame turns a batch encoded after MaxVarintLen64 reserved bytes
+// into a length-prefixed frame, reusing the reserved prefix.
+func prefixFrame(buf []byte) []byte {
 	payload := len(buf) - binary.MaxVarintLen64
 	var hdr [binary.MaxVarintLen64]byte
 	hn := binary.PutUvarint(hdr[:], uint64(payload))
@@ -251,7 +300,8 @@ func (c *ResilientClient) writeLoop() {
 			return
 		}
 		c.inFlight = true
-		frame := c.queue[0].buf
+		head := c.queue[0]
+		frame := head.buf
 		conn := c.conn
 		c.mu.Unlock()
 
@@ -272,6 +322,10 @@ func (c *ResilientClient) writeLoop() {
 			c.sent++
 			if c.met != nil {
 				c.met.NetBatchesSent.Inc()
+			}
+			if head.sampled && c.tracer != nil {
+				// enqueue→write is the spill/redial dwell.
+				c.tracer.Record(head.key, head.rank, 0, obs.HopWrite)
 			}
 			c.noteDepthLocked()
 			c.mu.Unlock()

@@ -7,6 +7,7 @@ import (
 
 	"vapro/internal/detect"
 	"vapro/internal/interpose"
+	"vapro/internal/obs"
 	"vapro/internal/sim"
 	"vapro/internal/stg"
 	"vapro/internal/trace"
@@ -60,10 +61,14 @@ func (m ShardMap) Shards() int { return len(m.Addrs) }
 func (m ShardMap) Owner(rank int) int { return ShardOwner(rank, len(m.Addrs)) }
 
 // ShardedPool is the rank-sharded server tier: one analysis plane
-// (a full Pool) per shard, a shared arming handle, a shared metrics
-// surface, and a warm spatial merger combining per-shard window
-// results. It implements interpose.Sink — in-process producers route
-// by owner; wire producers get a per-shard sink from WireSink.
+// (a full Pool) per shard — each with its own metrics registry, so a
+// shard's endpoint describes that shard truthfully — plus a tier
+// registry for the shard-layer counters (misroutes, rebalances, merge
+// accounting) and the per-shard status rows. The tier's Handler serves
+// the *merge* of every registry (counters sum, gauges max, histograms
+// bucket-wise), so one scrape still sees the whole tier. It implements
+// interpose.Sink — in-process producers route by owner; wire producers
+// get a per-shard sink from WireSink.
 type ShardedPool struct {
 	opt    Options
 	ranks  int
@@ -121,7 +126,12 @@ func NewShardedPool(ranks, shards int, opt Options) *ShardedPool {
 		if popt.Servers < 1 {
 			popt.Servers = 1
 		}
-		plane := newPoolWith(ranks, popt, t.met, false)
+		// Each plane owns a full registry (derived Funcs included): the
+		// per-shard endpoints serve it directly, and the tier view is the
+		// merge. vapro_ranks merges by max and the per-plane storage rate
+		// divides by the global rank count, so the merged values read
+		// exactly like the single-plane ones.
+		plane := newPoolWith(ranks, popt, nil, true)
 		plane.Armed = t.Armed
 		t.planes = append(t.planes, plane)
 	}
@@ -182,6 +192,11 @@ func (t *ShardedPool) ConsumeSized(rank int, frags []trace.Fragment, bytes int) 
 	t.planes[t.Owner(rank)].ConsumeSized(rank, frags, bytes)
 }
 
+// ConsumeTraced mirrors ConsumeSized for sampled traced batches.
+func (t *ShardedPool) ConsumeTraced(rank int, frags []trace.Fragment, bytes int, tc TraceCtx) {
+	t.planes[t.Owner(rank)].ConsumeTraced(rank, frags, bytes, tc)
+}
+
 // Close stops every plane's background mergers.
 func (t *ShardedPool) Close() {
 	for _, p := range t.planes {
@@ -189,12 +204,42 @@ func (t *ShardedPool) Close() {
 	}
 }
 
-// Metrics returns the tier-wide observability surface (shared by every
-// plane, so layer counters aggregate across shards).
+// Metrics returns the tier-layer observability surface: the shard
+// counters (misroutes, rebalances, merge accounting) and the client-
+// side Net* mirrors. Per-plane ingestion counters live on each plane's
+// own registry; MergedSnapshot folds everything together.
 func (t *ShardedPool) Metrics() *Metrics { return t.met }
 
-// Handler serves the shared registry over HTTP.
-func (t *ShardedPool) Handler() http.Handler { return t.met.Registry.Handler() }
+// MergedSnapshot folds the tier registry and every plane's registry
+// into one snapshot: counters and summing Funcs add, gauges take the
+// max, histograms merge bucket-wise with exact quantile semantics.
+func (t *ShardedPool) MergedSnapshot() obs.Snapshot {
+	snaps := make([]obs.Snapshot, 0, len(t.planes)+1)
+	snaps = append(snaps, t.met.Registry.Snapshot())
+	for _, p := range t.planes {
+		snaps = append(snaps, p.met.Registry.Snapshot())
+	}
+	return obs.MergeSnapshots(snaps)
+}
+
+// MergedTrace folds every plane's exemplar journeys into one snapshot,
+// slowest first.
+func (t *ShardedPool) MergedTrace() obs.TraceSnapshot {
+	snaps := make([]obs.TraceSnapshot, 0, len(t.planes))
+	for _, p := range t.planes {
+		snaps = append(snaps, p.met.Trace.Snapshot())
+	}
+	return obs.MergeTraceSnapshots(snaps)
+}
+
+// Handler serves the tier's merged registry view plus /trace (merged
+// exemplar journeys).
+func (t *ShardedPool) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", obs.SnapshotHandler(t.MergedSnapshot))
+	mux.Handle("/trace", obs.TraceHandler(t.MergedTrace))
+	return mux
+}
 
 // SeqStateFor returns one shard's sequence tracker (per-shard loss
 // accounting; the tier has no global tracker because sequence spaces
@@ -310,106 +355,32 @@ func (t *ShardedPool) Stats(makespan sim.Duration) Stats {
 		st.SeqGaps += ps.SeqGaps
 		st.DupFrames += ps.DupFrames
 		st.Outages += ps.Outages
+		st.IntakeStalls += ps.IntakeStalls
+		st.FramesRejected += ps.FramesRejected
 		if ps.MaxStagedDepth > st.MaxStagedDepth {
 			st.MaxStagedDepth = ps.MaxStagedDepth
 		}
 	}
-	// Shared-registry counters are tier-wide already; don't sum them
-	// per plane.
-	st.IntakeStalls = t.met.IntakeStalls.Load()
-	st.FramesRejected = t.met.WireFramesRejected.Load()
 	if sec := makespan.Seconds(); sec > 0 && t.ranks > 0 {
 		st.BytesPerRankSecond = float64(st.BytesIn) / sec / float64(t.ranks)
 	}
 	return st
 }
 
-// registerTierDerived publishes the tier-shaped Func metrics: sums over
-// the planes where the plain pool registers its own live values, plus
-// one row of gauges per shard for the status surface.
+// registerTierDerived publishes the tier-layer Func metrics on the tier
+// registry: the shard count, the global rank space, and one row per
+// shard for the status surface. The pool-shaped sums (servers, staged
+// depth, storage rate, cluster-cache counters) are no longer duplicated
+// here — every plane registers its own and MergedSnapshot folds them.
 func (t *ShardedPool) registerTierDerived(resident []int) {
 	reg := t.met.Registry
 	reg.Func("vapro_shards", "shard",
 		"analysis planes in the sharded tier", func() float64 {
 			return float64(len(t.planes))
 		})
-	reg.Func("vapro_servers", "intake",
-		"server processes across all shards", func() float64 {
-			n := 0
-			for _, p := range t.planes {
-				n += len(p.servers)
-			}
-			return float64(n)
-		})
 	reg.Func("vapro_ranks", "intake",
 		"client ranks the tier was provisioned for", func() float64 {
 			return float64(t.ranks)
-		})
-	reg.Func("vapro_intake_staged", "intake",
-		"batches currently staged across all shards", func() float64 {
-			var n int64
-			for _, p := range t.planes {
-				n += p.stagedNow()
-			}
-			return float64(n)
-		})
-	reg.Func("vapro_storage_bytes_per_rank_second", "intake",
-		"received bytes per rank per wall second (§6.2 storage rate)", func() float64 {
-			sec := reg.Uptime().Seconds()
-			if sec <= 0 || t.ranks == 0 {
-				return 0
-			}
-			return float64(t.met.IntakeBytes.Load()) / sec / float64(t.ranks)
-		})
-	// Cluster-cache counters sum across the planes' analyzers (each
-	// shard memoizes its own resident elements).
-	sum2 := func(f func(p *Pool) (uint64, uint64), first bool) func() float64 {
-		return func() float64 {
-			var a, b uint64
-			for _, p := range t.planes {
-				x, y := f(p)
-				a += x
-				b += y
-			}
-			if first {
-				return float64(a)
-			}
-			return float64(b)
-		}
-	}
-	stats := func(p *Pool) (uint64, uint64) { return p.an.Cache().Stats() }
-	inc := func(p *Pool) (uint64, uint64) { return p.an.Cache().IncStats() }
-	reg.Func("vapro_cluster_cache_hits", "cluster",
-		"analysis passes that reused a memoized clustering (all shards)", sum2(stats, true))
-	reg.Func("vapro_cluster_cache_misses", "cluster",
-		"analysis passes that fully re-clustered an element (all shards)", sum2(stats, false))
-	reg.Func("vapro_cluster_cache_inc_hits", "cluster",
-		"element growths absorbed by delta clustering (all shards)", sum2(inc, true))
-	reg.Func("vapro_cluster_cache_inc_fallbacks", "cluster",
-		"incremental updates that fell back to a full re-cluster (all shards)", sum2(inc, false))
-	reg.Func("vapro_cluster_cache_evictions", "cluster",
-		"memoized clusterings discarded (all shards)", func() float64 {
-			var n uint64
-			for _, p := range t.planes {
-				n += p.an.Cache().Evictions()
-			}
-			return float64(n)
-		})
-	reg.Func("vapro_cluster_cache_entries", "cluster",
-		"elements currently memoized (all shards)", func() float64 {
-			n := 0
-			for _, p := range t.planes {
-				n += p.an.Cache().Len()
-			}
-			return float64(n)
-		})
-	reg.Func("vapro_cluster_cache_stale_rejects", "cluster",
-		"stale-generation cache reads (all shards)", func() float64 {
-			var n uint64
-			for _, p := range t.planes {
-				n += p.an.Cache().StaleRejects()
-			}
-			return float64(n)
 		})
 	for i := range t.planes {
 		i := i
@@ -458,14 +429,25 @@ func (k *ShardSink) ConsumeSized(rank int, frags []trace.Fragment, bytes int) {
 	k.tier.planes[k.shard].ConsumeSized(rank, frags, bytes)
 }
 
+// ConsumeTraced mirrors ConsumeSized for sampled traced batches:
+// delivery lands in this shard's plane, so its exemplar ring holds the
+// journey end to end.
+func (k *ShardSink) ConsumeTraced(rank int, frags []trace.Fragment, bytes int, tc TraceCtx) {
+	k.note(rank)
+	k.tier.planes[k.shard].ConsumeTraced(rank, frags, bytes, tc)
+}
+
 func (k *ShardSink) note(rank int) {
 	if k.tier.Owner(rank) != k.shard {
 		k.tier.met.ShardMisroutes.Inc()
 	}
 }
 
-// Metrics exposes the shared tier surface to the wire server.
-func (k *ShardSink) Metrics() *Metrics { return k.tier.met }
+// Metrics exposes this shard's plane surface to the wire server, so a
+// shard's own endpoint (and its wire/trace counters) describe exactly
+// the traffic that shard served. Tier-layer counters (misroutes,
+// rebalances) stay on the tier registry.
+func (k *ShardSink) Metrics() *Metrics { return k.tier.planes[k.shard].met }
 
 // SeqState returns this shard's tracker: gap accounting is per shard,
 // and survives the shard's wire-server restarts because the tracker

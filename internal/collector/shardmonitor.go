@@ -73,6 +73,12 @@ func (m *ShardedMonitor) ConsumeSized(rank int, frags []trace.Fragment, bytes in
 	m.observe(rank, frags)
 }
 
+// ConsumeTraced mirrors ConsumeSized for sampled traced batches.
+func (m *ShardedMonitor) ConsumeTraced(rank int, frags []trace.Fragment, bytes int, tc TraceCtx) {
+	m.tier.ConsumeTraced(rank, frags, bytes, tc)
+	m.observe(rank, frags)
+}
+
 func (m *ShardedMonitor) observe(rank int, frags []trace.Fragment) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -209,6 +215,12 @@ func (k *MonitorShardSink) Consume(rank int, frags []trace.Fragment) {
 // ConsumeSized mirrors Consume for pre-measured wire batches.
 func (k *MonitorShardSink) ConsumeSized(rank int, frags []trace.Fragment, bytes int) {
 	k.sink.ConsumeSized(rank, frags, bytes)
+	k.mon.observe(rank, frags)
+}
+
+// ConsumeTraced mirrors ConsumeSized for sampled traced batches.
+func (k *MonitorShardSink) ConsumeTraced(rank int, frags []trace.Fragment, bytes int, tc TraceCtx) {
+	k.sink.ConsumeTraced(rank, frags, bytes, tc)
 	k.mon.observe(rank, frags)
 }
 

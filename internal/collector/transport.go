@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"vapro/internal/obs"
 	"vapro/internal/trace"
 )
 
@@ -168,12 +169,13 @@ type WireServer struct {
 	sink interface {
 		Consume(rank int, frags []trace.Fragment)
 	}
-	sized sizedSink     // non-nil when sink implements sizedSink
-	seq   *SeqTracker   // non-nil when sink implements seqStater
-	hello helloProvider // non-nil when sink implements helloProvider
-	met   *Metrics
-	mln   net.Listener // metrics HTTP listener, if serving
-	wg    sync.WaitGroup
+	sized  sizedSink     // non-nil when sink implements sizedSink
+	traced tracedSink    // non-nil when sink implements tracedSink
+	seq    *SeqTracker   // non-nil when sink implements seqStater
+	hello  helloProvider // non-nil when sink implements helloProvider
+	met    *Metrics
+	mln    net.Listener // metrics HTTP listener, if serving
+	wg     sync.WaitGroup
 
 	mu      sync.Mutex
 	conns   map[net.Conn]struct{}
@@ -192,6 +194,7 @@ func ServeWire(ln net.Listener, sink interface {
 }) *WireServer {
 	s := &WireServer{ln: ln, sink: sink, conns: make(map[net.Conn]struct{}), drain: defaultDrainTimeout}
 	s.sized, _ = sink.(sizedSink)
+	s.traced, _ = sink.(tracedSink)
 	if ss, ok := sink.(seqStater); ok {
 		s.seq = ss.SeqState()
 	}
@@ -225,7 +228,7 @@ func (s *WireServer) ServeMetrics(mln net.Listener) {
 	s.mu.Lock()
 	s.mln = mln
 	s.mu.Unlock()
-	srv := &http.Server{Handler: s.met.Registry.Handler()}
+	srv := &http.Server{Handler: s.met.Handler()}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -342,7 +345,15 @@ func (s *WireServer) serveConn(conn net.Conn) {
 				continue
 			}
 		}
-		if s.sized != nil {
+		if meta.HasTrace && s.traced != nil && s.met.Trace.Sample(meta.Seq) {
+			// Sampled exemplar: stamp delivery and carry the provenance
+			// context through staging and drain. The sampling decision is
+			// derived from the sequence number alone, so the client that
+			// stamped flush/enqueue/write picked the same batches.
+			tc := TraceCtx{ClientID: meta.ClientID, Seq: meta.Seq, Rank: rank, FlushNS: meta.FlushNS}
+			s.met.Trace.Record(tc.Key(), rank, meta.FlushNS, obs.HopDeliver)
+			s.traced.ConsumeTraced(rank, frags, len(payload), tc)
+		} else if s.sized != nil {
 			s.sized.ConsumeSized(rank, frags, len(payload))
 		} else {
 			s.sink.Consume(rank, frags)

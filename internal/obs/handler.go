@@ -13,14 +13,34 @@ import (
 // Accept header preferring application/json) — the surface `vapro
 // status` renders.
 func (r *Registry) Handler() http.Handler {
+	return SnapshotHandler(r.Snapshot)
+}
+
+// SnapshotHandler serves an arbitrary snapshot source with the same
+// content negotiation as Registry.Handler — the sharded tier and fleet
+// scraper plug their merged views in here.
+func SnapshotHandler(fn func() Snapshot) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := fn()
 		if wantJSON(req) {
 			w.Header().Set("Content-Type", "application/json")
-			_ = r.WriteJSON(w)
+			_ = WriteSnapshotJSON(w, &snap)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		r.WritePrometheus(w)
+		WriteSnapshotPrometheus(w, &snap)
+	})
+}
+
+// TraceHandler serves a trace snapshot source as JSON (the `/trace`
+// endpoint `vapro status -trace` reads).
+func TraceHandler(fn func() TraceSnapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := fn()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(&snap)
 	})
 }
 
@@ -37,17 +57,28 @@ func wantJSON(req *http.Request) bool {
 // WriteJSON writes the registry snapshot as JSON.
 func (r *Registry) WriteJSON(w io.Writer) error {
 	snap := r.Snapshot()
+	return WriteSnapshotJSON(w, &snap)
+}
+
+// WriteSnapshotJSON writes one snapshot as indented JSON.
+func WriteSnapshotJSON(w io.Writer, snap *Snapshot) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(&snap)
+	return enc.Encode(snap)
 }
 
 // WritePrometheus writes the registry snapshot in the Prometheus text
+// exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	snap := r.Snapshot()
+	WriteSnapshotPrometheus(w, &snap)
+}
+
+// WriteSnapshotPrometheus writes one snapshot in the Prometheus text
 // exposition format. Counters and gauges carry a `layer` label;
 // histograms expand into _bucket/_sum/_count series; Func metrics are
 // exposed as gauges (their semantics live in the help string).
-func (r *Registry) WritePrometheus(w io.Writer) {
-	snap := r.Snapshot()
+func WriteSnapshotPrometheus(w io.Writer, snap *Snapshot) {
 	for i := range snap.Metrics {
 		m := &snap.Metrics[i]
 		promType := m.Kind

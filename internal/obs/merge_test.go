@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func shardSnap(frames uint64, staged int64, obsNS ...int64) Snapshot {
+	reg := NewRegistry()
+	reg.Counter("vapro_wire_frames_total", "wire", "frames").Add(frames)
+	reg.Gauge("vapro_intake_staged", "intake", "staged").Set(staged)
+	reg.Gauge("vapro_ranks", "collect", "ranks").Set(4)
+	h := reg.Histogram("vapro_detect_window_ns", "detect", "window", []int64{100, 1000, 10000})
+	for _, v := range obsNS {
+		h.Observe(v)
+	}
+	return reg.Snapshot()
+}
+
+func TestMergeSnapshotsSemantics(t *testing.T) {
+	a := shardSnap(10, 3, 50, 500)
+	b := shardSnap(32, 7, 5000, 20000)
+	m := MergeSnapshots([]Snapshot{a, b})
+
+	// Counters sum.
+	if got := m.Get("vapro_wire_frames_total"); got == nil || got.Value != 42 {
+		t.Fatalf("counter merge: %+v", got)
+	}
+	// Gauges max (a fleet's staged depth is its worst shard, not a sum
+	// of unrelated instants).
+	if got := m.Get("vapro_intake_staged"); got == nil || got.Value != 7 {
+		t.Fatalf("gauge merge: %+v", got)
+	}
+	// mergeMax overrides: vapro_ranks reports the global rank count each
+	// plane already knows, so merging takes max, not sum.
+	if got := m.Get("vapro_ranks"); got == nil || got.Value != 4 {
+		t.Fatalf("ranks merge: %+v", got)
+	}
+	// Histograms merge bucket-wise; quantiles are rederived over the
+	// merged buckets — identical to one histogram fed all observations.
+	var ref Snapshot
+	ref = shardSnap(0, 0, 50, 500, 5000, 20000)
+	got := m.Get("vapro_detect_window_ns")
+	want := ref.Get("vapro_detect_window_ns")
+	if got == nil || got.Hist == nil {
+		t.Fatal("histogram lost in merge")
+	}
+	if got.Hist.Total != 4 || got.Hist.Sum != want.Hist.Sum {
+		t.Fatalf("hist totals: %+v", got.Hist)
+	}
+	for _, q := range []struct{ got, want float64 }{
+		{got.Hist.P50, want.Hist.P50},
+		{got.Hist.P90, want.Hist.P90},
+		{got.Hist.P99, want.Hist.P99},
+		{got.Hist.Mean, want.Hist.Mean},
+	} {
+		if math.Abs(q.got-q.want) > 1e-9 {
+			t.Fatalf("merged quantiles diverge from single-histogram reference: got %+v want %+v",
+				got.Hist, want.Hist)
+		}
+	}
+	// Merging must not mutate its inputs.
+	if a.Get("vapro_wire_frames_total").Value != 10 {
+		t.Fatal("merge mutated input snapshot")
+	}
+	// Output is sorted by (layer, name) like a registry snapshot.
+	for i := 1; i < len(m.Metrics); i++ {
+		p, c := m.Metrics[i-1], m.Metrics[i]
+		if p.Layer > c.Layer || (p.Layer == c.Layer && p.Name > c.Name) {
+			t.Fatalf("merged snapshot unsorted at %d: %s/%s after %s/%s",
+				i, c.Layer, c.Name, p.Layer, p.Name)
+		}
+	}
+}
+
+func TestMergeSnapshotsUptimeAndDisjoint(t *testing.T) {
+	a := Snapshot{UptimeSeconds: 10, Metrics: []MetricSnapshot{
+		{Name: "only_a_total", Layer: "x", Kind: "counter", Value: 5},
+	}}
+	b := Snapshot{UptimeSeconds: 99, Metrics: []MetricSnapshot{
+		{Name: "only_b", Layer: "x", Kind: "gauge", Value: 2},
+	}}
+	m := MergeSnapshots([]Snapshot{a, b})
+	if m.UptimeSeconds != 99 {
+		t.Fatalf("uptime %v, want max", m.UptimeSeconds)
+	}
+	if m.Get("only_a_total") == nil || m.Get("only_b") == nil {
+		t.Fatal("disjoint metrics dropped")
+	}
+	if len(MergeSnapshots(nil).Metrics) != 0 {
+		t.Fatal("empty merge not empty")
+	}
+}
+
+func TestMergeHistMismatchedBounds(t *testing.T) {
+	mk := func(bounds []int64, n int) Snapshot {
+		reg := NewRegistry()
+		h := reg.Histogram("h_ns", "x", "", bounds)
+		for i := 0; i < n; i++ {
+			h.Observe(int64(i))
+		}
+		return reg.Snapshot()
+	}
+	big := mk([]int64{10, 100}, 50)
+	small := mk([]int64{5, 50}, 3)
+	m := MergeSnapshots([]Snapshot{small, big})
+	got := m.Get("h_ns")
+	// Incompatible bounds can't be added bucket-wise: the larger
+	// population wins rather than fabricating buckets.
+	if got.Hist.Total != 50 {
+		t.Fatalf("mismatched-bounds merge kept total %d, want larger population 50", got.Hist.Total)
+	}
+}
+
+// TestQuantileTopBucketClamp pins the interpolation contract at the
+// edges: ranks inside a finite bucket interpolate linearly; ranks in
+// the overflow bucket clamp to the last finite bound (a floor, not an
+// extrapolation).
+func TestQuantileTopBucketClamp(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h_ns", "x", "", []int64{100, 200})
+	// 9 observations in (100,200], 1 in overflow.
+	for i := 0; i < 9; i++ {
+		h.Observe(150)
+	}
+	h.Observe(1_000_000)
+	s := h.Snapshot()
+	// p50 lands in bucket (100,200] at rank 5 of its 9: 100 + 100*5/9.
+	if want := 100 + 100*5.0/9.0; math.Abs(s.P50-want) > 1e-9 {
+		t.Fatalf("p50 %v, want %v", s.P50, want)
+	}
+	// p99 (rank 9.9) lands in the overflow bucket: clamps to bound 200,
+	// never reports the million-ns outlier it can't place.
+	if s.P99 != 200 {
+		t.Fatalf("p99 %v, want top-bucket clamp 200", s.P99)
+	}
+	if q := s.Quantile(1.0); q != 200 {
+		t.Fatalf("q1.0 %v, want 200", q)
+	}
+	// All mass in overflow: every quantile clamps.
+	reg2 := NewRegistry()
+	h2 := reg2.Histogram("h2_ns", "x", "", []int64{100})
+	h2.Observe(999)
+	if s2 := h2.Snapshot(); s2.P50 != 100 || s2.P99 != 100 {
+		t.Fatalf("overflow-only quantiles: %+v", s2)
+	}
+	// Empty histogram reports 0, not NaN.
+	empty := (&HistSnapshot{Bounds: []int64{1}}).Quantile(0.5)
+	if empty != 0 {
+		t.Fatalf("empty quantile %v", empty)
+	}
+}

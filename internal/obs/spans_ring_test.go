@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSpansRecentWraparoundOrder pins the ring arithmetic at the wrap
+// boundary: after exactly ring-size + k records, Recent must return the
+// newest spans in strict newest-first order with the overwritten ones
+// gone — an off-by-one here silently serves stale spans.
+func TestSpansRecentWraparoundOrder(t *testing.T) {
+	reg := NewRegistry()
+	sp := NewSpans(reg, "w", "x", "s")
+	// Durations encode record order, so order is checkable after wrap.
+	n := spanRingSize + 7
+	for i := 0; i < n; i++ {
+		sp.RecordNS(0, int64(i))
+	}
+	rec := sp.Recent(spanRingSize)
+	if len(rec) != spanRingSize {
+		t.Fatalf("recent after wrap: %d", len(rec))
+	}
+	for i, r := range rec {
+		want := int64(n - 1 - i)
+		if r.DurNS != want {
+			t.Fatalf("recent[%d] = %d, want %d (stale span after wrap)", i, r.DurNS, want)
+		}
+	}
+	// A partial ask returns exactly the newest slice.
+	if rec := sp.Recent(3); len(rec) != 3 || rec[0].DurNS != int64(n-1) || rec[2].DurNS != int64(n-3) {
+		t.Fatalf("partial recent: %+v", rec)
+	}
+	// Recent(0) and negative asks are empty, not panics.
+	if len(sp.Recent(0)) != 0 {
+		t.Fatal("Recent(0) not empty")
+	}
+}
+
+// TestSpansConcurrentReadWhileRecord races Recent against RecordNS:
+// every returned record must be internally consistent (a valid stage
+// resolved from the ring, never a torn half-written slot).
+func TestSpansConcurrentReadWhileRecord(t *testing.T) {
+	reg := NewRegistry()
+	sp := NewSpans(reg, "c", "x", "a", "b", "c")
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				// Duration encodes the stage, so readers can check that a
+				// record's fields belong to the same write.
+				sp.RecordNS(i%3, int64(i%3))
+			}
+		}()
+	}
+	names := sp.Stages()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for reading := true; reading; {
+		select {
+		case <-done:
+			reading = false
+		default:
+		}
+		for _, r := range sp.Recent(spanRingSize) {
+			if r.Stage != names[r.DurNS] {
+				t.Fatalf("torn span: stage %q dur %d", r.Stage, r.DurNS)
+			}
+		}
+	}
+	if total := sp.Hist(0).Count() + sp.Hist(1).Count() + sp.Hist(2).Count(); total == 0 {
+		t.Fatal("writers recorded nothing")
+	}
+}

@@ -42,6 +42,15 @@ const wireVersionSeq = 2
 // reads is distinguishable from anything a batch decoder would accept.
 const wireVersionHello = 3
 
+// wireVersionTraced is the traced variant: the sequenced layout plus a
+// compact trace context — the flushing client's id and the flush wall
+// time in ns — stamped after the sequence number. The context makes one
+// batch's journey identifiable across processes (client id + per-rank
+// seq) and lets the server reconstruct flush→deliver latency without
+// clock coordination beyond the hosts' own wall clocks. Older decoders
+// reject the unknown version cleanly; nothing else changes.
+const wireVersionTraced = 4
+
 // wireMagic is the first byte of every encoded batch.
 const wireMagic = 'V'
 
@@ -114,6 +123,17 @@ func AppendBatchSeq(dst []byte, rank int, seq uint64, frags []Fragment) []byte {
 	dst = append(dst, wireMagic, wireVersionSeq)
 	dst = binary.AppendUvarint(dst, uint64(rank))
 	dst = binary.AppendUvarint(dst, seq)
+	return appendFrags(dst, rank, frags)
+}
+
+// AppendBatchTraced encodes a traced (version 4) batch: the sequenced
+// layout plus the trace context (client id, flush wall ns).
+func AppendBatchTraced(dst []byte, rank int, seq, clientID uint64, flushNS int64, frags []Fragment) []byte {
+	dst = append(dst, wireMagic, wireVersionTraced)
+	dst = binary.AppendUvarint(dst, uint64(rank))
+	dst = binary.AppendUvarint(dst, seq)
+	dst = binary.AppendUvarint(dst, clientID)
+	dst = binary.AppendUvarint(dst, zigzag(flushNS))
 	return appendFrags(dst, rank, frags)
 }
 
@@ -359,12 +379,16 @@ func (r *wireReader) bytes(n int) []byte {
 }
 
 // BatchMeta is the per-batch header DecodeBatchMeta returns: the
-// client rank plus, for sequenced (version 2) batches, the per-rank
-// sequence number.
+// client rank plus, for sequenced (version 2+) batches, the per-rank
+// sequence number, and for traced (version 4) batches, the trace
+// context (flushing client id + flush wall ns).
 type BatchMeta struct {
-	Rank   int
-	Seq    uint64
-	HasSeq bool
+	Rank     int
+	Seq      uint64
+	HasSeq   bool
+	ClientID uint64
+	FlushNS  int64
+	HasTrace bool
 }
 
 // DecodeBatch decodes a batch produced by AppendBatch or
@@ -382,14 +406,19 @@ func DecodeBatchMeta(data []byte) (meta BatchMeta, frags []Fragment, err error) 
 		return meta, nil, fmt.Errorf("trace: bad batch magic %#x", m)
 	}
 	v := r.byte()
-	if r.err == nil && v != wireVersion && v != wireVersionSeq {
-		return meta, nil, fmt.Errorf("trace: batch version %d, want %d or %d", v, wireVersion, wireVersionSeq)
+	if r.err == nil && v != wireVersion && v != wireVersionSeq && v != wireVersionTraced {
+		return meta, nil, fmt.Errorf("trace: batch version %d, want %d, %d or %d", v, wireVersion, wireVersionSeq, wireVersionTraced)
 	}
 	rank := int(r.uvarint())
 	meta.Rank = rank
-	if v == wireVersionSeq {
+	if v == wireVersionSeq || v == wireVersionTraced {
 		meta.Seq = r.uvarint()
 		meta.HasSeq = true
+	}
+	if v == wireVersionTraced {
+		meta.ClientID = r.uvarint()
+		meta.FlushNS = unzigzag(r.uvarint())
+		meta.HasTrace = true
 	}
 	count := r.uvarint()
 	// A fragment takes ≥ minFragmentWire bytes; this bound rejects absurd

@@ -30,9 +30,12 @@ go test -race -count=1 -timeout 120s -run 'TestShardedEquivalenceFuzz' \
 # Bench smoke: one iteration each, correctness plus the recorded scale
 # bounds. The scale benchmarks run 3x and benchjson -min keeps each
 # benchmark's fastest line (min-of-runs), then asserts the PR 6
-# flat-tick ratio and the PR 7 per-shard ratio (2048 ranks × 8 shards
-# within 1.5x of 256 ranks × 1 shard per shard-tick). Raw output and
-# the parsed BENCH_7.json are kept for the CI artifact upload.
+# flat-tick ratio, the PR 7 per-shard ratio (2048 ranks × 8 shards
+# within 1.5x of 256 ranks × 1 shard per shard-tick), and the PR 8
+# trace-overhead bound (the traced wire dispatch — sample, stamp,
+# exemplar ring — must keep the sharded tick within 1.05x of the
+# untraced path). Raw output and the parsed BENCH_7.json are kept for
+# the CI artifact upload.
 go test -run xxx -bench 'BenchmarkPoolIngest$|BenchmarkWindowResults|BenchmarkMonitorTickIncremental|BenchmarkMonitorTickBatch' \
 	-benchtime 1x -benchmem . | tee bench-smoke.out
 go test -run xxx -bench 'BenchmarkMonitorTickScale|BenchmarkShardedTickScale' \
@@ -41,6 +44,7 @@ go run ./cmd/benchjson -min -out BENCH_7.json \
 	-assert 'MonitorTickScale/servers=1/resident=1000k<=1.5*MonitorTickScale/servers=1/resident=100k' \
 	-assert 'MonitorTickScale/servers=4/resident=1000k<=1.5*MonitorTickScale/servers=4/resident=100k' \
 	-assert 'ShardedTickScale/shards=8/ranks=2048<=1.5*ShardedTickScale/shards=1/ranks=256@ns_per_shard_tick' \
+	-assert 'ShardedTickScaleTraced/shards=8/ranks=2048<=1.05*ShardedTickScale/shards=8/ranks=2048@ns_per_shard_tick' \
 	< bench-smoke.out
 
 # Observability smoke: boot a real collector, scrape its metrics
@@ -109,4 +113,60 @@ done
 # The panel grows the shard rows on a sharded endpoint.
 /tmp/vapro-check status -addr "$SHARD_METRICS_ADDR" | grep -q 'shard 1: resident'
 kill $SHARD_PID
+trap - EXIT
+
+# Fleet observability smoke: boot the rank-sharded tier (4 shard
+# servers) with per-shard metrics listeners and the fleet scraper,
+# stream real traced batches through the wire with `vapro feed`, and
+# assert the fleet's merged counter exactly equals the sum of the
+# per-shard endpoints — the merge must be additive, not approximate.
+# The fleet health table, the stable -json schema, and the batch
+# journey view must all come up on the same deployment.
+/tmp/vapro-check serve -shards 4 -ranks 16 -listen 127.0.0.1:0 \
+	-metrics 127.0.0.1:0 -fleet 127.0.0.1:0 \
+	>/tmp/vapro-serve-fleet.out 2>&1 &
+FLEET_PID=$!
+trap 'kill $FLEET_PID 2>/dev/null || true' EXIT
+i=0
+while ! grep -q '^fleet=' /tmp/vapro-serve-fleet.out; do
+	i=$((i + 1))
+	[ "$i" -gt 100 ] && { echo "fleet vapro serve never came up"; cat /tmp/vapro-serve-fleet.out; exit 1; }
+	sleep 0.1
+done
+WIRE_ADDR=$(sed -n 's/^wire=//p' /tmp/vapro-serve-fleet.out)
+FLEET_METRICS_ADDR=$(sed -n 's/^metrics=//p' /tmp/vapro-serve-fleet.out)
+FLEET_ADDR=$(sed -n 's/^fleet=//p' /tmp/vapro-serve-fleet.out)
+/tmp/vapro-check feed -bootstrap "$WIRE_ADDR" -ranks 8 -batches 5
+# The feed has drained, so the shard counters are static; poll until
+# the fleet scraper's merged view catches up and agrees exactly.
+i=0
+while :; do
+	SHARD_SUM=0
+	for maddr in $(grep '^metrics[0-9]' /tmp/vapro-serve-fleet.out | cut -d= -f2); do
+		v=$(/tmp/vapro-check status -addr "$maddr" -raw prom |
+			awk '/^vapro_wire_frames_total[{ ]/ { printf "%.0f", $2 }')
+		SHARD_SUM=$((SHARD_SUM + ${v:-0}))
+	done
+	FLEET_SUM=$(/tmp/vapro-check status -addr "$FLEET_ADDR" -raw prom |
+		awk '/^vapro_wire_frames_total[{ ]/ { printf "%.0f", $2 }')
+	[ "$SHARD_SUM" -gt 0 ] && [ "${FLEET_SUM:-0}" -eq "$SHARD_SUM" ] && break
+	i=$((i + 1))
+	[ "$i" -gt 100 ] && {
+		echo "fleet merged frames ($FLEET_SUM) never matched shard sum ($SHARD_SUM)"
+		exit 1
+	}
+	sleep 0.1
+done
+# The fleet's own scrape-loop metrics ride the merged view too.
+/tmp/vapro-check status -addr "$FLEET_ADDR" -raw prom >/tmp/vapro-fleet-metrics.out
+for name in vapro_fleet_scrapes_total vapro_fleet_health vapro_fleet_shards \
+	vapro_trace_batches_total vapro_trace_sampled_total; do
+	grep -q "$name" /tmp/vapro-fleet-metrics.out || {
+		echo "fleet endpoint missing $name"; exit 1; }
+done
+# All three status views render against the live deployment.
+/tmp/vapro-check status -addr "$FLEET_ADDR" -fleet | grep -q 'vapro fleet (fleet)'
+/tmp/vapro-check status -addr "$FLEET_ADDR" -json | grep -q '"source": "fleet"'
+/tmp/vapro-check status -addr "$FLEET_METRICS_ADDR" -trace | grep -q 'batch journeys'
+kill $FLEET_PID
 trap - EXIT
