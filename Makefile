@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test vet race chaos cover bench bench-smoke experiments full clean
+.PHONY: all build check test vet race chaos fuzz cover bench bench-smoke experiments full clean
 
 all: build vet test
 
@@ -21,13 +21,23 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/mpi ./internal/collector ./internal/core ./internal/interpose ./internal/detect ./internal/cluster ./internal/obs ./internal/faults
+	$(GO) test -race ./internal/mpi ./internal/collector ./internal/core ./internal/interpose ./internal/detect ./internal/cluster ./internal/obs ./internal/faults ./internal/wal
 
 # The fault-tolerance soaks: kill/restart the wire server 5x under
-# multi-rank load (single server), and kill/restart one shard server of
-# 8 (sharded tier) — both hold the exact loss-accounting invariant.
+# multi-rank load (single server), kill/restart one shard server of 8
+# (sharded tier), and the durability soak (both tiers die mid-run, the
+# second generation rebuilds from journal + spill WALs with zero loss)
+# — all hold the exact loss-accounting invariant.
 chaos:
-	$(GO) test -race -count=2 -timeout 60s -run 'TestChaosSoakServerRestarts|TestChaosShardServerKillRestart' ./internal/collector
+	$(GO) test -race -count=2 -timeout 120s -run 'TestChaosSoakServerRestarts|TestChaosShardServerKillRestart|TestChaosSoakJournalCrashReplay' ./internal/collector
+
+# A few seconds of coverage-guided fuzzing per hostile-bytes surface
+# (wire decoders, WAL recovery), on top of the committed corpora.
+fuzz:
+	$(GO) test -run xxx -fuzz 'FuzzDecodeBatchMeta' -fuzztime 3s ./internal/trace
+	$(GO) test -run xxx -fuzz 'FuzzDecodeHello' -fuzztime 3s ./internal/trace
+	$(GO) test -run xxx -fuzz 'FuzzDecodeRecord' -fuzztime 3s ./internal/trace
+	$(GO) test -run xxx -fuzz 'FuzzLogRecover' -fuzztime 3s ./internal/wal
 
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/... .

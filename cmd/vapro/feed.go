@@ -4,11 +4,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"vapro/internal/collector"
 	"vapro/internal/trace"
+	"vapro/internal/wal"
 )
 
 // feedMain is a synthetic load generator for a running collector: one
@@ -25,6 +27,8 @@ func feedMain(args []string) {
 	frags := fs.Int("frags", 4, "fragments per batch")
 	clientID := fs.Uint64("client", 1, "base trace client id (rank r sends as client+r)")
 	gap := fs.Duration("gap", 0, "pause between a rank's batches")
+	walDir := fs.String("wal", "", "directory for per-rank spill WALs (rank r journals to <dir>/rank<r>); batches stranded by a dead collector persist and retransmit on the next feed run")
+	maxSpillBytes := fs.Int64("max-spill-bytes", 0, "bound the in-memory spill queue by encoded bytes (0 = unbounded)")
 	timeout := fs.Duration("timeout", 10*time.Second, "max time to wait for delivery before closing")
 	_ = fs.Parse(args)
 	if *bootstrap == "" {
@@ -38,9 +42,21 @@ func feedMain(args []string) {
 	var wg sync.WaitGroup
 	clients := make([]*collector.ResilientClient, *ranks)
 	for r := 0; r < *ranks; r++ {
+		ropt := collector.ResilientOptions{MaxSpill: 64, MaxSpillBytes: *maxSpillBytes}
+		if *walDir != "" {
+			// One WAL per rank: the client takes ownership, replays
+			// anything a previous (possibly killed) feed run left
+			// behind, and persists whatever this run cannot deliver.
+			l, err := wal.Open(filepath.Join(*walDir, fmt.Sprintf("rank%d", r)), wal.Options{})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vapro feed:", err)
+				os.Exit(1)
+			}
+			ropt.WAL = l
+		}
 		c := collector.NewResilientClient(
 			collector.ShardDialer(r, []string{*bootstrap}, met),
-			collector.ResilientOptions{MaxSpill: 64})
+			ropt)
 		c.SetMetrics(met)
 		c.EnableTrace(*clientID+uint64(r), met.Trace)
 		clients[r] = c
@@ -82,11 +98,18 @@ func feedMain(args []string) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
+	// Close persists undelivered batches to the WALs (when attached);
+	// report them so a crash-replay harness can assert nothing vanished.
+	var persisted, abandoned uint64
 	for _, c := range clients {
 		_ = c.Close()
+		st := c.Stats()
+		persisted += uint64(st.WALPending) // includes the frames Close just wrote
+		abandoned += st.Abandoned
 	}
-	fmt.Printf("fed ranks=%d batches=%d sent=%d lost=%d\n", *ranks, *ranks**batches, sent, lost)
-	if sent == 0 {
+	fmt.Printf("fed ranks=%d batches=%d sent=%d lost=%d persisted=%d abandoned=%d\n",
+		*ranks, *ranks**batches, sent, lost, persisted, abandoned)
+	if sent == 0 && persisted == 0 {
 		os.Exit(1)
 	}
 }

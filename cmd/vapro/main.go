@@ -12,9 +12,11 @@
 // Subcommands:
 //
 //	vapro serve  -listen 127.0.0.1:0 -metrics 127.0.0.1:0   start a collector
+//	vapro serve  -journal DIR                               …with a crash-safe delivery journal
 //	vapro status -addr HOST:PORT                            render its live metrics
 //	vapro status -addr HOST:PORT -json|-trace|-fleet        machine schema / batch journeys / fleet health
 //	vapro feed   -bootstrap HOST:PORT -ranks 4 -batches 32  stream synthetic traced batches into it
+//	vapro analyze -journal DIR -from 0 -to 30               re-run window analysis over a journal range
 package main
 
 import (
@@ -55,6 +57,9 @@ func main() {
 			return
 		case "feed":
 			feedMain(os.Args[2:])
+			return
+		case "analyze":
+			analyzeMain(os.Args[2:])
 			return
 		}
 	}

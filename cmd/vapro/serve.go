@@ -7,10 +7,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"vapro/internal/collector"
+	"vapro/internal/wal"
 )
 
 // serveMain starts a standalone collector: a wire server accepting
@@ -25,17 +27,38 @@ func serveMain(args []string) {
 	ranks := fs.Int("ranks", 256, "client ranks the pool is provisioned for")
 	shards := fs.Int("shards", 1, "shard servers to run (>1 starts a rank-sharded tier, one wire listener per shard)")
 	fleet := fs.String("fleet", "", "address for the fleet scraper endpoint (sharded mode; empty disables)")
+	journal := fs.String("journal", "", "directory for the crash-safe delivery journal (sharded mode writes shard<N>/ subdirectories; empty disables)")
+	journalMaxBytes := fs.Int64("journal-max-bytes", 0, "reclaim oldest journal segments past this many bytes (0 = unbounded)")
+	journalMaxAge := fs.Duration("journal-max-age", 0, "reclaim journal segments older than this (0 = unbounded)")
 	drain := fs.Duration("drain", 5*time.Second, "how long shutdown waits for in-flight connections before force-closing them")
 	_ = fs.Parse(args)
 
 	if *shards > 1 {
-		serveSharded(*listen, *metrics, *fleet, *ranks, *shards, *drain)
+		serveSharded(*listen, *metrics, *fleet, *journal, *ranks, *shards,
+			*journalMaxBytes, *journalMaxAge, *drain)
 		return
 	}
 
 	opt := collector.DefaultOptions()
 	pool := collector.NewPool(*ranks, opt)
 	mon := collector.NewMonitor(pool, collector.DefaultMonitorOptions(*ranks))
+
+	var jlog *wal.Log
+	if *journal != "" {
+		// Open (recovering torn tails), replay the delivered stream into
+		// the fresh monitor — rebuilding fragment logs, sequence state
+		// and watermarks exactly as the pre-crash process held them —
+		// and only then attach, so the wire server journals new frames
+		// behind the replayed ones.
+		jlog = openJournal(*journal, pool.Metrics(), *journalMaxBytes, *journalMaxAge)
+		n, err := collector.ReplayJournal(jlog, mon)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vapro serve:", err)
+			os.Exit(1)
+		}
+		pool.AttachJournal(jlog)
+		fmt.Printf("journal=%s replayed=%d\n", *journal, n)
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -44,6 +67,10 @@ func serveMain(args []string) {
 	}
 	srv := collector.ServeWire(ln, mon)
 	srv.SetDrainTimeout(*drain)
+	// Publish a one-entry shard map so ShardDialer clients (vapro feed)
+	// can bootstrap against a single server exactly as they would
+	// against the sharded tier.
+	srv.SetHello(1, []string{ln.Addr().String()})
 	fmt.Printf("wire=%s\n", ln.Addr())
 	if *metrics != "" {
 		mln, err := net.Listen("tcp", *metrics)
@@ -60,6 +87,27 @@ func serveMain(args []string) {
 	<-sig
 	_ = srv.Close()
 	pool.Close()
+	if jlog != nil {
+		_ = jlog.Close()
+	}
+}
+
+// openJournal opens a delivery journal with its metrics registered on
+// the given surface (the `vapro status` journal row reads them). Any
+// open failure is fatal: the operator asked for durability, so serving
+// without it would be silent data-loss-on-crash.
+func openJournal(dir string, met *collector.Metrics, maxBytes int64, maxAge time.Duration) *wal.Log {
+	l, err := wal.Open(dir, wal.Options{
+		MaxBytes: maxBytes,
+		MaxAge:   maxAge,
+		Metrics:  wal.NewMetrics(met.Registry, "journal"),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vapro serve:", err)
+		os.Exit(1)
+	}
+	wal.RegisterOldestAge(met.Registry, "journal", l)
+	return l
 }
 
 // serveSharded runs the rank-sharded tier: one wire listener per shard
@@ -73,10 +121,33 @@ func serveMain(args []string) {
 // listener (printed metrics0=, metrics1=, …) so per-shard truth stays
 // scrapeable, and -fleet starts a FleetScraper polling those per-shard
 // endpoints into the /fleet health surface.
-func serveSharded(listen, metrics, fleet string, ranks, shards int, drain time.Duration) {
+func serveSharded(listen, metrics, fleet, journal string, ranks, shards int,
+	journalMaxBytes int64, journalMaxAge, drain time.Duration) {
 	opt := collector.DefaultOptions()
 	tier := collector.NewShardedPool(ranks, shards, opt)
 	mon := collector.NewShardedMonitor(tier, collector.DefaultMonitorOptions(ranks))
+
+	// Per-shard journals: each shard journals the stream it delivered
+	// into its own shard<i>/ subdirectory (its sequence space is its
+	// resident ranks'), so a single shard's crash replays independently
+	// of the others. Replay runs through the monitor sink so the global
+	// watermark rebuilds too.
+	jlogs := make([]*wal.Log, shards)
+	if journal != "" {
+		replayed := 0
+		for i := 0; i < shards; i++ {
+			jlogs[i] = openJournal(filepath.Join(journal, fmt.Sprintf("shard%d", i)),
+				tier.Plane(i).Metrics(), journalMaxBytes, journalMaxAge)
+			n, err := collector.ReplayJournal(jlogs[i], mon.WireSink(i))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vapro serve:", err)
+				os.Exit(1)
+			}
+			replayed += n
+			tier.Plane(i).AttachJournal(jlogs[i])
+		}
+		fmt.Printf("journal=%s replayed=%d\n", journal, replayed)
+	}
 
 	srvs := make([]*collector.WireServer, shards)
 	addrs := make([]string, shards)
@@ -153,4 +224,9 @@ func serveSharded(listen, metrics, fleet string, ranks, shards int, drain time.D
 		_ = srv.Close()
 	}
 	tier.Close()
+	for _, l := range jlogs {
+		if l != nil {
+			_ = l.Close()
+		}
+	}
 }

@@ -267,12 +267,40 @@ func renderStatus(s *obs.Snapshot) string {
 		val(s, "vapro_wire_seq_gaps_total"), val(s, "vapro_wire_dups_total"),
 		val(s, "vapro_wire_client_drops_total"))
 
+	// Durability surface: present only when the collector runs with a
+	// delivery journal (vapro serve -journal). Pending counts records
+	// not yet consumed by a cursor — for a journal that is every
+	// retained record, since replay reads without consuming.
+	if segs := val(s, "vapro_wal_journal_segments"); segs > 0 {
+		state := ""
+		if val(s, "vapro_wal_journal_replay_in_progress") > 0 {
+			state = "   REPLAYING"
+		}
+		fmt.Fprintf(&b, "journal   segments %.0f   bytes %s   appended %.0f   oldest %s   replayed %.0f%s\n",
+			segs, humanBytes(val(s, "vapro_wal_journal_bytes")),
+			val(s, "vapro_wal_journal_appended_total"),
+			humanSeconds(val(s, "vapro_wal_journal_oldest_age_seconds")),
+			val(s, "vapro_wal_journal_replayed_total"), state)
+		if errs, drops := val(s, "vapro_wal_journal_errors_total"), val(s, "vapro_wal_journal_dropped_records_total"); errs > 0 || drops > 0 {
+			fmt.Fprintf(&b, "          write errors %.0f   records reclaimed unread %.0f (retention)   truncated %.0f (torn tails)\n",
+				errs, drops, val(s, "vapro_wal_journal_truncated_total"))
+		}
+	}
+
 	if dials := val(s, "vapro_net_dials_total"); dials > 0 {
 		fmt.Fprintf(&b, "net       dials %.0f (connects %.0f, reconnects %.0f)   sent %.0f   lost %.0f   write timeouts %.0f   spill %.0f (peak %.0f)\n",
 			dials, val(s, "vapro_net_connects_total"), val(s, "vapro_net_reconnects_total"),
 			val(s, "vapro_net_batches_sent_total"), val(s, "vapro_net_batches_lost_total"),
 			val(s, "vapro_net_write_timeouts_total"),
 			val(s, "vapro_net_spill_depth"), val(s, "vapro_net_spill_peak"))
+		fmt.Fprintf(&b, "          spill bytes %s\n", humanBytes(val(s, "vapro_net_spill_bytes")))
+		// Client durability: the spill-to-disk WAL, when one is attached.
+		if wseg := val(s, "vapro_wal_spill_segments"); wseg > 0 {
+			fmt.Fprintf(&b, "          spill wal segments %.0f   bytes %s   pending %.0f   oldest %s\n",
+				wseg, humanBytes(val(s, "vapro_wal_spill_bytes")),
+				val(s, "vapro_wal_spill_pending"),
+				humanSeconds(val(s, "vapro_wal_spill_oldest_age_seconds")))
+		}
 	}
 
 	windows := val(s, "vapro_detect_windows_total")

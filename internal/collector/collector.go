@@ -8,6 +8,7 @@
 package collector
 
 import (
+	"math"
 	"sync"
 
 	"vapro/internal/detect"
@@ -15,6 +16,7 @@ import (
 	"vapro/internal/sim"
 	"vapro/internal/stg"
 	"vapro/internal/trace"
+	"vapro/internal/wal"
 )
 
 // Options configures the collection plane.
@@ -78,6 +80,12 @@ type Pool struct {
 	// than the wire server so gap accounting survives server restarts —
 	// exactly the window where batches get lost.
 	seq *SeqTracker
+
+	// jour is the delivery journal the serving process attached
+	// (AttachJournal), if any; the wire server appends every delivered
+	// frame to it. The pool only holds the handle — open/close belong
+	// to whoever runs the process.
+	jour *wal.Log
 }
 
 // NewPool builds the server pool for the given number of client ranks.
@@ -409,6 +417,19 @@ func viewConcat(parts [][]trace.Fragment) []trace.Fragment {
 // analyzer, so repeated calls re-do work only for the elements (and
 // windows) that received new fragments.
 func (p *Pool) WindowResults() []*WindowResult {
+	return p.WindowResultsRange(0, math.MaxInt64)
+}
+
+// WindowResultsRange is WindowResults restricted to the windows that
+// intersect [from, to) in virtual time. The window grid is unchanged —
+// windows still start at multiples of the stride from zero, so a range
+// query returns exactly the rows the full query would, filtered — and
+// that is what makes historical queries over a replayed journal line
+// up with the live run's results. to <= 0 means "end of data".
+func (p *Pool) WindowResultsRange(from, to int64) []*WindowResult {
+	if to <= 0 {
+		to = math.MaxInt64
+	}
 	p.drainAll()
 	p.amu.Lock()
 	defer p.amu.Unlock()
@@ -424,6 +445,9 @@ func (p *Pool) WindowResults() []*WindowResult {
 	var out []*WindowResult
 	for start := int64(0); start < maxEnd; start += stride {
 		end := start + int64(p.opt.Period)
+		if end <= from || start >= to {
+			continue
+		}
 		// Element span bounds reject empty windows without touching
 		// fragments (the old path re-scanned every fragment per window).
 		if !g.Overlaps(start, end) {

@@ -50,6 +50,7 @@ type Metrics struct {
 	NetWriteTimeouts *obs.Counter // writes that exceeded the deadline
 	NetSpillDepth    *obs.Gauge   // batches currently spilled awaiting a connection
 	NetSpillPeak     *obs.Gauge   // high-water mark of the spill queue
+	NetSpillBytes    *obs.Gauge   // encoded bytes currently spilled in memory
 
 	// View is the delta-append merged view's surface: cursor advances
 	// are refreshes that appended a server's new suffix in place (epoch
@@ -141,6 +142,8 @@ func NewMetrics() *Metrics {
 			"batches currently spilled awaiting a connection"),
 		NetSpillPeak: reg.Gauge("vapro_net_spill_peak", "net",
 			"high-water mark of the spill queue"),
+		NetSpillBytes: reg.Gauge("vapro_net_spill_bytes", "net",
+			"encoded frame bytes held in the in-memory spill queue"),
 		ViewCursorAdvances: reg.Counter("vapro_view_cursor_advances_total", "view",
 			"merged-view refreshes that delta-appended a server's new suffix in place"),
 		ViewEpochRebases: reg.Counter("vapro_view_epoch_rebases_total", "view",

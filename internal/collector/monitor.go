@@ -9,6 +9,7 @@ import (
 	"vapro/internal/sim"
 	"vapro/internal/stg"
 	"vapro/internal/trace"
+	"vapro/internal/wal"
 )
 
 // Monitor is the online analysis loop of Figure 8: as fragment batches
@@ -148,6 +149,10 @@ func (m *Monitor) Metrics() *Metrics { return m.pool.met }
 // SeqState forwards the pool's sequence tracker so a wire server with a
 // Monitor sink still accumulates gap accounting across restarts.
 func (m *Monitor) SeqState() *SeqTracker { return m.pool.seq }
+
+// Journal forwards the pool's delivery journal so a wire server with a
+// Monitor sink journals exactly what it delivers.
+func (m *Monitor) Journal() *wal.Log { return m.pool.Journal() }
 
 // Consume implements interpose.Sink: forward to the pool, append to the
 // monitor's merged graph, advance the rank watermark, and analyze any

@@ -8,6 +8,7 @@ import (
 
 	"vapro/internal/stg"
 	"vapro/internal/trace"
+	"vapro/internal/wal"
 )
 
 // Recording is a persisted fragment stream: everything the analysis
@@ -127,6 +128,15 @@ func (s *RecordingSink) Metrics() *Metrics {
 func (s *RecordingSink) SeqState() *SeqTracker {
 	if ss, ok := s.next.(seqStater); ok {
 		return ss.SeqState()
+	}
+	return nil
+}
+
+// Journal forwards the wrapped sink's delivery journal, if any, so
+// recording in front of a journaled pool keeps durability intact.
+func (s *RecordingSink) Journal() *wal.Log {
+	if jp, ok := s.next.(journalProvider); ok {
+		return jp.Journal()
 	}
 	return nil
 }

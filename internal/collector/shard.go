@@ -11,6 +11,7 @@ import (
 	"vapro/internal/sim"
 	"vapro/internal/stg"
 	"vapro/internal/trace"
+	"vapro/internal/wal"
 )
 
 // Spatial scale-out (DESIGN §12): the plain Pool shards *clients*
@@ -453,6 +454,11 @@ func (k *ShardSink) Metrics() *Metrics { return k.tier.planes[k.shard].met }
 // and survives the shard's wire-server restarts because the tracker
 // lives on the plane.
 func (k *ShardSink) SeqState() *SeqTracker { return k.tier.planes[k.shard].seq }
+
+// Journal returns this shard's delivery journal (attached per plane —
+// each shard journals its own delivered stream into its own directory,
+// so shard restarts replay independently).
+func (k *ShardSink) Journal() *wal.Log { return k.tier.planes[k.shard].Journal() }
 
 // Hello returns the current shard map for the wire handshake.
 func (k *ShardSink) Hello() (version uint64, addrs []string, ok bool) {

@@ -6,6 +6,7 @@ import (
 	"vapro/internal/detect"
 	"vapro/internal/sim"
 	"vapro/internal/trace"
+	"vapro/internal/wal"
 )
 
 // ShardedMonitor is the online loop over a rank-sharded tier: it tracks
@@ -229,6 +230,9 @@ func (k *MonitorShardSink) Metrics() *Metrics { return k.sink.Metrics() }
 
 // SeqState returns the shard's tracker.
 func (k *MonitorShardSink) SeqState() *SeqTracker { return k.sink.SeqState() }
+
+// Journal returns the shard's delivery journal.
+func (k *MonitorShardSink) Journal() *wal.Log { return k.sink.Journal() }
 
 // Hello returns the current shard map for the wire handshake.
 func (k *MonitorShardSink) Hello() (uint64, []string, bool) { return k.sink.Hello() }

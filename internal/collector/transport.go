@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"math"
 	"net"
 	"net/http"
 	"sync"
@@ -15,6 +14,7 @@ import (
 
 	"vapro/internal/obs"
 	"vapro/internal/trace"
+	"vapro/internal/wal"
 )
 
 // Wire transport: in the real deployment the client library ships
@@ -173,9 +173,17 @@ type WireServer struct {
 	traced tracedSink    // non-nil when sink implements tracedSink
 	seq    *SeqTracker   // non-nil when sink implements seqStater
 	hello  helloProvider // non-nil when sink implements helloProvider
+	jour   *wal.Log      // non-nil when sink implements journalProvider
 	met    *Metrics
 	mln    net.Listener // metrics HTTP listener, if serving
 	wg     sync.WaitGroup
+
+	// jmu serializes observe→journal→deliver across connections when a
+	// journal is attached: the journal's record order must equal the
+	// sequence tracker's decision order and the sink's delivery order,
+	// or replay would rebuild a different state than the live run held.
+	// Without a journal the path stays lock-free as before.
+	jmu sync.Mutex
 
 	mu      sync.Mutex
 	conns   map[net.Conn]struct{}
@@ -202,6 +210,9 @@ func ServeWire(ln net.Listener, sink interface {
 		s.met = mp.Metrics()
 	}
 	s.hello, _ = sink.(helloProvider)
+	if jp, ok := sink.(journalProvider); ok {
+		s.jour = jp.Journal()
+	}
 	if s.met == nil {
 		s.met = NewMetrics() // standalone counting surface
 	}
@@ -221,6 +232,26 @@ func (s *WireServer) SetDrainTimeout(d time.Duration) {
 // Metrics returns the surface the server counts into — the sink's own
 // when the sink provides one, otherwise a private registry.
 func (s *WireServer) Metrics() *Metrics { return s.met }
+
+// SetHello publishes a static shard map on every subsequently accepted
+// connection — how a single-server deployment speaks the same
+// bootstrap handshake as the sharded tier (a one-entry map naming
+// itself), so ShardDialer clients dial either uniformly. A sink that
+// publishes its own live map (ShardSink) keeps precedence.
+func (s *WireServer) SetHello(version uint64, addrs []string) {
+	s.mu.Lock()
+	if s.hello == nil {
+		s.hello = staticHello{ver: version, addrs: append([]string(nil), addrs...)}
+	}
+	s.mu.Unlock()
+}
+
+type staticHello struct {
+	ver   uint64
+	addrs []string
+}
+
+func (h staticHello) Hello() (uint64, []string, bool) { return h.ver, h.addrs, true }
 
 // ServeMetrics serves the metrics registry (Prometheus text / JSON)
 // over HTTP on mln until the wire server is closed.
@@ -278,12 +309,15 @@ func (s *WireServer) serveConn(conn net.Conn) {
 			s.setErr(fmt.Errorf("collector: panic serving connection: %v", p))
 		}
 	}()
-	if s.hello != nil {
+	s.mu.Lock()
+	hello := s.hello
+	s.mu.Unlock()
+	if hello != nil {
 		// Shard handshake: one length-prefixed hello frame, written
 		// before any reads so a shard-aware client can verify ownership
 		// immediately after dialing. A failed write means the client is
 		// gone; the connection dies before consuming anything.
-		if ver, addrs, ok := s.hello.Hello(); ok {
+		if ver, addrs, ok := hello.Hello(); ok {
 			payload := trace.AppendHello(nil, ver, addrs)
 			out := binary.AppendUvarint(nil, uint64(len(payload)))
 			out = append(out, payload...)
@@ -321,49 +355,65 @@ func (s *WireServer) serveConn(conn net.Conn) {
 			s.setErr(err)
 			return
 		}
-		rank := meta.Rank
-		if meta.HasSeq && s.seq != nil {
-			// Sequence accounting: gaps are batches that died with a
-			// connection or were evicted client-side; duplicates are
-			// retransmits whose original arrived (e.g. a write deadline
-			// fired on a live link) and must not be delivered twice.
-			minStart, maxEnd := int64(math.MaxInt64), int64(math.MinInt64)
-			for i := range frags {
-				if frags[i].Start < minStart {
-					minStart = frags[i].Start
-				}
-				if e := frags[i].Start + frags[i].Elapsed; e > maxEnd {
-					maxEnd = e
-				}
-			}
-			deliver, gap := s.seq.Observe(rank, meta.Seq, minStart, maxEnd)
-			if gap > 0 {
-				s.met.WireSeqGaps.Add(gap)
-			}
-			if !deliver {
-				s.met.WireDups.Inc()
-				continue
-			}
-		}
-		if meta.HasTrace && s.traced != nil && s.met.Trace.Sample(meta.Seq) {
-			// Sampled exemplar: stamp delivery and carry the provenance
-			// context through staging and drain. The sampling decision is
-			// derived from the sequence number alone, so the client that
-			// stamped flush/enqueue/write picked the same batches.
-			tc := TraceCtx{ClientID: meta.ClientID, Seq: meta.Seq, Rank: rank, FlushNS: meta.FlushNS}
-			s.met.Trace.Record(tc.Key(), rank, meta.FlushNS, obs.HopDeliver)
-			s.traced.ConsumeTraced(rank, frags, len(payload), tc)
-		} else if s.sized != nil {
-			s.sized.ConsumeSized(rank, frags, len(payload))
-		} else {
-			s.sink.Consume(rank, frags)
-		}
-		s.met.WireFrames.Inc()
-		s.met.WireBytes.Add(uint64(len(payload)))
-		s.mu.Lock()
-		s.batches++
-		s.mu.Unlock()
+		s.deliverFrame(meta, frags, payload)
 	}
+}
+
+// deliverFrame runs one decoded frame's observe→journal→deliver
+// sequence. With a journal attached the whole sequence is a single
+// critical section across connections (jmu): the journal's record
+// order must equal the tracker's decision order and the sink's
+// delivery order, or replay would rebuild a different state than the
+// live run held. Without a journal only the tracker's own lock is
+// involved, as before.
+func (s *WireServer) deliverFrame(meta trace.BatchMeta, frags []trace.Fragment, payload []byte) {
+	if s.jour != nil {
+		s.jmu.Lock()
+		defer s.jmu.Unlock()
+	}
+	rank := meta.Rank
+	if meta.HasSeq && s.seq != nil {
+		// Sequence accounting: gaps are batches that died with a
+		// connection or were evicted client-side; duplicates are
+		// retransmits whose original arrived (e.g. a write deadline
+		// fired on a live link) and must not be delivered twice.
+		minStart, maxEnd := fragSpan(frags)
+		deliver, gap := s.seq.Observe(rank, meta.Seq, minStart, maxEnd)
+		if gap > 0 {
+			s.met.WireSeqGaps.Add(gap)
+		}
+		if !deliver {
+			s.met.WireDups.Inc()
+			return
+		}
+	}
+	if s.jour != nil {
+		// Journal the delivered payload before the sink sees it.
+		// Duplicates never reach this point, so the journal holds
+		// exactly the delivered stream. An append failure (disk full,
+		// dead device) is counted by the log's own metrics and must not
+		// kill the connection: durability degrades, ingestion keeps
+		// serving.
+		_ = s.jour.Append(payload)
+	}
+	if meta.HasTrace && s.traced != nil && s.met.Trace.Sample(meta.Seq) {
+		// Sampled exemplar: stamp delivery and carry the provenance
+		// context through staging and drain. The sampling decision is
+		// derived from the sequence number alone, so the client that
+		// stamped flush/enqueue/write picked the same batches.
+		tc := TraceCtx{ClientID: meta.ClientID, Seq: meta.Seq, Rank: rank, FlushNS: meta.FlushNS}
+		s.met.Trace.Record(tc.Key(), rank, meta.FlushNS, obs.HopDeliver)
+		s.traced.ConsumeTraced(rank, frags, len(payload), tc)
+	} else if s.sized != nil {
+		s.sized.ConsumeSized(rank, frags, len(payload))
+	} else {
+		s.sink.Consume(rank, frags)
+	}
+	s.met.WireFrames.Inc()
+	s.met.WireBytes.Add(uint64(len(payload)))
+	s.mu.Lock()
+	s.batches++
+	s.mu.Unlock()
 }
 
 // readPayload appends exactly size bytes from br onto buf in bounded

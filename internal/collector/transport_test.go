@@ -194,3 +194,32 @@ func TestWireFragmentFidelity(t *testing.T) {
 		t.Fatalf("fragment mutated in transit:\n got %+v\nwant %+v", got, want)
 	}
 }
+
+// TestWireServerStaticHello pins the single-server bootstrap path:
+// SetHello publishes a one-entry shard map, so a ShardDialer client
+// (vapro feed) connects and delivers against a plain serve exactly as
+// it would against the sharded tier.
+func TestWireServerStaticHello(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(4, DefaultOptions())
+	srv := ServeWire(ln, pool)
+	defer srv.Close()
+	srv.SetHello(1, []string{ln.Addr().String()})
+
+	met := NewMetrics()
+	c := NewResilientClient(ShardDialer(2, []string{ln.Addr().String()}, met),
+		ResilientOptions{MaxSpill: 16})
+	c.SetMetrics(met)
+	c.Consume(2, []trace.Fragment{frag(2, 0, 500)})
+	if !c.Drain(5 * time.Second) {
+		t.Fatal("client did not drain against a static-hello server")
+	}
+	waitUntil(5*time.Second, func() bool { return pool.FragmentCount() >= 1 })
+	if got := pool.FragmentCount(); got != 1 {
+		t.Fatalf("server received %d fragments, want 1", got)
+	}
+	c.Close()
+}

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+)
+
+// Record envelope for durable storage. The wire transport can lean on
+// TCP for integrity, but bytes that sit on disk between a crash and a
+// recovery cannot: a torn tail (the process died mid-write) must be
+// distinguishable from a record that was written whole, and silent
+// media corruption must not replay garbage into the analysis plane. A
+// record is
+//
+//	uvarint payload length | payload | CRC32-C(payload), 4 bytes LE
+//
+// so the decoder can classify every failure: not enough bytes for the
+// claimed length is a torn tail (ErrShortRecord — truncate here and
+// keep everything before), while a checksum mismatch or an absurd
+// length claim is corruption (ErrCorruptRecord).
+
+// Decode classification errors for durable records.
+var (
+	// ErrShortRecord reports a record cut off mid-write: the remaining
+	// bytes are shorter than the record claims. Recovery truncates the
+	// segment at the last whole record.
+	ErrShortRecord = errors.New("trace: record truncated")
+	// ErrCorruptRecord reports a record that is whole but wrong: the
+	// checksum does not match, or the length claim is absurd.
+	ErrCorruptRecord = errors.New("trace: record corrupt")
+)
+
+// maxRecordPayload rejects absurd record length claims before they are
+// trusted (a flipped high bit must not look like a multi-gigabyte
+// record). Comfortably above maxFramePayload, the largest payload any
+// caller journals.
+const maxRecordPayload = 256 << 20
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on the
+// platforms the collector runs on.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendRecord appends the durable record envelope around payload.
+func AppendRecord(dst, payload []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, crcTable))
+}
+
+// DecodeRecord decodes one record from the front of data, returning the
+// payload (aliasing data) and the record's total encoded size. An
+// incomplete record returns ErrShortRecord; a checksum mismatch or a
+// hostile length returns ErrCorruptRecord. Empty input is a zero-length
+// short record.
+func DecodeRecord(data []byte) (payload []byte, n int, err error) {
+	size, hn := binary.Uvarint(data)
+	if hn == 0 {
+		return nil, 0, ErrShortRecord
+	}
+	if hn < 0 || size > maxRecordPayload {
+		return nil, 0, ErrCorruptRecord
+	}
+	// A minimal uvarint never ends in a zero byte (except the single
+	// byte 0x00): AppendRecord cannot produce a padded length, so one
+	// here is corruption — accepting it would let a record decode to
+	// bytes that do not re-encode to themselves.
+	if hn > 1 && data[hn-1] == 0 {
+		return nil, 0, ErrCorruptRecord
+	}
+	total := hn + int(size) + crc32.Size
+	if len(data) < total {
+		return nil, 0, ErrShortRecord
+	}
+	payload = data[hn : hn+int(size)]
+	want := binary.LittleEndian.Uint32(data[hn+int(size):])
+	if crc32.Checksum(payload, crcTable) != want {
+		return nil, 0, ErrCorruptRecord
+	}
+	return payload, total, nil
+}

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xab}, 4096)} {
+		rec := AppendRecord(nil, payload)
+		got, n, err := DecodeRecord(rec)
+		if err != nil {
+			t.Fatalf("DecodeRecord(%d bytes): %v", len(payload), err)
+		}
+		if n != len(rec) {
+			t.Fatalf("consumed %d of %d bytes", n, len(rec))
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("payload mismatch for %d bytes", len(payload))
+		}
+	}
+}
+
+func TestRecordDecodesFromStream(t *testing.T) {
+	var buf []byte
+	buf = AppendRecord(buf, []byte("first"))
+	buf = AppendRecord(buf, []byte("second"))
+	p1, n1, err := DecodeRecord(buf)
+	if err != nil || string(p1) != "first" {
+		t.Fatalf("first record: %q, %v", p1, err)
+	}
+	p2, _, err := DecodeRecord(buf[n1:])
+	if err != nil || string(p2) != "second" {
+		t.Fatalf("second record: %q, %v", p2, err)
+	}
+}
+
+func TestRecordTornTailIsShort(t *testing.T) {
+	rec := AppendRecord(nil, []byte("payload-bytes"))
+	// Every strict prefix is a torn tail, never corruption: a crash
+	// mid-write must be distinguishable from bit rot so recovery can
+	// truncate with confidence.
+	for cut := 0; cut < len(rec); cut++ {
+		_, _, err := DecodeRecord(rec[:cut])
+		if !errors.Is(err, ErrShortRecord) {
+			t.Fatalf("prefix of %d/%d bytes: err = %v, want ErrShortRecord", cut, len(rec), err)
+		}
+	}
+}
+
+func TestRecordCorruption(t *testing.T) {
+	rec := AppendRecord(nil, []byte("payload-bytes"))
+	// A flipped bit anywhere in payload or checksum is corruption.
+	for i := 1; i < len(rec); i++ {
+		mut := append([]byte(nil), rec...)
+		mut[i] ^= 0x40
+		_, _, err := DecodeRecord(mut)
+		if err == nil {
+			t.Fatalf("flip at byte %d went undetected", i)
+		}
+	}
+	// A hostile length claim is corruption, not a request for 2^60 bytes.
+	huge := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}
+	if _, _, err := DecodeRecord(huge); !errors.Is(err, ErrCorruptRecord) {
+		t.Fatalf("huge length: err = %v, want ErrCorruptRecord", err)
+	}
+}

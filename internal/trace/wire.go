@@ -369,9 +369,12 @@ func (r *wireReader) bytes(n int) []byte {
 	if r.err != nil {
 		return nil
 	}
-	if n < 0 || r.pos+n > len(r.data) {
+	if n < 0 || n > len(r.data)-r.pos {
 		r.fail("truncated run of %d at %d", n, r.pos)
-		return make([]byte, max(n, 0))
+		// The placeholder only has to satisfy fixed-size reads (the
+		// 8-byte key lanes); n itself may be a hostile length claim
+		// and must never size an allocation.
+		return make([]byte, min(max(n, 0), 64))
 	}
 	b := r.data[r.pos : r.pos+n]
 	r.pos += n

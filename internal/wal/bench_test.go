@@ -1,0 +1,83 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchPayload is sized like a realistic encoded wire frame (a few
+// fragments with counters) rather than the tiny strings the unit
+// tests use, so bytes/op on the append path means something.
+func benchPayload() []byte {
+	p := make([]byte, 512)
+	for i := range p {
+		p[i] = byte(i)
+	}
+	return p
+}
+
+func BenchmarkAppend(b *testing.B) {
+	for _, pol := range []struct {
+		name string
+		sync SyncPolicy
+	}{{"rotate", SyncRotate}, {"each", SyncEach}} {
+		b.Run(pol.name, func(b *testing.B) {
+			l, err := Open(b.TempDir(), Options{Sync: pol.sync})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			p := benchPayload()
+			b.SetBytes(int64(len(p)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := l.Append(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkReplay(b *testing.B) {
+	const records = 10000
+	dir := b.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := benchPayload()
+	for i := 0; i < records; i++ {
+		if err := l.Append(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(records) * int64(len(p)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := Open(dir, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		err = r.Replay(func(payload []byte) error {
+			if len(payload) != len(p) {
+				return fmt.Errorf("payload length %d, want %d", len(payload), len(p))
+			}
+			n++
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != records {
+			b.Fatalf("replayed %d, want %d", n, records)
+		}
+		if err := r.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package wal
+
+import (
+	"time"
+
+	"vapro/internal/obs"
+)
+
+// Metrics mirrors one log's state into the observability plane. Two
+// logs live in a deployment — the client's spill WAL and the server's
+// journal — so every metric is namespaced by a log name
+// (vapro_wal_<name>_*).
+type Metrics struct {
+	Segments      *obs.Gauge
+	Bytes         *obs.Gauge
+	Pending       *obs.Gauge
+	ReplayActive  *obs.Gauge
+	Appended      *obs.Counter
+	AppendedBytes *obs.Counter
+	Fsyncs        *obs.Counter
+	FsyncNS       *obs.Histogram
+	Truncated     *obs.Counter
+	Dropped       *obs.Counter
+	Reclaimed     *obs.Counter
+	Replayed      *obs.Counter
+	Errors        *obs.Counter
+}
+
+// NewMetrics registers a log's metric surface under
+// vapro_wal_<name>_* in reg.
+func NewMetrics(reg *obs.Registry, name string) *Metrics {
+	p := "vapro_wal_" + name + "_"
+	return &Metrics{
+		Segments:      reg.Gauge(p+"segments", "wal", "segment files in the "+name+" log"),
+		Bytes:         reg.Gauge(p+"bytes", "wal", "on-disk bytes across the "+name+" log's segments"),
+		Pending:       reg.Gauge(p+"pending", "wal", "appended records not yet acknowledged"),
+		ReplayActive:  reg.Gauge(p+"replay_in_progress", "wal", "1 while a startup replay is running"),
+		Appended:      reg.Counter(p+"appended_total", "wal", "records appended"),
+		AppendedBytes: reg.Counter(p+"appended_bytes_total", "wal", "record bytes appended (with envelope)"),
+		Fsyncs:        reg.Counter(p+"fsyncs_total", "wal", "fsync calls issued by the sync policy"),
+		FsyncNS:       reg.Histogram(p+"fsync_ns", "wal", "fsync latency", nil),
+		Truncated:     reg.Counter(p+"truncated_total", "wal", "torn or corrupt segment tails cut during recovery"),
+		Dropped:       reg.Counter(p+"dropped_records_total", "wal", "unconsumed records reclaimed by retention"),
+		Reclaimed:     reg.Counter(p+"reclaimed_segments_total", "wal", "sealed segments removed by retention"),
+		Replayed:      reg.Counter(p+"replayed_total", "wal", "records streamed by Replay"),
+		Errors:        reg.Counter(p+"errors_total", "wal", "append, fsync, and read failures"),
+	}
+}
+
+// RegisterOldestAge registers the derived oldest-frame-age gauge for l
+// (a Func, because age moves with the clock between scrapes).
+func RegisterOldestAge(reg *obs.Registry, name string, l *Log) {
+	reg.Func("vapro_wal_"+name+"_oldest_age_seconds", "wal",
+		"age of the oldest segment still holding unacknowledged records",
+		func() float64 { return float64(l.OldestAge()) / float64(time.Second) })
+}

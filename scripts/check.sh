@@ -11,22 +11,33 @@ go vet ./...
 go test ./...
 go test -race ./internal/mpi ./internal/collector ./internal/core \
 	./internal/interpose ./internal/detect ./internal/cluster \
-	./internal/obs ./internal/faults
+	./internal/obs ./internal/faults ./internal/wal
 
 # Chaos stage: the fault-tolerance soaks must hold the exact
 # loss-accounting invariant (consumed == delivered + sequence gaps)
 # with the race detector on — single server killed/restarted 5x under
-# multi-rank load, and one shard server of 8 killed/restarted under the
+# multi-rank load, one shard server of 8 killed/restarted under the
 # sharded tier (per-shard books, survivors keep ticking, re-attach via
-# the rebalanced shard map). Runs in well under 30s.
-go test -race -count=2 -timeout 60s \
-	-run 'TestChaosSoakServerRestarts|TestChaosShardServerKillRestart' \
+# the rebalanced shard map), and the durability soak: both tiers die
+# mid-run and a second generation — server rebuilt from its journal,
+# clients replaying their spill WALs — closes the books with zero loss
+# and a bit-identical journal-replayed analysis.
+go test -race -count=2 -timeout 120s \
+	-run 'TestChaosSoakServerRestarts|TestChaosShardServerKillRestart|TestChaosSoakJournalCrashReplay' \
 	./internal/collector
 # Equivalence fuzz: the sharded tier's merged analysis must stay
 # bit-identical to unsharded references across 100 scripted delivery
 # schedules × shard counts {1,2,4,8}, raced.
 go test -race -count=1 -timeout 120s -run 'TestShardedEquivalenceFuzz' \
 	./internal/collector
+# Native fuzz smoke: a few seconds of coverage-guided input generation
+# per hostile-bytes surface, on top of the committed regression corpora
+# (which every plain `go test` already replays). One target per
+# invocation — the fuzz engine requires it.
+go test -run xxx -fuzz 'FuzzDecodeBatchMeta' -fuzztime 3s ./internal/trace
+go test -run xxx -fuzz 'FuzzDecodeHello' -fuzztime 3s ./internal/trace
+go test -run xxx -fuzz 'FuzzDecodeRecord' -fuzztime 3s ./internal/trace
+go test -run xxx -fuzz 'FuzzLogRecover' -fuzztime 3s ./internal/wal
 # Bench smoke: one iteration each, correctness plus the recorded scale
 # bounds. The scale benchmarks run 3x and benchjson -min keeps each
 # benchmark's fastest line (min-of-runs), then asserts the PR 6
@@ -170,3 +181,92 @@ done
 /tmp/vapro-check status -addr "$FLEET_METRICS_ADDR" -trace | grep -q 'batch journeys'
 kill $FLEET_PID
 trap - EXIT
+
+# Crash-replay smoke: the durability plane against a real SIGKILL. A
+# journaling server takes a full feed, dies with no shutdown path, and
+# a restart over the same journal must rebuild the delivered stream
+# exactly — then a second feed (clients reopening their spill WALs)
+# lands on the rebuilt tracker with zero sequence gaps, and `vapro
+# analyze` reproduces the combined run offline. The journal and WAL
+# dirs stay behind on failure for the CI artifact upload.
+JDIR=/tmp/vapro-check-journal
+WDIR=/tmp/vapro-check-feedwal
+rm -rf "$JDIR" "$WDIR"
+/tmp/vapro-check serve -listen 127.0.0.1:0 -metrics 127.0.0.1:0 \
+	-journal "$JDIR" >/tmp/vapro-serve-journal.out 2>&1 &
+JRN_PID=$!
+trap 'kill -9 $JRN_PID 2>/dev/null || true' EXIT
+i=0
+while ! grep -q '^metrics=' /tmp/vapro-serve-journal.out; do
+	i=$((i + 1))
+	[ "$i" -gt 100 ] && { echo "journaling serve never came up"; cat /tmp/vapro-serve-journal.out; exit 1; }
+	sleep 0.1
+done
+J_WIRE=$(sed -n 's/^wire=//p' /tmp/vapro-serve-journal.out)
+J_METRICS=$(sed -n 's/^metrics=//p' /tmp/vapro-serve-journal.out)
+/tmp/vapro-check feed -bootstrap "$J_WIRE" -ranks 4 -batches 8 -wal "$WDIR"
+# Wait until all 32 frames are delivered — and therefore journaled.
+i=0
+while :; do
+	FRAMES=$(/tmp/vapro-check status -addr "$J_METRICS" -raw prom |
+		awk '/^vapro_wire_frames_total[{ ]/ { printf "%.0f", $2 }')
+	[ "${FRAMES:-0}" -eq 32 ] && break
+	i=$((i + 1))
+	[ "$i" -gt 100 ] && { echo "journaling serve delivered ${FRAMES:-0}/32"; exit 1; }
+	sleep 0.1
+done
+# SIGKILL: no flush, no close — the journal on disk is all that survives.
+kill -9 $JRN_PID
+trap - EXIT
+wait $JRN_PID 2>/dev/null || true
+/tmp/vapro-check serve -listen 127.0.0.1:0 -metrics 127.0.0.1:0 \
+	-journal "$JDIR" >/tmp/vapro-serve-journal2.out 2>&1 &
+JRN2_PID=$!
+trap 'kill $JRN2_PID 2>/dev/null || true' EXIT
+i=0
+while ! grep -q '^metrics=' /tmp/vapro-serve-journal2.out; do
+	i=$((i + 1))
+	[ "$i" -gt 100 ] && { echo "restarted journaling serve never came up"; cat /tmp/vapro-serve-journal2.out; exit 1; }
+	sleep 0.1
+done
+grep -q 'replayed=32' /tmp/vapro-serve-journal2.out
+J2_WIRE=$(sed -n 's/^wire=//p' /tmp/vapro-serve-journal2.out)
+J2_METRICS=$(sed -n 's/^metrics=//p' /tmp/vapro-serve-journal2.out)
+/tmp/vapro-check status -addr "$J2_METRICS" -raw prom >/tmp/vapro-journal-metrics.out
+for name in vapro_wal_journal_segments vapro_wal_journal_appended_total \
+	vapro_wal_journal_replayed_total vapro_wal_journal_oldest_age_seconds; do
+	grep -q "$name" /tmp/vapro-journal-metrics.out || {
+		echo "journal metrics missing $name"; exit 1; }
+done
+REPLAYED=$(awk '/^vapro_wal_journal_replayed_total[{ ]/ { printf "%.0f", $2 }' /tmp/vapro-journal-metrics.out)
+[ "${REPLAYED:-missing}" = "32" ]
+REBUILT=$(awk '/^vapro_wire_frames_total[{ ]/ { printf "%.0f", $2 }' /tmp/vapro-journal-metrics.out)
+[ "${REBUILT:-missing}" = "32" ]
+GAPS=$(awk '/^vapro_wire_seq_gaps_total[{ ]/ { printf "%.0f", $2 }' /tmp/vapro-journal-metrics.out)
+[ "${GAPS:-missing}" = "0" ]
+# The status panel grows the journal row on a journaling server.
+/tmp/vapro-check status -addr "$J2_METRICS" | grep -q 'journal'
+# Second generation of clients: same WAL dirs, rebuilt tracker. The
+# restarted numbering must dedup cleanly — gaps stay zero.
+/tmp/vapro-check feed -bootstrap "$J2_WIRE" -ranks 4 -batches 8 -wal "$WDIR"
+i=0
+while :; do
+	FRAMES=$(/tmp/vapro-check status -addr "$J2_METRICS" -raw prom |
+		awk '/^vapro_wire_frames_total[{ ]/ { printf "%.0f", $2 }')
+	[ "${FRAMES:-0}" -eq 64 ] && break
+	i=$((i + 1))
+	[ "$i" -gt 100 ] && { echo "restarted serve delivered ${FRAMES:-0}/64"; exit 1; }
+	sleep 0.1
+done
+GAPS=$(/tmp/vapro-check status -addr "$J2_METRICS" -raw prom |
+	awk '/^vapro_wire_seq_gaps_total[{ ]/ { printf "%.0f", $2 }')
+[ "${GAPS:-missing}" = "0" ]
+kill $JRN2_PID
+trap - EXIT
+wait $JRN2_PID 2>/dev/null || true
+# Offline historical queries over the journal reproduce the whole run.
+/tmp/vapro-check analyze -journal "$JDIR" | tee /tmp/vapro-analyze.out
+grep -Fq 'replayed 64 frame(s)' /tmp/vapro-analyze.out
+/tmp/vapro-check analyze -journal "$JDIR" -json |
+	grep -q '"replayed_frames": 64'
+rm -rf "$JDIR" "$WDIR"
