@@ -46,22 +46,25 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# One iteration (x3, min kept) of the ingestion-plane, monitor-tick and
-# sharded-tier benchmarks: a smoke test, not a measurement (see
-# EXPERIMENTS.md for recorded numbers). The parsed numbers land in
-# BENCH_7.json for the CI artifact, and benchjson enforces the recorded
-# scale bounds: the PR 6 flat-tick ratio (1M vs 100k resident), the
-# PR 7 per-shard ratio (2048 ranks × 8 shards vs 256 ranks × 1), and
-# the PR 8 trace-overhead bound (traced dispatch within 1.05x of the
-# untraced sharded tick).
+# One iteration of the ingestion-plane benchmarks, plus 3x (min kept,
+# settle ticks in-bench) of every monitor-tick and sharded-tier
+# benchmark: a smoke test, not a measurement (see EXPERIMENTS.md for
+# recorded numbers). The parsed numbers land in BENCH_8.json for the CI
+# artifact, and benchjson enforces the recorded scale bounds: the PR 6
+# flat-tick ratio (1M vs 100k resident), the PR 7 per-shard ratio
+# (2048 ranks × 8 shards vs 256 ranks × 1), the PR 8 trace-overhead
+# bound (traced dispatch within 1.05x of the untraced sharded tick),
+# and the PR 10 multi-D bound (incremental comm/IO-heavy tick ≤0.35x
+# of the batch fallback).
 bench-smoke:
-	$(GO) test -run xxx -bench 'BenchmarkPoolIngest$$|BenchmarkWindowResults|BenchmarkMonitorTickIncremental|BenchmarkMonitorTickBatch' -benchtime 1x -benchmem . | tee bench-smoke.out
-	$(GO) test -run xxx -bench 'BenchmarkMonitorTickScale|BenchmarkShardedTickScale' -benchtime 1x -count=3 -benchmem . | tee -a bench-smoke.out
-	$(GO) run ./cmd/benchjson -min -out BENCH_7.json \
+	$(GO) test -run xxx -bench 'BenchmarkPoolIngest$$|BenchmarkWindowResults' -benchtime 1x -benchmem . | tee bench-smoke.out
+	$(GO) test -run xxx -bench 'BenchmarkMonitorTick|BenchmarkShardedTickScale' -benchtime 1x -count=3 -benchmem . | tee -a bench-smoke.out
+	$(GO) run ./cmd/benchjson -min -out BENCH_8.json \
 		-assert 'MonitorTickScale/servers=1/resident=1000k<=1.5*MonitorTickScale/servers=1/resident=100k' \
 		-assert 'MonitorTickScale/servers=4/resident=1000k<=1.5*MonitorTickScale/servers=4/resident=100k' \
 		-assert 'ShardedTickScale/shards=8/ranks=2048<=1.5*ShardedTickScale/shards=1/ranks=256@ns_per_shard_tick' \
 		-assert 'ShardedTickScaleTraced/shards=8/ranks=2048<=1.05*ShardedTickScale/shards=8/ranks=2048@ns_per_shard_tick' \
+		-assert 'MonitorTickMultiD/plane=inc<=0.35*MonitorTickMultiD/plane=batch' \
 		< bench-smoke.out
 
 experiments:

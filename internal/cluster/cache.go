@@ -48,8 +48,12 @@ type Cache struct {
 	mu      sync.RWMutex
 	entries map[Key]*entry
 
-	hits, misses, evictions             atomic.Uint64
-	incHits, incFallbacks, staleRejects atomic.Uint64
+	hits, misses, evictions atomic.Uint64
+	incHits, staleRejects   atomic.Uint64
+	// Incremental fallbacks, split by reason: structural multi-D events
+	// (vector-shape change, partition restructured by a new seed) vs the
+	// dirty span exceeding MaxDirtyRatio.
+	incFallbackMultiD, incFallbackDirty atomic.Uint64
 }
 
 // NewCache returns an empty cache.
@@ -80,9 +84,11 @@ func (c *Cache) entryFor(key Key) *entry {
 //
 //   - unchanged (gen, count, options match): pure hit;
 //   - append-only advance (same epoch, grown count): the incremental
-//     splice, bit-identical to Run by construction and pinned by the
-//     equivalence fuzz; falls back to a full Run when the dirty span
-//     exceeds Options.MaxDirtyRatio or the element left the 1-D path;
+//     splice — 1-D run deltas or the multi-D vector path — equivalent
+//     to Run by construction and pinned by the equivalence fuzz; falls
+//     back to a full Run when the dirty span exceeds
+//     Options.MaxDirtyRatio, the element changed vector shape, or an
+//     appended fragment restructured the multi-D partition;
 //   - anything else — epoch bump, option change, first sight: full Run.
 //
 // A STALE generation (an older snapshot of the element, from a caller
@@ -130,25 +136,26 @@ func (c *Cache) run(key Key, gen stg.Gen, frags []trace.Fragment, opt Options, a
 		uint64(len(frags)) == gen.Count && uint64(e.nfrags) == e.gen.Count {
 		// Append-only advance: Gen.Count is the append-log length, so
 		// frags[e.nfrags:] is exactly what arrived since e.gen.
-		if res, d, ok := e.inc.update(frags, e.res, opt); ok {
+		res, d, ok, why := e.inc.update(frags, e.res, opt)
+		if ok {
 			c.incHits.Add(1)
 			d.From = e.gen
 			e.gen, e.nfrags, e.res = gen, len(frags), res
 			return res, d
 		}
-		c.incFallbacks.Add(1)
+		if why == fbDirty {
+			c.incFallbackDirty.Add(1)
+		} else {
+			c.incFallbackMultiD.Add(1)
+		}
 	}
 	c.misses.Add(1)
 	if e.have {
 		c.evictions.Add(1) // stale entry replaced by a fresher clustering
 	}
-	res := Run(frags, opt)
+	res, inc := runCapture(frags, opt, allowInc)
 	e.have, e.gen, e.nfrags, e.opt, e.res = true, gen, len(frags), opt, res
-	if allowInc {
-		e.inc = newIncState(frags, res, opt)
-	} else {
-		e.inc = nil
-	}
+	e.inc = inc
 	return res, Delta{From: gen, Full: true}
 }
 
@@ -178,10 +185,22 @@ func (c *Cache) Stats() (hits, misses uint64) {
 
 // IncStats returns the incremental-path counters: advances that spliced
 // the previous clustering, and fallbacks where the splice was abandoned
-// (dirty span over MaxDirtyRatio, or a non-1-D element) and a full Run
-// was paid instead.
+// and a full Run was paid instead (all reasons summed — see
+// IncFallbackReasons for the split).
 func (c *Cache) IncStats() (incHits, incFallbacks uint64) {
-	return c.incHits.Load(), c.incFallbacks.Load()
+	return c.incHits.Load(), c.incFallbackMultiD.Load() + c.incFallbackDirty.Load()
+}
+
+// IncFallbackReasons splits the incremental fallbacks by cause:
+// multiD counts structural multi-D events (the element changed vector
+// shape, or an appended fragment seeded a new cluster that stole
+// resident members — the partition restructured beyond what a delta
+// expresses); dirty counts recomputes whose span exceeded
+// Options.MaxDirtyRatio; stale counts lookups that carried an older
+// generation than the cached one and were answered off to the side
+// (same events StaleRejects reports).
+func (c *Cache) IncFallbackReasons() (multiD, dirty, stale uint64) {
+	return c.incFallbackMultiD.Load(), c.incFallbackDirty.Load(), c.staleRejects.Load()
 }
 
 // StaleRejects returns how many lookups carried an older generation

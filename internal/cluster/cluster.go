@@ -215,6 +215,15 @@ type Result struct {
 // Run clusters the fragments with Algorithm 1. The input order is
 // irrelevant to the result (fragments are sorted by norm internally).
 func Run(frags []trace.Fragment, opt Options) Result {
+	res, _ := runCapture(frags, opt, false)
+	return res
+}
+
+// runCapture is Run plus an optional capture of the incremental state
+// (norm-sorted order, norms, per-fragment vectors for multi-D, cluster
+// seed positions) straight out of the working set, so the cache does
+// not pay a second sort or re-vectorization to seed the delta path.
+func runCapture(frags []trace.Fragment, opt Options, capture bool) (Result, *incState) {
 	opt = opt.normalized()
 	n := len(frags)
 	res := Result{Assign: make([]int, n)}
@@ -222,7 +231,11 @@ func Run(frags []trace.Fragment, opt Options) Result {
 		res.Assign[i] = -1
 	}
 	if n == 0 {
-		return res
+		var st *incState
+		if capture {
+			st = &incState{runStart: []int32{0}}
+		}
+		return res, st
 	}
 
 	sc := scratchPool.Get().(*scratch)
@@ -280,10 +293,14 @@ func Run(frags []trace.Fragment, opt Options) Result {
 	// contiguous norm range [seed, seed*(1+threshold)]; the scan is a
 	// single forward pass, linear overall.
 	processed := sc.processed
+	var seedPos []int32 // per-cluster seed position in order, when capturing
 	for pos := 0; pos < n; pos++ {
 		seed := order[pos]
 		if processed[seed] {
 			continue
+		}
+		if capture {
+			seedPos = append(seedPos, int32(pos))
 		}
 		c := Cluster{Seed: seed, SeedNorm: norms[seed]}
 		limit := norms[seed] * (1 + opt.Threshold)
@@ -325,7 +342,32 @@ func Run(frags []trace.Fragment, opt Options) Result {
 		}
 		res.Clusters = append(res.Clusters, c)
 	}
-	return res
+	var st *incState
+	if capture {
+		st = &incState{n: n}
+		st.norms = append([]float64(nil), norms...)
+		st.order = make([]int32, n)
+		for i, o := range order {
+			st.order[i] = int32(o)
+		}
+		st.assign = res.Assign
+		if oneD {
+			// 1-D clusters are contiguous runs: the seed positions are
+			// exactly the run starts.
+			st.runStart = append(seedPos, int32(n))
+		} else {
+			st.multiD = true
+			st.seedPos = seedPos
+			st.flat = append([]float64(nil), sc.flat...)
+			st.voff = make([]int32, n+1)
+			off := int32(0)
+			for i := range frags {
+				off += int32(vectorDims(&frags[i], opt))
+				st.voff[i+1] = off
+			}
+		}
+	}
+	return res, st
 }
 
 // FixedFraction returns the fraction of total elapsed time that falls in

@@ -19,18 +19,40 @@
 // norm range costs the sum of the runs it touches, not the span
 // between its extremes.
 //
-// Bit-identity with Run is non-negotiable (the equivalence fuzz pins
-// it), which dictates two details: the sorted order must be the exact
-// stable order Run produces — ties broken by ascending fragment index,
-// which a backward merge of the old order with the sorted new batch
-// preserves because new fragments always carry the largest indices —
-// and the absorb test must be the exact float expression Run evaluates,
-// norms[cand]-norms[seed] <= seedNorm*Threshold (NOT the algebraically
-// equal norms[cand] <= seedNorm*(1+Threshold), which rounds
-// differently).
-//
 // Multi-dimensional elements (UseExtraMetrics, comm/IO vertices) have
-// no contiguity guarantee and always take the batch path.
+// no contiguity guarantee, but the greedy pass still has the structure
+// a delta needs: seeds are taken in norm order, scans only run forward,
+// and a seed's reach is bounded by its norm band [seed, seed·(1+t)].
+// So an appended fragment with norm nb can only be absorbed by a
+// cluster whose band limit reaches nb — every cluster with a smaller
+// limit reproduces verbatim — and a cluster that does reach it absorbs
+// it iff the full squared-distance test passes, without re-scanning the
+// cluster's resident members at all (old-vs-old absorb decisions cannot
+// change when the only new candidates are the insertions). The state
+// caches per-fragment workload vectors, norms, and the norm-sorted
+// order, so an advance re-vectorizes and re-sorts nothing resident; the
+// one case it cannot patch is an insertion that seeds a NEW cluster and
+// steals a resident fragment from a later cluster — that restructures
+// the partition and falls back to the batch path (counted separately,
+// see Cache.IncFallbackReasons).
+//
+// Bit-identity with Run is non-negotiable for Assign, Seed, SeedNorm,
+// Fixed and Small (the equivalence fuzz pins them), which dictates two
+// details: the sorted order must be the exact stable order Run produces
+// — ties broken by ascending fragment index, which a backward merge of
+// the old order with the sorted new batch preserves because new
+// fragments always carry the largest indices — and the absorb test
+// must be the exact float expression Run evaluates:
+// norms[cand]-norms[seed] <= seedNorm*Threshold in 1-D (NOT the
+// algebraically equal norms[cand] <= seedNorm*(1+Threshold), which
+// rounds differently) and distSq(cand, seed) <= (seedNorm*Threshold)²
+// in multi-D. Members ORDER is the one deliberate relaxation: a grown
+// cluster appends its new members at the tail of the previous Members
+// slice (grow-only backing, no memmove splice per advance), so Members
+// is equal to the batch clustering as a SET but not element-for-element
+// — the canonical position-sorted order is only observable through
+// derived artifacts (assignments, per-cluster sample sets) that are
+// order-insensitive.
 package cluster
 
 import (
@@ -50,8 +72,10 @@ type DirtyRun struct {
 	// that previously belonged to other clusters.
 	OldIndex int
 	// AddedPos lists, in ascending order, the positions in the new
-	// cluster's Members slice that hold newly appended fragments. Only
-	// meaningful when OldIndex >= 0.
+	// cluster's Members slice that hold newly appended fragments. Grown
+	// clusters append new members at the tail, so these are the
+	// trailing len(AddedPos) positions and Members[:len-len(AddedPos)]
+	// is the old membership verbatim. Only meaningful when OldIndex>=0.
 	AddedPos []int32
 }
 
@@ -85,13 +109,32 @@ func unchangedDelta(from stg.Gen, nClusters int) Delta {
 	return Delta{From: from, Prefix: nClusters, TailNew: nClusters, TailOld: nClusters}
 }
 
+// fallbackReason classifies why an incremental advance was abandoned.
+type fallbackReason uint8
+
+const (
+	fbNone fallbackReason = iota
+	// fbMultiD: a structural multi-D event the delta cannot patch — the
+	// element changed vector shape (a 1-D state saw a non-computation
+	// arrival, forcing a multi-D recapture), or an appended fragment
+	// seeded a new cluster that steals resident members.
+	fbMultiD
+	// fbDirty: the recompute span exceeded Options.MaxDirtyRatio.
+	fbDirty
+)
+
 // incState is the persistent per-element state behind the incremental
-// path: the norm-sorted order and the cut points of the previous
+// path: the norm-sorted order, cached norms (and, for multi-D elements,
+// the cached workload vectors) and the cut structure of the previous
 // clustering. Guarded by the owning cache entry's mutex.
 type incState struct {
-	// multiD marks an element outside the 1-D fast path; it never
-	// advances incrementally.
+	// multiD marks an element on the vector path: per-fragment vectors
+	// are cached in flat/voff and clusters are tracked by seed position
+	// instead of contiguous runs.
 	multiD bool
+	// dead marks a state that cannot advance any more (the element
+	// changed vector shape); the next advance falls back and recaptures.
+	dead bool
 	// n is the fragment count the state describes.
 	n     int
 	norms []float64
@@ -99,8 +142,15 @@ type incState struct {
 	order []int32
 	// runStart[i] is the position in order where cluster i begins;
 	// runStart[len(clusters)] == n. Valid because 1-D clusters are
-	// contiguous runs of the sorted order.
+	// contiguous runs of the sorted order. 1-D only.
 	runStart []int32
+	// flat holds the concatenated per-fragment workload vectors;
+	// voff[i] is fragment i's offset (len n+1). Multi-D only.
+	flat []float64
+	voff []int32
+	// seedPos[i] is the position in order of cluster i's seed. Seeds
+	// are taken in position order, so it is ascending. Multi-D only.
+	seedPos []int32
 	// assign is the grow-only backing array behind the Assign slices of
 	// the Results produced so far. An advance whose patches all land in
 	// the appended suffix (every dirty run kept its index and the tail
@@ -111,80 +161,33 @@ type incState struct {
 	assign []int
 }
 
-// newIncState captures the incremental state matching a batch Result.
-func newIncState(frags []trace.Fragment, res Result, opt Options) *incState {
-	oneD := !opt.UseExtraMetrics
-	for i := range frags {
-		if frags[i].Kind != trace.Comp {
-			oneD = false
-			break
-		}
-	}
-	if !oneD {
-		return &incState{multiD: true, n: len(frags)}
-	}
-	s := &incState{n: len(frags)}
-	s.norms = make([]float64, len(frags))
-	for i := range frags {
-		s.norms[i] = float64(frags[i].Counters.TotIns)
-	}
-	s.order = make([]int32, 0, len(frags))
-	s.runStart = make([]int32, 0, len(res.Clusters)+1)
-	for ci := range res.Clusters {
-		s.runStart = append(s.runStart, int32(len(s.order)))
-		for _, m := range res.Clusters[ci].Members {
-			s.order = append(s.order, int32(m))
-		}
-	}
-	s.runStart = append(s.runStart, int32(len(s.order)))
-	if len(s.order) != len(frags) {
-		// Defensive: a 1-D clustering assigns every fragment exactly
-		// once; anything else means the state would be corrupt.
-		return &incState{multiD: true, n: len(frags)}
-	}
-	return s
+// vec returns fragment i's cached workload vector (multi-D states).
+func (s *incState) vec(i int) Vector {
+	return Vector(s.flat[s.voff[i]:s.voff[i+1]])
 }
 
-// update advances the state with the appended suffix frags[s.n:] and
-// returns the new Result plus its Delta (Delta.From is filled by the
-// caller). ok=false means the state cannot advance incrementally —
-// non-1-D arrivals, or the dirty span exceeded opt.MaxDirtyRatio — and
-// the caller must re-cluster from scratch; the state is then stale and
-// must be rebuilt with newIncState.
-func (s *incState) update(frags []trace.Fragment, prev Result, opt Options) (Result, Delta, bool) {
-	k := len(frags) - s.n
-	if s.multiD || k <= 0 {
-		return Result{}, Delta{}, false
-	}
-	for i := s.n; i < len(frags); i++ {
-		if frags[i].Kind != trace.Comp {
-			s.multiD = true
-			return Result{}, Delta{}, false
-		}
-	}
-	total := len(frags)
-	for i := s.n; i < total; i++ {
-		s.norms = append(s.norms, float64(frags[i].Counters.TotIns))
-	}
+// mergeAppended stable-sorts the appended fragments [s.n, total) by
+// (norm, index) and merges them into s.order, preserving Run's exact
+// stable order (on a norm tie the resident fragment goes first — its
+// index is smaller than every appended index). It returns the sorted
+// new fragment ids, their final merged positions (ascending), and
+// their insertion points among the old order (ascending). s.norms must
+// already cover [0, total).
+func (s *incState) mergeAppended(total int) (batch, inserted, ipos []int32) {
+	k := total - s.n
 	norms := s.norms
-
-	// Sort the new batch by norm; stable, so equal norms keep append
-	// order — combined with the tie rule of the merge below this
-	// reproduces Run's stable (norm, fragment index) order exactly.
-	batch := make([]int32, k)
+	batch = make([]int32, k)
 	for i := range batch {
 		batch[i] = int32(s.n + i)
 	}
 	slices.SortStableFunc(batch, func(a, b int32) int { return cmp.Compare(norms[a], norms[b]) })
 
-	// Merge the batch into the order. Each insertion point among the old
-	// elements comes from a binary search (on a tie the old fragment goes
-	// first — its index is smaller than every new index), then the
-	// displaced old spans shift right in chunks. The byte traffic is the
-	// same as an element-wise backward walk, but without a norm compare
-	// and branch per moved element.
-	inserted := make([]int32, k) // final positions of the batch, ascending
-	ipos := make([]int32, k)     // insertion points among the old order
+	// Each insertion point among the old elements comes from a binary
+	// search, then the displaced old spans shift right in chunks. The
+	// byte traffic is the same as an element-wise backward walk, but
+	// without a norm compare and branch per moved element.
+	inserted = make([]int32, k) // final positions of the batch, ascending
+	ipos = make([]int32, k)     // insertion points among the old order
 	for j := 0; j < k; j++ {
 		nb := norms[batch[j]]
 		lo, hi := 0, s.n
@@ -207,6 +210,38 @@ func (s *incState) update(frags []trace.Fragment, prev Result, opt Options) (Res
 		order[inserted[j]] = batch[j]
 		moveHi = ipos[j]
 	}
+	return batch, inserted, ipos
+}
+
+// update advances the state with the appended suffix frags[s.n:] and
+// returns the new Result plus its Delta (Delta.From is filled by the
+// caller). ok=false means the state cannot advance incrementally — the
+// returned fallbackReason says why — and the caller must re-cluster
+// from scratch; the state is then stale and must be recaptured.
+func (s *incState) update(frags []trace.Fragment, prev Result, opt Options) (Result, Delta, bool, fallbackReason) {
+	k := len(frags) - s.n
+	if s.dead || k <= 0 {
+		return Result{}, Delta{}, false, fbMultiD
+	}
+	if s.multiD {
+		return s.updateMultiD(frags, prev, opt)
+	}
+	for i := s.n; i < len(frags); i++ {
+		if frags[i].Kind != trace.Comp {
+			// The element left the 1-D domain; the cached state has no
+			// vectors, so fall back once and recapture as multi-D.
+			s.dead = true
+			return Result{}, Delta{}, false, fbMultiD
+		}
+	}
+	total := len(frags)
+	for i := s.n; i < total; i++ {
+		s.norms = append(s.norms, float64(frags[i].Counters.TotIns))
+	}
+	norms := s.norms
+
+	batch, inserted, _ := s.mergeAppended(total)
+	order := s.order
 
 	// The recompute starts at the run containing the predecessor of the
 	// first insertion: an insertion can extend the preceding run.
@@ -284,7 +319,7 @@ func (s *incState) update(frags []trace.Fragment, prev Result, opt Options) (Res
 			}
 		}
 		if work > maxSpan {
-			return Result{}, Delta{}, false
+			return Result{}, Delta{}, false, fbDirty
 		}
 		// One greedy run, bit-identical to Run's inner loop: in 1-D the
 		// absorbed candidates are exactly the contiguous span where
@@ -356,23 +391,26 @@ func (s *incState) update(frags []trace.Fragment, prev Result, opt Options) (Res
 			// matchPtr: it only grew.
 			oldIdx = matchPtr
 		}
-		members := make([]int, r.b-r.a)
+		var members []int
+		var addedPos []int32
 		if oldIdx >= 0 {
-			// Grown run: splice the old (immutable) membership around the
-			// insertion points in chunks instead of widening every entry
-			// back out of the order array one by one.
+			// Grown run: keep the old (immutable, shared) membership as
+			// the prefix and append the insertions at the tail. The
+			// append extends the grow-only backing behind the old slice
+			// when capacity allows — older Results hold length-capped
+			// views it cannot disturb — so a grown run costs O(added),
+			// not O(run): the per-advance memmove splice is gone.
 			oc := prev.Clusters[oldIdx].Members
-			op, np := 0, 0
-			for j := insStart; j < ai; j++ {
-				gap := int(inserted[j]-r.a) - np
-				copy(members[np:np+gap], oc[op:op+gap])
-				np += gap
-				op += gap
-				members[np] = int(batch[j])
-				np++
+			members = oc
+			if ai > insStart {
+				addedPos = make([]int32, ai-insStart)
 			}
-			copy(members[np:], oc[op:])
+			for j := insStart; j < ai; j++ {
+				addedPos[j-insStart] = int32(len(members))
+				members = append(members, int(batch[j]))
+			}
 		} else {
+			members = make([]int, r.b-r.a)
 			for p := r.a; p < r.b; p++ {
 				members[p-r.a] = int(order[p])
 			}
@@ -387,73 +425,11 @@ func (s *incState) update(frags []trace.Fragment, prev Result, opt Options) (Res
 			small++
 		}
 		clusters = append(clusters, c)
-		var addedPos []int32
-		if oldIdx >= 0 && ai > insStart {
-			addedPos = make([]int32, ai-insStart)
-			for j := insStart; j < ai; j++ {
-				addedPos[j-insStart] = inserted[j] - r.a
-			}
-		}
 		dirty = append(dirty, DirtyRun{OldIndex: oldIdx, AddedPos: addedPos})
 	}
 	clusters = append(clusters, prev.Clusters[tailOld:]...)
 
-	// assign: when every dirty run kept its cluster index and the tail
-	// did not shift, the only entries that differ from prev.Assign are
-	// the k appended members — extend the shared grow-only backing in
-	// place (older Results hold length-capped prefixes of it, which the
-	// suffix writes cannot reach) and skip the O(n) prefix copy
-	// entirely. Otherwise clone prev's entries into a fresh array, apply
-	// the full patch set, and adopt the clone as the new backing.
-	shared := shift == 0 && s.assign != nil && len(prev.Assign) == s.n &&
-		(s.n == 0 || &prev.Assign[0] == &s.assign[0])
-	if shared {
-		for i := range mids {
-			if dirty[i].OldIndex != r0+i {
-				shared = false
-				break
-			}
-		}
-	}
-	var assign []int
-	if shared {
-		s.assign = append(s.assign, make([]int, k)...)
-		assign = s.assign
-		for i := range mids {
-			ci := r0 + i
-			for _, p := range dirty[i].AddedPos {
-				assign[clusters[ci].Members[p]] = ci
-			}
-		}
-	} else {
-		// append with a full-sliced base reallocates — growslice does not
-		// zero noscan memory, so the cost is one memmove of the prefix,
-		// not a zero+copy of the whole array.
-		assign = append(prev.Assign[:s.n:s.n], make([]int, k)...)
-		for i, r := range mids {
-			ci := r0 + i
-			if r.skip && ci == int(r.oldIdx) {
-				continue // index unchanged, old assignments still correct
-			}
-			if dr := dirty[i]; dr.OldIndex == ci {
-				for _, p := range dr.AddedPos {
-					assign[clusters[ci].Members[p]] = ci
-				}
-				continue
-			}
-			for _, m := range clusters[ci].Members {
-				assign[m] = ci
-			}
-		}
-		if shift != 0 {
-			for ci := tailNew; ci < nc; ci++ {
-				for _, m := range clusters[ci].Members {
-					assign[m] = ci
-				}
-			}
-		}
-		s.assign = assign
-	}
+	assign := s.commitAssign(prev, clusters, dirty, r0, tailNew, shift, nc, k)
 	res := Result{Clusters: clusters, Assign: assign[:total:total], Small: small}
 
 	// Commit the state.
@@ -475,5 +451,302 @@ func (s *incState) update(frags []trace.Fragment, prev Result, opt Options) (Res
 		Dirty:   dirty,
 		Ratio:   float64(work) / float64(total),
 	}
-	return res, d, true
+	return res, d, true, fbNone
+}
+
+// commitAssign builds the Assign backing of an advance: when every
+// dirty run kept its cluster index and the tail did not shift, the only
+// entries that differ from prev.Assign are the k appended members —
+// extend the shared grow-only backing in place (older Results hold
+// length-capped prefixes of it, which the suffix writes cannot reach)
+// and skip the O(n) prefix copy entirely. Otherwise clone prev's
+// entries into a fresh array, apply the full patch set, and adopt the
+// clone as the new backing.
+func (s *incState) commitAssign(prev Result, clusters []Cluster, dirty []DirtyRun, r0, tailNew, shift, nc, k int) []int {
+	shared := shift == 0 && s.assign != nil && len(prev.Assign) == s.n &&
+		(s.n == 0 || &prev.Assign[0] == &s.assign[0])
+	if shared {
+		for i := range dirty {
+			if dirty[i].OldIndex != r0+i {
+				shared = false
+				break
+			}
+		}
+	}
+	var assign []int
+	if shared {
+		s.assign = append(s.assign, make([]int, k)...)
+		assign = s.assign
+		for i := range dirty {
+			ci := r0 + i
+			for _, p := range dirty[i].AddedPos {
+				assign[clusters[ci].Members[p]] = ci
+			}
+		}
+		return assign
+	}
+	// append with a full-sliced base reallocates — growslice does not
+	// zero noscan memory, so the cost is one memmove of the prefix,
+	// not a zero+copy of the whole array.
+	assign = append(prev.Assign[:s.n:s.n], make([]int, k)...)
+	for i := range dirty {
+		ci := r0 + i
+		if dr := dirty[i]; dr.OldIndex == ci {
+			for _, p := range dr.AddedPos {
+				assign[clusters[ci].Members[p]] = ci
+			}
+			continue
+		}
+		for _, m := range clusters[ci].Members {
+			assign[m] = ci
+		}
+	}
+	if shift != 0 {
+		for ci := tailNew; ci < nc; ci++ {
+			for _, m := range clusters[ci].Members {
+				assign[m] = ci
+			}
+		}
+	}
+	s.assign = assign
+	return assign
+}
+
+// updateMultiD advances a multi-D state. The cached vectors, norms and
+// sorted order make the append O(merge + reachable clusters): appended
+// fragments merge into the order without re-vectorizing or re-sorting
+// residents, clusters whose norm band cannot reach the smallest
+// appended norm reproduce verbatim (prefix) or are carried over
+// (skips), and a cluster whose band does reach an insertion decides
+// membership with the exact squared-distance test against its seed —
+// no resident member is re-scanned, because old-vs-old absorb
+// decisions cannot change when the only new candidates are insertions.
+// An insertion no cluster absorbs seeds a new cluster; if that new
+// cluster would steal a resident fragment from a later cluster the
+// partition is restructured beyond what a delta can express and the
+// advance falls back (fbMultiD).
+func (s *incState) updateMultiD(frags []trace.Fragment, prev Result, opt Options) (Result, Delta, bool, fallbackReason) {
+	oldN := s.n
+	total := len(frags)
+	k := total - oldN
+	// Vectorize the suffix into the cached flat backing (dimensionality
+	// varies per fragment kind; voff tracks offsets).
+	for i := oldN; i < total; i++ {
+		lo := len(s.flat)
+		s.flat = appendVector(s.flat, &frags[i], opt)
+		s.voff = append(s.voff, int32(len(s.flat)))
+		s.norms = append(s.norms, Vector(s.flat[lo:]).Norm())
+	}
+	norms := s.norms
+
+	batch, inserted, ipos := s.mergeAppended(total)
+	order := s.order
+
+	oldNC := len(prev.Clusters)
+	t := opt.Threshold
+	// Restart cluster: scan limits seedNorm·(1+t) are non-decreasing in
+	// cluster index (seeds are taken in norm order; a zero-norm seed's
+	// limit is 0 but its norm is minimal too), so the clusters that can
+	// reach the smallest appended norm form a suffix. Everything before
+	// it is an untouched prefix: those scans break before any insertion
+	// and their membership cannot change.
+	nb0 := norms[batch[0]]
+	r0 := sort.Search(oldNC, func(i int) bool {
+		sn := prev.Clusters[i].SeedNorm
+		limit := sn * (1 + t)
+		if sn == 0 {
+			limit = 0
+		}
+		return limit >= nb0
+	})
+
+	maxSpan := int(opt.MaxDirtyRatio * float64(total))
+	work := 0
+	absorbed := make([]bool, k) // by batch position j
+	jOf := make([]int32, k)     // fragment id - oldN -> batch position
+	for j, f := range batch {
+		jOf[int(f)-oldN] = int32(j)
+	}
+	var midClusters []Cluster
+	var midSeedPos []int32 // merged seed positions of the mid clusters
+	var dirty []DirtyRun
+	c := r0     // next old cluster to process
+	insJ := 0   // next pending insertion, in batch (= position) order
+	insPtr := 0 // #insertion points at old positions <= seedPos[c]
+	tailOld := oldNC
+	for {
+		for insJ < k && absorbed[insJ] {
+			insJ++
+		}
+		if insJ >= k {
+			// All insertions placed: the remaining old clusters see the
+			// same unprocessed residents and already-processed
+			// insertions, so they reproduce verbatim as the tail.
+			tailOld = c
+			break
+		}
+		if work > maxSpan {
+			return Result{}, Delta{}, false, fbDirty
+		}
+		insPos := int(inserted[insJ])
+		nb := norms[batch[insJ]]
+		if c < oldNC {
+			for insPtr < k && int(ipos[insPtr]) <= int(s.seedPos[c]) {
+				insPtr++
+			}
+			mseed := int(s.seedPos[c]) + insPtr // merged seed position
+			if mseed < insPos {
+				oc := prev.Clusters[c]
+				sn := oc.SeedNorm
+				limit := sn * (1 + t)
+				maxDist := sn * t
+				if sn == 0 {
+					limit, maxDist = 0, 0
+				}
+				if limit < nb {
+					// Band cannot reach any pending insertion (they only
+					// get larger): carried over verbatim, O(1).
+					midClusters = append(midClusters, oc)
+					midSeedPos = append(midSeedPos, int32(mseed))
+					dirty = append(dirty, DirtyRun{OldIndex: c})
+					c++
+					continue
+				}
+				// The cluster's scan reaches into the appended batch:
+				// test every pending insertion inside the band against
+				// the seed vector. Residents are not re-scanned — their
+				// absorb decisions are unchanged.
+				maxDistSq := maxDist * maxDist
+				sv := s.vec(oc.Seed)
+				var added []int
+				for j := insJ; j < k && norms[batch[j]] <= limit; j++ {
+					if absorbed[j] {
+						continue
+					}
+					work++
+					if distSq(s.vec(int(batch[j])), sv) <= maxDistSq {
+						absorbed[j] = true
+						added = append(added, int(batch[j]))
+					}
+				}
+				if len(added) == 0 {
+					midClusters = append(midClusters, oc)
+					midSeedPos = append(midSeedPos, int32(mseed))
+					dirty = append(dirty, DirtyRun{OldIndex: c})
+					c++
+					continue
+				}
+				members := append(oc.Members, added...)
+				addedPos := make([]int32, len(added))
+				for x := range addedPos {
+					addedPos[x] = int32(len(oc.Members) + x)
+				}
+				midClusters = append(midClusters, Cluster{
+					Members:  members,
+					Seed:     oc.Seed,
+					SeedNorm: oc.SeedNorm,
+					Fixed:    len(members) >= opt.MinFragments,
+				})
+				midSeedPos = append(midSeedPos, int32(mseed))
+				dirty = append(dirty, DirtyRun{OldIndex: c, AddedPos: addedPos})
+				c++
+				continue
+			}
+		}
+		// The insertion precedes every remaining seed: it seeds a new
+		// cluster, scanning the merged band forward exactly like Run.
+		seedF := int(batch[insJ])
+		sn := nb
+		limit := sn * (1 + t)
+		maxDist := sn * t
+		if sn == 0 {
+			limit, maxDist = 0, 0
+		}
+		maxDistSq := maxDist * maxDist
+		sv := s.vec(seedF)
+		absorbed[insJ] = true
+		members := []int{seedF}
+		e := insPos + 1 + sort.Search(total-insPos-1, func(i int) bool {
+			return norms[order[insPos+1+i]] > limit
+		})
+		for p := insPos + 1; p < e; p++ {
+			work++
+			f := int(order[p])
+			if f >= oldN {
+				j := int(jOf[f-oldN])
+				if !absorbed[j] && distSq(s.vec(f), sv) <= maxDistSq {
+					absorbed[j] = true
+					members = append(members, f)
+				}
+				continue
+			}
+			if prev.Assign[f] >= c && distSq(s.vec(f), sv) <= maxDistSq {
+				// The new cluster steals a resident fragment from a
+				// later cluster: the partition restructures and the
+				// delta machinery cannot express it.
+				return Result{}, Delta{}, false, fbMultiD
+			}
+		}
+		if work > maxSpan {
+			return Result{}, Delta{}, false, fbDirty
+		}
+		midClusters = append(midClusters, Cluster{
+			Members:  members,
+			Seed:     seedF,
+			SeedNorm: sn,
+			Fixed:    len(members) >= opt.MinFragments,
+		})
+		midSeedPos = append(midSeedPos, int32(insPos))
+		dirty = append(dirty, DirtyRun{OldIndex: -1})
+	}
+
+	// Assemble the Result: untouched prefix, mid clusters, verbatim tail.
+	tailNew := r0 + len(midClusters)
+	shift := tailNew - tailOld
+	nc := tailNew + (oldNC - tailOld)
+	clusters := make([]Cluster, 0, nc)
+	clusters = append(clusters, prev.Clusters[:r0]...)
+	clusters = append(clusters, midClusters...)
+	clusters = append(clusters, prev.Clusters[tailOld:]...)
+	small := prev.Small
+	for i := r0; i < tailOld; i++ {
+		if !prev.Clusters[i].Fixed {
+			small--
+		}
+	}
+	for i := range midClusters {
+		if !midClusters[i].Fixed {
+			small++
+		}
+	}
+
+	assign := s.commitAssign(prev, clusters, dirty, r0, tailNew, shift, nc, k)
+	res := Result{Clusters: clusters, Assign: assign[:total:total], Small: small}
+
+	// Commit the state. Prefix seed positions are unchanged (every
+	// insertion's norm exceeds every prefix limit, hence every prefix
+	// seed's norm, so insertions land strictly after them); mid seed
+	// positions were tracked in merged coordinates; tail seed positions
+	// shift by the number of insertion points at or before them.
+	newSeedPos := make([]int32, 0, nc)
+	newSeedPos = append(newSeedPos, s.seedPos[:r0]...)
+	newSeedPos = append(newSeedPos, midSeedPos...)
+	ip := 0
+	for i := tailOld; i < oldNC; i++ {
+		for ip < k && ipos[ip] <= s.seedPos[i] {
+			ip++
+		}
+		newSeedPos = append(newSeedPos, s.seedPos[i]+int32(ip))
+	}
+	s.seedPos = newSeedPos
+	s.n = total
+
+	d := Delta{
+		Prefix:  r0,
+		TailNew: tailNew,
+		TailOld: tailOld,
+		Dirty:   dirty,
+		Ratio:   float64(work) / float64(total),
+	}
+	return res, d, true, fbNone
 }

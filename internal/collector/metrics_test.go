@@ -75,6 +75,23 @@ func TestPoolMetricsEndToEnd(t *testing.T) {
 	if hits == nil || misses == nil || misses.Value == 0 {
 		t.Fatalf("cache metrics: hits=%+v misses=%+v", hits, misses)
 	}
+	// The per-reason fallback split is published alongside the total,
+	// and the reasons sum to it.
+	var reasons float64
+	for _, name := range []string{"multid", "dirty"} {
+		m := snap.Get("vapro_cluster_cache_inc_fallback_" + name)
+		if m == nil {
+			t.Fatalf("inc fallback split %q missing", name)
+		}
+		reasons += m.Value
+	}
+	if m := snap.Get("vapro_cluster_cache_inc_fallbacks"); m == nil || m.Value != reasons {
+		t.Fatalf("inc fallback total %+v does not match reason split sum %v", m, reasons)
+	}
+	if m := snap.Get("vapro_cluster_cache_inc_fallback_stale"); m == nil ||
+		m.Value != snap.Get("vapro_cluster_cache_stale_rejects").Value {
+		t.Fatalf("stale fallback metric: %+v", m)
+	}
 	if m := snap.Get("vapro_intake_staged"); m == nil || m.Value != 0 {
 		t.Fatalf("staged after drain: %+v", m)
 	}

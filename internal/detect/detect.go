@@ -142,6 +142,43 @@ type ClusterRef struct {
 	Cluster int
 }
 
+// sampleLess is the total order the per-class sample streams are
+// sorted by before the heat-map and region passes: Start first, ties
+// broken by owning element (edges before vertices, then key) and
+// fragment index. Start alone is not a total order — exact ties across
+// ranks are routine in lockstep SPMD phases — and under a partial key
+// the tie order would depend on the pre-sort emission order, which the
+// grow-only trailing-append Members representation no longer pins to
+// the batch plane's canonical order. The total key makes the sorted
+// stream — and everything folded over it: heat-map cells, region
+// growing, carried-region equality — a pure function of the sample
+// multiset, which is exactly the order-insensitivity the cluster
+// layer's lazy members contract provides.
+func sampleLess(a, b *Sample) bool {
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	ra, rb := &a.ClusterRef, &b.ClusterRef
+	if ra.IsEdge != rb.IsEdge {
+		return ra.IsEdge
+	}
+	if ra.Edge != rb.Edge {
+		if ra.Edge.From != rb.Edge.From {
+			return ra.Edge.From < rb.Edge.From
+		}
+		return ra.Edge.To < rb.Edge.To
+	}
+	if ra.Vertex != rb.Vertex {
+		return ra.Vertex < rb.Vertex
+	}
+	return a.FragIndex < b.FragIndex
+}
+
+// sortSamples sorts one class's merged samples by sampleLess.
+func sortSamples(samples []Sample) {
+	sort.Slice(samples, func(i, j int) bool { return sampleLess(&samples[i], &samples[j]) })
+}
+
 // HeatMap is a rank × window grid of weighted-average normalized
 // performance. Cells with no observations hold NaN.
 type HeatMap struct {
@@ -514,7 +551,7 @@ func (a *Analyzer) run(g *stg.Graph, ranks int, opt Options, start, end, origin 
 		if len(samples) == 0 {
 			return
 		}
-		sort.Slice(samples, func(i, j int) bool { return samples[i].Start < samples[j].Start })
+		sortSamples(samples)
 		h := buildHeatMap(Class(c), samples, ranks, opt.Window, origin)
 		if h == nil {
 			return

@@ -196,6 +196,120 @@ func runEquivSchedule(t *testing.T, seed int64, advances, rebuilds *atomic.Uint6
 	}
 }
 
+// TestAnalyzerMixedMultiDEquivalenceFuzz mixes 1-D computation edges
+// and multi-D single-class vertices (all-comm, all-IO) in the same
+// windows and pins the persistent incremental analyzer bit-identical to
+// a cold batch analyzer after every appended burst. Appends draw from a
+// fixed per-element workload palette — the monitor's steady state — so
+// the multi-D cluster advances must stay on the delta path: the test
+// fails if any advance fell back for a structural multi-D reason, or if
+// vertex preps never advanced incrementally at all.
+func TestAnalyzerMixedMultiDEquivalenceFuzz(t *testing.T) {
+	schedules := 60
+	if testing.Short() {
+		schedules = 12
+	}
+	for sched := 0; sched < schedules; sched++ {
+		sched := sched
+		t.Run(fmt.Sprintf("sched%03d", sched), func(t *testing.T) {
+			t.Parallel()
+			runMixedMultiDSchedule(t, int64(9400+sched))
+		})
+	}
+}
+
+func runMixedMultiDSchedule(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	ranks := 2 + rng.Intn(4)
+
+	opt := DefaultOptions()
+	opt.Window = sim.Duration(2+rng.Intn(10)) * sim.Millisecond
+	opt.Parallelism = rng.Intn(3)
+	if rng.Intn(3) == 0 {
+		opt.Cluster.UseExtraMetrics = true // 2-D computation vectors
+	}
+
+	// Fixed workload palettes: comp edges vary TotIns inside the 5%
+	// band; vertices repeat exact (op, bytes, peer) argument vectors so
+	// steady-state appends are pure absorptions on the multi-D path.
+	edges := []trace.EdgeKey{{From: 1, To: 2}, {From: 2, To: 3}}
+	type vclass struct {
+		kind trace.Kind
+		args trace.Args
+	}
+	vpal := map[uint64][]vclass{
+		20: {
+			{trace.Comm, trace.Args{Op: trace.Op("Allreduce"), Bytes: 1 << 12, Peer: -1}},
+			{trace.Comm, trace.Args{Op: trace.Op("Send"), Bytes: 1 << 16, Peer: 1, Tag: 7}},
+			{trace.Comm, trace.Args{Op: trace.Op("Recv"), Bytes: 256, Peer: 0, Tag: 7}},
+		},
+		21: {
+			{trace.IO, trace.Args{Op: trace.Op("write"), Bytes: 1 << 20, FD: 3}},
+			{trace.IO, trace.Args{Op: trace.Op("read"), Bytes: 4096, FD: 4}},
+		},
+	}
+
+	g := stg.New()
+	inc := NewAnalyzer()
+	met := NewMetrics(obs.NewRegistry())
+	inc.SetMetrics(met)
+
+	clock := make([]int64, ranks)
+	bursts := 4 + rng.Intn(4)
+	for b := 0; b < bursts; b++ {
+		n := 8 + rng.Intn(40)
+		batch := make([]trace.Fragment, 0, n)
+		for i := 0; i < n; i++ {
+			rank := rng.Intn(ranks)
+			el := int64(200_000 + rng.Intn(1_500_000))
+			f := trace.Fragment{Rank: rank, Start: clock[rank], Elapsed: el}
+			if rng.Intn(3) == 0 {
+				state := []uint64{20, 21}[rng.Intn(2)]
+				c := vpal[state][rng.Intn(len(vpal[state]))]
+				f.State, f.Kind, f.Args = state, c.kind, c.args
+			} else {
+				ek := edges[rng.Intn(len(edges))]
+				f.Kind, f.From, f.State = trace.Comp, ek.From, ek.To
+				// Exact repeats: a steady state's fixed workloads re-emit
+				// identical counter vectors, so no append can undercut a
+				// resident seed (an in-band new minimum would legitimately
+				// restructure the partition and force a fallback).
+				f.Counters.TotIns = uint64(1+rng.Intn(3)) * 400_000
+				f.Counters.LoadStores = f.Counters.TotIns / 3
+			}
+			clock[rank] += el
+			batch = append(batch, f)
+		}
+		g.AddBatch(batch)
+
+		bopt := opt
+		bopt.DisableIncremental = true
+		var got, want *Result
+		if rng.Intn(2) == 0 {
+			ws := int64(rng.Intn(20)) * 1_000_000
+			we := ws + int64(5+rng.Intn(40))*1_000_000
+			got = inc.RunWindow(g, ranks, opt, ws, we)
+			want = NewAnalyzer().RunWindow(g, ranks, bopt, ws, we)
+		} else {
+			got = inc.Run(g, ranks, opt)
+			want = NewAnalyzer().Run(g, ranks, bopt)
+		}
+		if !equalResults(got, want) {
+			t.Fatalf("burst %d: mixed-element incremental result diverged from batch", b)
+		}
+	}
+	if met.PrepIncremental.Load() == 0 {
+		t.Fatalf("no prep advanced incrementally across %d bursts", bursts)
+	}
+	multiD, _, _ := inc.Cache().IncFallbackReasons()
+	if multiD != 0 {
+		t.Fatalf("steady-state palette appends hit %d structural multi-D fallbacks", multiD)
+	}
+	if hits, _ := inc.Cache().IncStats(); hits == 0 {
+		t.Fatalf("cluster cache never advanced incrementally")
+	}
+}
+
 // TestMonitorIncrementalIdentity drives the same fragment stream
 // through two monitors — one on the incremental plane, one forced onto
 // the batch path — and requires the emitted event streams to match

@@ -53,9 +53,11 @@ type prepElem struct {
 	totalAll [numClasses]int64
 
 	// Incremental-advance state, maintained only for single-class
-	// elements (the 1-D computation edges that dominate the hot path;
-	// multi-class vertices always rebuild — their clusterings are
-	// multi-D and never produce structured deltas anyway).
+	// elements: computation edges (1-D norms) and all-comm / all-IO
+	// vertices (multi-D vectors) alike — both cluster planes produce
+	// structured deltas now. Mixed-class vertices still rebuild: their
+	// samples interleave several classes, so a cluster delta does not
+	// translate into per-class span patches.
 	singleClass bool
 	class       Class
 	// spanOff[ci] is the offset in samples[class] where cluster ci's

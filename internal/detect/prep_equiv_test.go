@@ -72,7 +72,7 @@ func referenceRun(cache *cluster.Cache, g *stg.Graph, ranks int, opt Options, st
 		if len(samples) == 0 {
 			return
 		}
-		sort.Slice(samples, func(i, j int) bool { return samples[i].Start < samples[j].Start })
+		sortSamples(samples)
 		h := buildHeatMap(Class(c), samples, ranks, opt.Window, origin)
 		if h == nil {
 			return
